@@ -1,0 +1,13 @@
+//! # whale-apps — the paper's two evaluation applications
+//!
+//! Complete implementations of the topologies of §5.1: on-demand
+//! ride-hailing (key-grouped driver locations joined with all-grouped
+//! passenger requests, Fig 4) and stock exchange (split → key-grouped
+//! sells / broadcast buys → matching → trading-volume aggregation), with
+//! operator logic runnable on the live runtime and topology definitions
+//! consumed by the cluster simulation.
+
+#![warn(missing_docs)]
+
+pub mod ride_hailing;
+pub mod stock_exchange;

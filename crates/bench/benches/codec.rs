@@ -1,0 +1,64 @@
+//! Criterion microbenchmarks of the wire codec: the serialization
+//! asymmetry that motivates worker-oriented communication.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+use whale_dsps::codec::{decode_tuple, encode_tuple};
+use whale_dsps::{InstanceMessage, TaskId, Tuple, Value, WorkerMessage};
+
+fn sample_tuple() -> Tuple {
+    Tuple::with_id(
+        7,
+        vec![
+            Value::I64(123_456),
+            Value::F64(39.91),
+            Value::F64(116.33),
+            Value::I64(1_620_000_000),
+            Value::str("driver-payload-string"),
+        ],
+    )
+}
+
+fn bench_codec(c: &mut Criterion) {
+    let tuple = sample_tuple();
+
+    c.bench_function("encode_tuple", |b| {
+        b.iter(|| encode_tuple(black_box(&tuple)))
+    });
+
+    let encoded = encode_tuple(&tuple);
+    c.bench_function("decode_tuple", |b| {
+        b.iter_batched(
+            || encoded.clone(),
+            |mut buf| decode_tuple(black_box(&mut buf)).unwrap(),
+            BatchSize::SmallInput,
+        )
+    });
+
+    // The paper's comparison: serializing for 16 colocated instances.
+    c.bench_function("instance_oriented_16_messages", |b| {
+        b.iter(|| {
+            let mut total = 0usize;
+            for i in 0..16u32 {
+                let m = InstanceMessage {
+                    src: TaskId(0),
+                    dst: TaskId(i),
+                    tuple: tuple.clone(),
+                };
+                total += m.encode().len();
+            }
+            total
+        })
+    });
+
+    c.bench_function("worker_oriented_1_message_16_ids", |b| {
+        let dsts: Vec<TaskId> = (0..16).map(TaskId).collect();
+        b.iter(|| {
+            let item = encode_tuple(black_box(&tuple));
+            WorkerMessage::encode_with_item(TaskId(0), &dsts, &item).len()
+        })
+    });
+}
+
+criterion_group!(benches, bench_codec);
+criterion_main!(benches);

@@ -1,0 +1,21 @@
+//! Criterion benchmark of the cluster-simulation engine itself: events
+//! per second across the five system modes (this is the harness the
+//! figures run on, so its own speed bounds experiment turnaround).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use whale_core::{run, EngineConfig, SystemMode};
+
+fn bench_engine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_saturate_20_tuples");
+    group.sample_size(10);
+    for mode in SystemMode::ALL {
+        group.bench_with_input(BenchmarkId::from_parameter(mode.label()), &mode, |b, &m| {
+            b.iter(|| run(black_box(EngineConfig::paper(m, 480, 20))))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_engine);
+criterion_main!(benches);

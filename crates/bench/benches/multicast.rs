@@ -1,0 +1,38 @@
+//! Criterion microbenchmarks of the multicast machinery: tree
+//! construction (Algorithm 1), dynamic switching plans, relay scheduling,
+//! and the M/D/1 d* computation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use whale_multicast::{build_binomial, build_nonblocking, plan_switch, RelaySim};
+use whale_sim::cost::mdone;
+
+fn bench_multicast(c: &mut Criterion) {
+    c.bench_function("build_nonblocking_480_d3", |b| {
+        b.iter(|| build_nonblocking(black_box(480), black_box(3)))
+    });
+
+    c.bench_function("build_binomial_480", |b| {
+        b.iter(|| build_binomial(black_box(480)))
+    });
+
+    let tree = build_nonblocking(480, 5);
+    c.bench_function("plan_switch_480_5_to_2", |b| {
+        b.iter(|| plan_switch(black_box(&tree), black_box(2)))
+    });
+    c.bench_function("plan_switch_480_5_to_8", |b| {
+        b.iter(|| plan_switch(black_box(&tree), black_box(8)))
+    });
+
+    c.bench_function("relay_multicast_480", |b| {
+        let tree = build_nonblocking(480, 3);
+        b.iter(|| RelaySim::new(tree.clone()).multicast(black_box(0)))
+    });
+
+    c.bench_function("d_star", |b| {
+        b.iter(|| mdone::d_star(black_box(45_000.0), black_box(8.4e-6), black_box(2_048)))
+    });
+}
+
+criterion_group!(benches, bench_multicast);
+criterion_main!(benches);

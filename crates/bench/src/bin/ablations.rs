@@ -1,0 +1,14 @@
+//! Ablation studies beyond the paper's figures: fixed vs adaptive d*,
+//! proactive vs baseline switching (Theorem 3), backpressure window.
+fn main() {
+    let scale = whale_bench::Scale::from_env();
+    for table in whale_bench::experiments::ablations::run_dstar_sweep(scale) {
+        table.emit(None);
+    }
+    for table in whale_bench::experiments::ablations::run_switch_strategy(scale) {
+        table.emit(None);
+    }
+    for table in whale_bench::experiments::ablations::run_window_sweep(scale) {
+        table.emit(None);
+    }
+}

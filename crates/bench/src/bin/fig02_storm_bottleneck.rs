@@ -1,0 +1,7 @@
+//! E01–E03 — Fig 2: Storm's one-to-many bottleneck.
+fn main() {
+    let scale = whale_bench::Scale::from_env();
+    for table in whale_bench::experiments::fig02_storm_bottleneck::run_experiment(scale) {
+        table.emit(None);
+    }
+}

@@ -1,0 +1,7 @@
+//! E04 — Fig 3: RDMC blocking under dynamic input.
+fn main() {
+    let scale = whale_bench::Scale::from_env();
+    for table in whale_bench::experiments::fig03_rdmc_blocking::run_experiment(scale) {
+        table.emit(None);
+    }
+}

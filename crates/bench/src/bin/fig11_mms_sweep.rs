@@ -1,0 +1,7 @@
+//! E06 — Fig 11: MMS sweep (also emits Fig 12).
+fn main() {
+    let scale = whale_bench::Scale::from_env();
+    for table in whale_bench::experiments::fig11_12_batching::run_experiment(scale) {
+        table.emit(None);
+    }
+}

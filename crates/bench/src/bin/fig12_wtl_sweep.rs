@@ -1,0 +1,8 @@
+//! E07 — Fig 12: WTL sweep (runs the shared batching experiment; the
+//! second emitted table is Fig 12).
+fn main() {
+    let scale = whale_bench::Scale::from_env();
+    for table in whale_bench::experiments::fig11_12_batching::run_experiment(scale) {
+        table.emit(None);
+    }
+}

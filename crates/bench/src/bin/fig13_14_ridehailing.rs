@@ -1,0 +1,7 @@
+//! E08 — Figs 13/14: ride-hailing throughput & latency.
+fn main() {
+    let scale = whale_bench::Scale::from_env();
+    for table in whale_bench::experiments::fig13_16_applications::run_ride_hailing(scale) {
+        table.emit(None);
+    }
+}

@@ -1,0 +1,7 @@
+//! E09 — Figs 15/16: stock exchange throughput & latency.
+fn main() {
+    let scale = whale_bench::Scale::from_env();
+    for table in whale_bench::experiments::fig13_16_applications::run_stock_exchange(scale) {
+        table.emit(None);
+    }
+}

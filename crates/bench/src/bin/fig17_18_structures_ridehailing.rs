@@ -1,0 +1,7 @@
+//! E10 — Figs 17/18: multicast structures, ride-hailing.
+fn main() {
+    let scale = whale_bench::Scale::from_env();
+    for table in whale_bench::experiments::fig17_22_structures::run_ride_hailing(scale) {
+        table.emit(None);
+    }
+}

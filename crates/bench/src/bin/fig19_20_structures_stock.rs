@@ -1,0 +1,7 @@
+//! E11 — Figs 19/20: multicast structures, stock exchange.
+fn main() {
+    let scale = whale_bench::Scale::from_env();
+    for table in whale_bench::experiments::fig17_22_structures::run_stock_exchange(scale) {
+        table.emit(None);
+    }
+}

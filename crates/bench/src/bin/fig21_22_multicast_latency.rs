@@ -1,0 +1,7 @@
+//! E12 — Figs 21/22: average multicast latency.
+fn main() {
+    let scale = whale_bench::Scale::from_env();
+    for table in whale_bench::experiments::fig17_22_structures::run_multicast_latency(scale) {
+        table.emit(None);
+    }
+}

@@ -1,0 +1,7 @@
+//! E13 — Figs 23/24: dynamic streams and self-adjusting switching.
+fn main() {
+    let scale = whale_bench::Scale::from_env();
+    for table in whale_bench::experiments::fig23_24_dynamic::run_experiment(scale) {
+        table.emit(None);
+    }
+}

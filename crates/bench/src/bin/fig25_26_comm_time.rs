@@ -1,0 +1,7 @@
+//! E14 — Figs 25/26: communication time and serialization share.
+fn main() {
+    let scale = whale_bench::Scale::from_env();
+    for table in whale_bench::experiments::fig25_28_communication::run_comm_time(scale) {
+        table.emit(None);
+    }
+}

@@ -1,0 +1,7 @@
+//! E15 — Figs 27/28: communication traffic.
+fn main() {
+    let scale = whale_bench::Scale::from_env();
+    for table in whale_bench::experiments::fig25_28_communication::run_traffic(scale) {
+        table.emit(None);
+    }
+}

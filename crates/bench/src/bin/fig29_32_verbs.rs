@@ -1,0 +1,10 @@
+//! E16 — Figs 29/30 (verb microbenchmark) and 31/32 (DiffVerbs end to end).
+fn main() {
+    let scale = whale_bench::Scale::from_env();
+    for table in whale_bench::experiments::fig29_32_verbs::run_verb_micro(scale) {
+        table.emit(None);
+    }
+    for table in whale_bench::experiments::fig29_32_verbs::run_diffverbs(scale) {
+        table.emit(None);
+    }
+}

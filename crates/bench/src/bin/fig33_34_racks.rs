@@ -1,0 +1,7 @@
+//! E17 — Figs 33/34: rack topology sensitivity.
+fn main() {
+    let scale = whale_bench::Scale::from_env();
+    for table in whale_bench::experiments::fig33_34_racks::run_experiment(scale) {
+        table.emit(None);
+    }
+}

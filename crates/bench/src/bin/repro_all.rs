@@ -1,0 +1,88 @@
+//! Regenerates every table and figure of the paper's evaluation section.
+//! `WHALE_SCALE=full` for longer runs; CSVs land in `results/`.
+
+use whale_bench::experiments as ex;
+use whale_bench::Scale;
+
+fn main() {
+    let scale = Scale::from_env();
+    println!("reproducing the Whale (SC'21) evaluation at scale {scale:?}\n");
+    type Section = (&'static str, Box<dyn Fn(Scale) -> Vec<whale_bench::Table>>);
+    let sections: Vec<Section> = vec![
+        (
+            "E01-E03 Fig 2",
+            Box::new(ex::fig02_storm_bottleneck::run_experiment),
+        ),
+        (
+            "E04 Fig 3",
+            Box::new(ex::fig03_rdmc_blocking::run_experiment),
+        ),
+        ("E05 Table 2", Box::new(ex::table2_datasets::run_experiment)),
+        (
+            "E06-E07 Figs 11/12",
+            Box::new(ex::fig11_12_batching::run_experiment),
+        ),
+        (
+            "E08 Figs 13/14",
+            Box::new(ex::fig13_16_applications::run_ride_hailing),
+        ),
+        (
+            "E09 Figs 15/16",
+            Box::new(ex::fig13_16_applications::run_stock_exchange),
+        ),
+        (
+            "E10 Figs 17/18",
+            Box::new(ex::fig17_22_structures::run_ride_hailing),
+        ),
+        (
+            "E11 Figs 19/20",
+            Box::new(ex::fig17_22_structures::run_stock_exchange),
+        ),
+        (
+            "E12 Figs 21/22",
+            Box::new(ex::fig17_22_structures::run_multicast_latency),
+        ),
+        (
+            "E13 Figs 23/24",
+            Box::new(ex::fig23_24_dynamic::run_experiment),
+        ),
+        (
+            "E14 Figs 25/26",
+            Box::new(ex::fig25_28_communication::run_comm_time),
+        ),
+        (
+            "E15 Figs 27/28",
+            Box::new(ex::fig25_28_communication::run_traffic),
+        ),
+        (
+            "E16 Figs 29-32",
+            Box::new(|s| {
+                let mut t = ex::fig29_32_verbs::run_verb_micro(s);
+                t.extend(ex::fig29_32_verbs::run_diffverbs(s));
+                t
+            }),
+        ),
+        (
+            "E17 Figs 33/34",
+            Box::new(ex::fig33_34_racks::run_experiment),
+        ),
+        (
+            "Ablations (beyond the paper)",
+            Box::new(|s| {
+                let mut t = ex::ablations::run_dstar_sweep(s);
+                t.extend(ex::ablations::run_switch_strategy(s));
+                t.extend(ex::ablations::run_window_sweep(s));
+                t
+            }),
+        ),
+    ];
+    for (name, f) in sections {
+        println!("──────── {name} ────────");
+        let start = std::time::Instant::now();
+        for table in f(scale) {
+            table.emit(None);
+        }
+        println!("({name} took {:?})\n", start.elapsed());
+    }
+    println!("done — CSVs in {}", whale_bench::results_dir().display());
+}

@@ -1,0 +1,7 @@
+//! E05 — Table 2: dataset statistics.
+fn main() {
+    let scale = whale_bench::Scale::from_env();
+    for table in whale_bench::experiments::table2_datasets::run_experiment(scale) {
+        table.emit(None);
+    }
+}

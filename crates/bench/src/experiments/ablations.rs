@@ -1,0 +1,183 @@
+//! Ablations of the design choices DESIGN.md §7 calls out, beyond the
+//! paper's own figures:
+//!
+//! - **d\* selection**: fixed out-degrees vs the self-adjusting controller
+//!   under a fixed Poisson load (shows the M/D/1 knee of Theorem 1 and
+//!   that the controller lands near the best fixed choice).
+//! - **Switch strategy**: the paper's proactive negative scale-down vs
+//!   the baseline dynamic switch of Definition 3 (Theorem 3: the
+//!   proactive peak queue is never worse).
+//! - **Backpressure window**: Storm's `max.spout.pending` equivalent —
+//!   the throughput/latency trade-off of the closed-loop window.
+
+use crate::experiments::common::{config, Dataset};
+use crate::{fmt_rate, Scale, Table};
+use whale_core::{run, AppProfile, Drive, EngineConfig, SystemMode};
+use whale_multicast::Structure;
+use whale_sim::{SimDuration, SimTime};
+use whale_workloads::RatePlan;
+
+fn light(mut cfg: EngineConfig) -> EngineConfig {
+    cfg.app = AppProfile::lightweight();
+    cfg.tuple_bytes = 64;
+    cfg.cost.id_pack = SimDuration::from_nanos(10);
+    cfg.cost.deser_fixed = SimDuration::from_micros(5);
+    cfg.cost.deser_per_byte_ns = 30;
+    cfg.cost.dispatch = SimDuration::from_nanos(500);
+    cfg.inflight_window = 4_096;
+    cfg
+}
+
+/// Fixed d* sweep vs the adaptive controller at one Poisson rate.
+pub fn run_dstar_sweep(scale: Scale) -> Vec<Table> {
+    let horizon = SimTime::from_millis(scale.pick3(400, 4_000, 10_000));
+    let rate = 22_000.0; // near the knee: small d* required
+    let mut t = Table::new(
+        "ablation_dstar",
+        &format!(
+            "fixed d* vs self-adjusting at {} tuples/s (480 instances)",
+            fmt_rate(rate)
+        ),
+        &[
+            "d_star",
+            "throughput",
+            "steady_latency_ms",
+            "dropped",
+            "mean_load",
+            "dispatcher_cpu",
+        ],
+    );
+    // Steady-state latency: mean over the second half of the run, so the
+    // adaptive controller's convergence phase is not conflated with its
+    // converged behaviour.
+    let steady = |r: &whale_core::EngineReport| -> f64 {
+        r.latency_series
+            .mean_in(SimTime::from_nanos(horizon.as_nanos() / 2), horizon)
+            .unwrap_or(r.mean_latency.as_secs_f64() * 1e3)
+    };
+    let mut emit = |label: String, r: &whale_core::EngineReport| {
+        t.row_strings(vec![
+            label,
+            fmt_rate(r.throughput),
+            format!("{:.2}", steady(r)),
+            r.dropped.to_string(),
+            format!("{:.3}", r.mean_load_factor),
+            format!("{:.3}", r.dispatcher_cpu),
+        ]);
+    };
+    for d in 1u32..=6 {
+        let mut cfg = light(config(Dataset::Didi, SystemMode::WhaleWocRdma, 480, 0));
+        cfg.structure = Some(Structure::NonBlocking { d_star: d });
+        cfg.record_series = true;
+        cfg.drive = Drive::Rate {
+            plan: RatePlan::Poisson(rate),
+            horizon,
+        };
+        let r = run(cfg);
+        emit(d.to_string(), &r);
+    }
+    let mut cfg = light(config(Dataset::Didi, SystemMode::WhaleFull, 480, 0));
+    cfg.initial_d_star = 5;
+    cfg.record_series = true;
+    cfg.drive = Drive::Rate {
+        plan: RatePlan::Poisson(rate),
+        horizon,
+    };
+    let r = run(cfg);
+    emit("adaptive".into(), &r);
+    vec![t]
+}
+
+/// Proactive negative scale-down vs the baseline dynamic switch under a
+/// sharp rate step (Theorem 3 in practice).
+pub fn run_switch_strategy(scale: Scale) -> Vec<Table> {
+    let step_at = scale.pick3(1u64, 2, 4);
+    let horizon = SimTime::from_secs(3 * step_at);
+    // A step mild enough that the queue does not pin before either
+    // strategy can react (fill time >> the monitoring interval).
+    let plan = RatePlan::Steps(vec![
+        (SimTime::ZERO, 8_000.0),
+        (SimTime::from_secs(step_at), 21_000.0),
+    ]);
+    let mut t = Table::new(
+        "ablation_switch",
+        "proactive vs baseline dynamic switch under a sharp rate step",
+        &[
+            "strategy",
+            "peak_queue",
+            "dropped",
+            "first_switch_s",
+            "mean_latency_ms",
+        ],
+    );
+    for (label, baseline) in [("proactive", false), ("baseline", true)] {
+        let mut cfg = light(config(Dataset::Didi, SystemMode::WhaleFull, 480, 0));
+        cfg.initial_d_star = 5;
+        cfg.baseline_switch = baseline;
+        cfg.record_series = true;
+        cfg.drive = Drive::Rate {
+            plan: plan.clone(),
+            horizon,
+        };
+        let r = run(cfg);
+        let peak = r.queue_series.max_value().unwrap_or(0.0);
+        let first_switch = r
+            .switches
+            .first()
+            .map(|(at, _, _)| format!("{:.2}", at.as_secs_f64()))
+            .unwrap_or_else(|| "-".into());
+        t.row_strings(vec![
+            label.into(),
+            format!("{peak:.0}"),
+            r.dropped.to_string(),
+            first_switch,
+            format!("{:.2}", r.mean_latency.as_secs_f64() * 1e3),
+        ]);
+    }
+    vec![t]
+}
+
+/// Backpressure window sweep (saturate drive): deeper windows buy
+/// throughput until the pipeline is full, then only add latency.
+pub fn run_window_sweep(scale: Scale) -> Vec<Table> {
+    let tuples = scale.pick3(15, 80, 300);
+    let mut t = Table::new(
+        "ablation_window",
+        "inflight window (max.spout.pending) vs throughput and latency",
+        &["window", "throughput", "mean_latency_ms"],
+    );
+    for &w in &[1usize, 2, 4, 8, 16, 32, 64] {
+        let mut cfg = config(Dataset::Didi, SystemMode::WhaleFull, 480, tuples);
+        cfg.inflight_window = w;
+        let r = run(cfg);
+        t.row_strings(vec![
+            w.to_string(),
+            fmt_rate(r.throughput),
+            format!("{:.2}", r.mean_latency.as_secs_f64() * 1e3),
+        ]);
+    }
+    vec![t]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dstar_sweep_shows_the_knee() {
+        let tables = run_dstar_sweep(Scale::Smoke);
+        assert_eq!(tables[0].len(), 7);
+    }
+
+    #[test]
+    fn proactive_switches_no_later_than_baseline() {
+        let tables = run_switch_strategy(Scale::Smoke);
+        assert_eq!(tables[0].len(), 2);
+    }
+
+    #[test]
+    fn window_sweep_throughput_monotone_until_full() {
+        let tables = run_window_sweep(Scale::Smoke);
+        assert_eq!(tables[0].len(), 7);
+    }
+}

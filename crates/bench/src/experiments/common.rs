@@ -1,0 +1,97 @@
+//! Shared experiment presets: the two evaluation datasets and the
+//! parallelism sweeps of §5.
+
+use whale_core::{AppProfile, EngineConfig, SystemMode};
+use whale_sim::SimDuration;
+use whale_workloads::{DidiConfig, DidiGenerator, NasdaqConfig, NasdaqGenerator};
+
+/// The two evaluation workloads.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Dataset {
+    /// On-demand ride-hailing over the Didi-style generator.
+    Didi,
+    /// Stock exchange over the NASDAQ-style generator.
+    Nasdaq,
+}
+
+impl Dataset {
+    /// Display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Dataset::Didi => "ride-hailing (Didi)",
+            Dataset::Nasdaq => "stock exchange (NASDAQ)",
+        }
+    }
+
+    /// Measured serialized size of a representative broadcast tuple.
+    pub fn tuple_bytes(self) -> usize {
+        match self {
+            Dataset::Didi => {
+                let mut g = DidiGenerator::new(1, DidiConfig::default());
+                g.next_order().to_tuple(1).payload_bytes()
+            }
+            Dataset::Nasdaq => {
+                let mut g = NasdaqGenerator::new(1, NasdaqConfig::default());
+                g.next_record().to_tuple(1).payload_bytes()
+            }
+        }
+    }
+
+    /// Downstream profile: ride-hailing's spatial join probes more state
+    /// per request than order matching does per buy.
+    pub fn app_profile(self) -> AppProfile {
+        match self {
+            Dataset::Didi => AppProfile::default(),
+            Dataset::Nasdaq => AppProfile {
+                fixed: SimDuration::from_micros(100),
+                scan_total: SimDuration::from_millis(43),
+                candidates_per_tuple: 6.0,
+                agg_cost: SimDuration::from_micros(3),
+            },
+        }
+    }
+
+    /// RNG seed namespace so the two datasets never share streams.
+    pub fn seed(self) -> u64 {
+        match self {
+            Dataset::Didi => 0xD1D1,
+            Dataset::Nasdaq => 0x57CC,
+        }
+    }
+}
+
+/// The parallelism sweep used throughout §5.2 (120–480 instances).
+pub const PARALLELISM_SWEEP: [u32; 4] = [120, 240, 360, 480];
+
+/// An [`EngineConfig`] for one dataset/mode/parallelism point.
+pub fn config(dataset: Dataset, mode: SystemMode, parallelism: u32, tuples: u64) -> EngineConfig {
+    let mut cfg = EngineConfig::paper(mode, parallelism, tuples);
+    cfg.tuple_bytes = dataset.tuple_bytes();
+    cfg.app = dataset.app_profile();
+    cfg.seed = dataset.seed();
+    cfg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tuple_sizes_are_realistic() {
+        let didi = Dataset::Didi.tuple_bytes();
+        let nasdaq = Dataset::Nasdaq.tuple_bytes();
+        assert!((30..150).contains(&didi), "didi={didi}");
+        assert!((30..150).contains(&nasdaq), "nasdaq={nasdaq}");
+    }
+
+    #[test]
+    fn configs_differ_by_dataset() {
+        let a = config(Dataset::Didi, SystemMode::WhaleFull, 480, 10);
+        let b = config(Dataset::Nasdaq, SystemMode::WhaleFull, 480, 10);
+        assert_ne!(a.seed, b.seed);
+        assert_ne!(
+            a.app.scan_total, b.app.scan_total,
+            "profiles must be distinguishable"
+        );
+    }
+}

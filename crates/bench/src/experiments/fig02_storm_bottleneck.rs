@@ -1,0 +1,83 @@
+//! E01–E03 — Fig 2: the one-to-many performance bottleneck in Storm.
+//!
+//! 2a: throughput falls as parallelism grows; 2b: latency rises; 2c: the
+//! upstream instance's CPU saturates while downstream CPUs idle; 2d: the
+//! upstream CPU time is dominated by serialization + packet processing.
+
+use crate::experiments::common::{config, Dataset};
+use crate::{fmt_rate, Scale, Table};
+use whale_core::{run, SystemMode};
+use whale_sim::CpuCategory;
+
+/// Run the Fig 2 sweep and produce the four sub-figure tables.
+pub fn run_experiment(scale: Scale) -> Vec<Table> {
+    let tuples = scale.pick3(10, 60, 200);
+    let sweep = [30u32, 60, 120, 240, 300, 360, 480];
+
+    let mut fig2a = Table::new(
+        "fig02a",
+        "Storm throughput vs parallelism (tuples/s)",
+        &["parallelism", "throughput"],
+    );
+    let mut fig2b = Table::new(
+        "fig02b",
+        "Storm processing latency vs parallelism",
+        &["parallelism", "mean_latency_ms", "p99_latency_ms"],
+    );
+    let mut fig2c = Table::new(
+        "fig02c",
+        "CPU utilization: upstream vs downstream instance",
+        &["parallelism", "upstream_cpu", "downstream_cpu"],
+    );
+    let mut fig2d = Table::new(
+        "fig02d",
+        "Upstream CPU time breakdown",
+        &["parallelism", "serialization", "packet_processing", "other"],
+    );
+
+    for &p in &sweep {
+        let report = run(config(Dataset::Didi, SystemMode::Storm, p, tuples));
+        fig2a.row_strings(vec![p.to_string(), fmt_rate(report.throughput)]);
+        fig2b.row_strings(vec![
+            p.to_string(),
+            format!("{:.2}", report.mean_latency.as_secs_f64() * 1e3),
+            format!("{:.2}", report.p99_latency.as_secs_f64() * 1e3),
+        ]);
+        fig2c.row_strings(vec![
+            p.to_string(),
+            format!("{:.3}", report.source_cpu),
+            format!("{:.3}", report.downstream_cpu),
+        ]);
+        let share = |cat: CpuCategory| -> f64 {
+            report
+                .source_breakdown
+                .iter()
+                .find(|(c, _)| *c == cat)
+                .map(|&(_, s)| s)
+                .unwrap_or(0.0)
+        };
+        let ser = share(CpuCategory::Serialization);
+        let pkt = share(CpuCategory::PacketProcessing);
+        fig2d.row_strings(vec![
+            p.to_string(),
+            format!("{ser:.3}"),
+            format!("{pkt:.3}"),
+            format!("{:.3}", (1.0 - ser - pkt).max(0.0)),
+        ]);
+    }
+    vec![fig2a, fig2b, fig2c, fig2d]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn produces_all_subfigures() {
+        let tables = run_experiment(Scale::Smoke);
+        assert_eq!(tables.len(), 4);
+        for t in &tables {
+            assert_eq!(t.len(), 7, "{}", t.id);
+        }
+    }
+}

@@ -1,0 +1,94 @@
+//! E08–E09 — Figs 13/14 (ride-hailing) and 15/16 (stock exchange):
+//! throughput and processing latency of all five systems across
+//! parallelism levels.
+
+use crate::experiments::common::{config, Dataset, PARALLELISM_SWEEP};
+use crate::{fmt_rate, Scale, Table};
+use whale_core::{run, EngineReport, SystemMode};
+
+fn sweep(dataset: Dataset, tuples: u64) -> Vec<(u32, SystemMode, EngineReport)> {
+    // Every grid point is an independent deterministic simulation.
+    let points: Vec<(u32, SystemMode)> = PARALLELISM_SWEEP
+        .iter()
+        .flat_map(|&p| SystemMode::ALL.into_iter().map(move |m| (p, m)))
+        .collect();
+    crate::par_map(points, |(p, mode)| {
+        (p, mode, run(config(dataset, mode, p, tuples)))
+    })
+}
+
+fn tables(dataset: Dataset, ids: (&str, &str), tuples: u64) -> Vec<Table> {
+    let results = sweep(dataset, tuples);
+    let mut tput = Table::new(
+        ids.0,
+        &format!("throughput vs parallelism — {}", dataset.label()),
+        &["parallelism", "system", "tuples_per_s"],
+    );
+    let mut lat = Table::new(
+        ids.1,
+        &format!("processing latency vs parallelism — {}", dataset.label()),
+        &["parallelism", "system", "mean_latency_ms", "p99_latency_ms"],
+    );
+    for (p, mode, r) in &results {
+        tput.row_strings(vec![
+            p.to_string(),
+            mode.label().to_string(),
+            fmt_rate(r.throughput),
+        ]);
+        lat.row_strings(vec![
+            p.to_string(),
+            mode.label().to_string(),
+            format!("{:.2}", r.mean_latency.as_secs_f64() * 1e3),
+            format!("{:.2}", r.p99_latency.as_secs_f64() * 1e3),
+        ]);
+    }
+    // Headline summary rows (the paper quotes these at parallelism 480).
+    let at = |mode: SystemMode| {
+        results
+            .iter()
+            .find(|(p, m, _)| *p == 480 && *m == mode)
+            .map(|(_, _, r)| r)
+            .unwrap()
+    };
+    let whale = at(SystemMode::WhaleFull);
+    let storm = at(SystemMode::Storm);
+    let rdma = at(SystemMode::RdmaStorm);
+    println!(
+        "[{}] at parallelism 480: Whale = {:.1}x Storm, {:.1}x RDMA-Storm \
+         (paper: 56.6x / 15x for ride-hailing; 51.2x / 16x for stock); \
+         latency -{:.1}% vs Storm (paper: ~96%)",
+        dataset.label(),
+        whale.throughput / storm.throughput,
+        whale.throughput / rdma.throughput,
+        100.0 * (1.0 - whale.mean_latency.as_secs_f64() / storm.mean_latency.as_secs_f64()),
+    );
+    vec![tput, lat]
+}
+
+/// Figs 13/14: ride-hailing.
+pub fn run_ride_hailing(scale: Scale) -> Vec<Table> {
+    tables(Dataset::Didi, ("fig13", "fig14"), scale.pick3(12, 80, 300))
+}
+
+/// Figs 15/16: stock exchange.
+pub fn run_stock_exchange(scale: Scale) -> Vec<Table> {
+    tables(
+        Dataset::Nasdaq,
+        ("fig15", "fig16"),
+        scale.pick3(12, 80, 300),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn produces_full_grid() {
+        let tables = run_ride_hailing(Scale::Smoke);
+        assert_eq!(tables.len(), 2);
+        // 4 parallelism levels x 5 systems.
+        assert_eq!(tables[0].len(), 20);
+        assert_eq!(tables[1].len(), 20);
+    }
+}

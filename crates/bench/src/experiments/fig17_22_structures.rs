@@ -1,0 +1,134 @@
+//! E10–E12 — Figs 17–22: the three multicast structures (Storm's
+//! sequential, RDMC's binomial, Whale's non-blocking with d* = 3), all
+//! implemented on top of Whale-WOC-RDMA as in the paper.
+//!
+//! Figs 17/18 and 19/20 report throughput and processing latency under a
+//! near-capacity Poisson input (the paper drives "the maximum stream rate
+//! the system can sustain" — the structures differ exactly in what they
+//! can sustain, Theorem 1); Figs 21/22 report the average multicast
+//! latency.
+
+use crate::experiments::common::{config, Dataset, PARALLELISM_SWEEP};
+use crate::{fmt_rate, Scale, Table};
+use whale_core::{run, EngineReport, SystemMode};
+use whale_multicast::Structure;
+
+const STRUCTURES: [Structure; 3] = [
+    Structure::Sequential,
+    Structure::Binomial,
+    Structure::NonBlocking { d_star: 3 },
+];
+
+fn run_point(dataset: Dataset, s: Structure, p: u32, tuples: u64) -> EngineReport {
+    let mut cfg = config(dataset, SystemMode::WhaleWocRdma, p, tuples);
+    cfg.structure = Some(s);
+    run(cfg)
+}
+
+fn throughput_latency(dataset: Dataset, ids: (&str, &str), tuples: u64) -> Vec<Table> {
+    let mut tput = Table::new(
+        ids.0,
+        &format!("multicast structures: throughput — {}", dataset.label()),
+        &["parallelism", "structure", "tuples_per_s"],
+    );
+    let mut lat = Table::new(
+        ids.1,
+        &format!("multicast structures: latency — {}", dataset.label()),
+        &["parallelism", "structure", "mean_latency_ms"],
+    );
+    for &p in &PARALLELISM_SWEEP {
+        for s in STRUCTURES {
+            let r = run_point(dataset, s, p, tuples);
+            tput.row_strings(vec![
+                p.to_string(),
+                s.label().to_string(),
+                fmt_rate(r.throughput),
+            ]);
+            lat.row_strings(vec![
+                p.to_string(),
+                s.label().to_string(),
+                format!("{:.2}", r.mean_latency.as_secs_f64() * 1e3),
+            ]);
+        }
+    }
+    vec![tput, lat]
+}
+
+/// Figs 17/18: structures on ride-hailing.
+pub fn run_ride_hailing(scale: Scale) -> Vec<Table> {
+    throughput_latency(Dataset::Didi, ("fig17", "fig18"), scale.pick3(12, 80, 300))
+}
+
+/// Figs 19/20: structures on stock exchange.
+pub fn run_stock_exchange(scale: Scale) -> Vec<Table> {
+    throughput_latency(
+        Dataset::Nasdaq,
+        ("fig19", "fig20"),
+        scale.pick3(12, 80, 300),
+    )
+}
+
+/// Figs 21/22: average multicast latency, both datasets, d* = 3.
+pub fn run_multicast_latency(scale: Scale) -> Vec<Table> {
+    let tuples = scale.pick3(12, 80, 300);
+    let mut out = Vec::new();
+    for (dataset, id) in [(Dataset::Didi, "fig21"), (Dataset::Nasdaq, "fig22")] {
+        let mut t = Table::new(
+            id,
+            &format!("average multicast latency — {}", dataset.label()),
+            &["parallelism", "structure", "multicast_latency_us"],
+        );
+        for &p in &PARALLELISM_SWEEP {
+            for s in STRUCTURES {
+                let r = run_point(dataset, s, p, tuples);
+                t.row_strings(vec![
+                    p.to_string(),
+                    s.label().to_string(),
+                    format!("{:.1}", r.mean_multicast_latency.as_nanos() as f64 / 1e3),
+                ]);
+            }
+        }
+        // Summary line at parallelism 480 (the paper quotes -54.4%/-57.8%
+        // for Didi and -50.6%/-56.6% for NASDAQ).
+        let at = |s: Structure| {
+            run_point(dataset, s, 480, tuples)
+                .mean_multicast_latency
+                .as_secs_f64()
+        };
+        let nb = at(Structure::NonBlocking { d_star: 3 });
+        let bi = at(Structure::Binomial);
+        let se = at(Structure::Sequential);
+        println!(
+            "[{}] multicast latency at 480: non-blocking is {:.1}% below binomial, {:.1}% below sequential",
+            dataset.label(),
+            100.0 * (1.0 - nb / bi),
+            100.0 * (1.0 - nb / se),
+        );
+        out.push(t);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn structures_grid_complete() {
+        let tables = run_ride_hailing(Scale::Smoke);
+        assert_eq!(tables.len(), 2);
+        assert_eq!(tables[0].len(), PARALLELISM_SWEEP.len() * 3);
+    }
+
+    #[test]
+    fn nonblocking_beats_sequential_multicast_latency() {
+        let nb = run_point(Dataset::Didi, Structure::NonBlocking { d_star: 3 }, 480, 40);
+        let se = run_point(Dataset::Didi, Structure::Sequential, 480, 40);
+        assert!(
+            nb.mean_multicast_latency < se.mean_multicast_latency,
+            "nb={} seq={}",
+            nb.mean_multicast_latency,
+            se.mean_multicast_latency
+        );
+    }
+}

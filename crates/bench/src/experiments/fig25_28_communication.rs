@@ -1,0 +1,91 @@
+//! E14–E15 — Figs 25/26 (communication time + serialization share) and
+//! Figs 27/28 (communication traffic per 10,000 tuples), both datasets.
+
+use crate::experiments::common::{config, Dataset, PARALLELISM_SWEEP};
+use crate::{Scale, Table};
+use whale_core::{run, SystemMode};
+
+const SYSTEMS: [SystemMode; 3] = [
+    SystemMode::Storm,
+    SystemMode::RdmaStorm,
+    SystemMode::WhaleFull,
+];
+
+/// Figs 25/26: source-side communication time per tuple and the share of
+/// it spent serializing (ride-hailing).
+pub fn run_comm_time(scale: Scale) -> Vec<Table> {
+    let tuples = scale.pick3(10, 60, 250);
+    let mut fig25 = Table::new(
+        "fig25",
+        "source communication time per tuple — ride-hailing",
+        &["parallelism", "system", "comm_time_ms"],
+    );
+    let mut fig26 = Table::new(
+        "fig26",
+        "serialization share of communication time — ride-hailing",
+        &["parallelism", "system", "ser_share", "ser_time_ms"],
+    );
+    for &p in &PARALLELISM_SWEEP {
+        for mode in SYSTEMS {
+            let r = run(config(Dataset::Didi, mode, p, tuples));
+            let comm = r.comm_time_per_tuple.as_secs_f64() * 1e3;
+            let ser = r.ser_time_per_tuple.as_secs_f64() * 1e3;
+            fig25.row_strings(vec![
+                p.to_string(),
+                mode.label().to_string(),
+                format!("{comm:.3}"),
+            ]);
+            fig26.row_strings(vec![
+                p.to_string(),
+                mode.label().to_string(),
+                format!("{:.3}", if comm > 0.0 { ser / comm } else { 0.0 }),
+                format!("{ser:.3}"),
+            ]);
+        }
+    }
+    vec![fig25, fig26]
+}
+
+/// Figs 27/28: bytes the source transmits per 10,000 tuples.
+pub fn run_traffic(scale: Scale) -> Vec<Table> {
+    let tuples = scale.pick3(10, 40, 150);
+    let mut out = Vec::new();
+    for (dataset, id) in [(Dataset::Didi, "fig27"), (Dataset::Nasdaq, "fig28")] {
+        let mut t = Table::new(
+            id,
+            &format!("communication traffic per 10k tuples — {}", dataset.label()),
+            &["parallelism", "system", "mbytes_per_10k"],
+        );
+        for &p in &PARALLELISM_SWEEP {
+            for mode in SYSTEMS {
+                let r = run(config(dataset, mode, p, tuples));
+                t.row_strings(vec![
+                    p.to_string(),
+                    mode.label().to_string(),
+                    format!("{:.2}", r.traffic_per_10k as f64 / 1e6),
+                ]);
+            }
+        }
+        out.push(t);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn whale_traffic_far_below_storm() {
+        let tables = run_traffic(Scale::Smoke);
+        // Storm and RDMA-Storm share the instance-oriented pattern, so
+        // their traffic is identical (the paper notes this).
+        let storm = run(config(Dataset::Didi, SystemMode::Storm, 480, 20));
+        let rdma = run(config(Dataset::Didi, SystemMode::RdmaStorm, 480, 20));
+        assert_eq!(storm.traffic_per_10k, rdma.traffic_per_10k);
+        let whale = run(config(Dataset::Didi, SystemMode::WhaleFull, 480, 20));
+        let reduction = 1.0 - whale.traffic_per_10k as f64 / storm.traffic_per_10k as f64;
+        assert!(reduction > 0.8, "reduction={reduction:.3} (paper: 91.9%)");
+        assert_eq!(tables.len(), 2);
+    }
+}

@@ -1,0 +1,57 @@
+//! E17 — Figs 33/34: sensitivity to physical topology. The 30 machines
+//! are partitioned into 1–5 racks; Whale's throughput and latency should
+//! barely move, unlike the TCP-bound baselines.
+
+use crate::experiments::common::{config, Dataset};
+use crate::{fmt_rate, Scale, Table};
+use whale_core::{run, SystemMode};
+use whale_net::ClusterSpec;
+
+/// Run the rack sweep.
+pub fn run_experiment(scale: Scale) -> Vec<Table> {
+    let tuples = scale.pick3(10, 60, 250);
+    let mut fig33 = Table::new(
+        "fig33",
+        "throughput vs number of racks (parallelism 480)",
+        &["racks", "system", "tuples_per_s"],
+    );
+    let mut fig34 = Table::new(
+        "fig34",
+        "latency vs number of racks (parallelism 480)",
+        &["racks", "system", "mean_latency_ms"],
+    );
+    for racks in 1u32..=5 {
+        for mode in [
+            SystemMode::Storm,
+            SystemMode::RdmaStorm,
+            SystemMode::WhaleFull,
+        ] {
+            let mut cfg = config(Dataset::Didi, mode, 480, tuples);
+            cfg.cluster = ClusterSpec::new(30, racks, 16);
+            let r = run(cfg);
+            fig33.row_strings(vec![
+                racks.to_string(),
+                mode.label().to_string(),
+                fmt_rate(r.throughput),
+            ]);
+            fig34.row_strings(vec![
+                racks.to_string(),
+                mode.label().to_string(),
+                format!("{:.2}", r.mean_latency.as_secs_f64() * 1e3),
+            ]);
+        }
+    }
+    vec![fig33, fig34]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rack_sweep_complete() {
+        let tables = run_experiment(Scale::Smoke);
+        assert_eq!(tables[0].len(), 15);
+        assert_eq!(tables[1].len(), 15);
+    }
+}

@@ -1,0 +1,15 @@
+//! One module per paper artifact. See DESIGN.md §4 for the experiment
+//! index mapping each figure/table to its module and binary.
+
+pub mod ablations;
+pub mod common;
+pub mod fig02_storm_bottleneck;
+pub mod fig03_rdmc_blocking;
+pub mod fig11_12_batching;
+pub mod fig13_16_applications;
+pub mod fig17_22_structures;
+pub mod fig23_24_dynamic;
+pub mod fig25_28_communication;
+pub mod fig29_32_verbs;
+pub mod fig33_34_racks;
+pub mod table2_datasets;

@@ -1,0 +1,42 @@
+//! E05 — Table 2: dataset statistics, paper reference vs sampled
+//! generator output.
+
+use crate::{Scale, Table};
+use whale_workloads::table2;
+
+/// Produce the Table 2 reproduction.
+pub fn run_experiment(scale: Scale) -> Vec<Table> {
+    let sample = scale.pick3(5_000, 100_000, 1_000_000);
+    let mut t = Table::new(
+        "table2",
+        "Statistics of the datasets (paper trace vs sampled generator)",
+        &[
+            "dataset",
+            "paper_tuples",
+            "paper_keys",
+            "sampled_tuples",
+            "sampled_keys",
+        ],
+    );
+    for row in table2(7, sample) {
+        t.row_strings(vec![
+            row.dataset.to_string(),
+            row.paper_tuples.to_string(),
+            row.paper_keys.to_string(),
+            row.sampled_tuples.to_string(),
+            row.sampled_keys.to_string(),
+        ]);
+    }
+    vec![t]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn has_both_dataset_rows() {
+        let tables = run_experiment(Scale::Smoke);
+        assert_eq!(tables[0].len(), 2);
+    }
+}

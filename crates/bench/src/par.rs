@@ -1,0 +1,49 @@
+//! Parallel sweep execution — re-exported from `whale_core::sweep` so the
+//! harness and library users share one implementation.
+
+pub use whale_core::sweep::{par_map, par_map_with};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_input_order() {
+        let out = par_map((0..100).collect(), |x: i32| x * 2);
+        assert_eq!(out, (0..100).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_input() {
+        let out: Vec<i32> = par_map(Vec::<i32>::new(), |x| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn single_thread_fallback() {
+        let out = par_map_with(vec![1, 2, 3], 1, |x| x + 1);
+        assert_eq!(out, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn more_threads_than_items() {
+        let out = par_map_with(vec![5], 16, |x| x * x);
+        assert_eq!(out, vec![25]);
+    }
+
+    #[test]
+    fn unbalanced_work_still_ordered() {
+        // Items with wildly different costs must still come back in order.
+        let out = par_map_with((0..32).collect(), 4, |x: u64| {
+            let spins = if x.is_multiple_of(7) { 200_000 } else { 10 };
+            let mut acc = x;
+            for _ in 0..spins {
+                acc = acc.wrapping_mul(6364136223846793005).wrapping_add(1);
+            }
+            (x, acc)
+        });
+        for (i, &(x, _)) in out.iter().enumerate() {
+            assert_eq!(x, i as u64);
+        }
+    }
+}

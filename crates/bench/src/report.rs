@@ -1,0 +1,174 @@
+//! Result tables: aligned console output + CSV files under `results/`.
+
+use std::fmt::Display;
+use std::fs;
+use std::path::PathBuf;
+
+/// A simple column-aligned result table that doubles as a CSV writer.
+#[derive(Clone, Debug)]
+pub struct Table {
+    /// Experiment id, e.g. "fig13".
+    pub id: String,
+    /// Human title.
+    pub title: String,
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// New table with an experiment id, title, and column names.
+    pub fn new(id: &str, title: &str, header: &[&str]) -> Self {
+        Table {
+            id: id.to_string(),
+            title: title.to_string(),
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row (stringifies each cell).
+    pub fn row(&mut self, cells: &[&dyn Display]) {
+        assert_eq!(cells.len(), self.header.len(), "row width mismatch");
+        self.rows
+            .push(cells.iter().map(|c| format!("{c}")).collect());
+    }
+
+    /// Append a row of preformatted strings.
+    pub fn row_strings(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.header.len(), "row width mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True if no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Render aligned for the console.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = format!("== {} — {} ==\n", self.id, self.title);
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            cells
+                .iter()
+                .zip(widths)
+                .map(|(c, w)| format!("{c:>w$}"))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        out.push_str(&fmt_row(&self.header, &widths));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// CSV serialization.
+    pub fn to_csv(&self) -> String {
+        let esc = |s: &str| {
+            if s.contains(',') || s.contains('"') {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.to_string()
+            }
+        };
+        let mut out = String::new();
+        out.push_str(
+            &self
+                .header
+                .iter()
+                .map(|h| esc(h))
+                .collect::<Vec<_>>()
+                .join(","),
+        );
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.iter().map(|c| esc(c)).collect::<Vec<_>>().join(","));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Print to stdout and write `results/<id>.csv` (or `<id>_<suffix>.csv`).
+    pub fn emit(&self, suffix: Option<&str>) {
+        println!("{}", self.render());
+        let dir = results_dir();
+        let _ = fs::create_dir_all(&dir);
+        let name = match suffix {
+            Some(s) => format!("{}_{s}.csv", self.id),
+            None => format!("{}.csv", self.id),
+        };
+        let path = dir.join(name);
+        if let Err(e) = fs::write(&path, self.to_csv()) {
+            eprintln!("warning: could not write {}: {e}", path.display());
+        } else {
+            println!("wrote {}\n", path.display());
+        }
+    }
+}
+
+/// Where CSVs land: `$WHALE_RESULTS_DIR` or `./results`.
+pub fn results_dir() -> PathBuf {
+    std::env::var_os("WHALE_RESULTS_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("results"))
+}
+
+/// Format a tuples/s number compactly.
+pub fn fmt_rate(v: f64) -> String {
+    if v >= 1_000.0 {
+        format!("{:.1}k", v / 1_000.0)
+    } else {
+        format!("{v:.1}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let mut t = Table::new("figX", "demo", &["a", "long_column"]);
+        t.row(&[&1, &"x"]);
+        t.row(&[&22, &"yy"]);
+        let r = t.render();
+        assert!(r.contains("figX"));
+        assert!(r.lines().count() >= 4);
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn csv_escapes() {
+        let mut t = Table::new("f", "t", &["a,b", "c"]);
+        t.row_strings(vec!["x\"y".into(), "z".into()]);
+        let csv = t.to_csv();
+        assert!(csv.starts_with("\"a,b\",c\n"));
+        assert!(csv.contains("\"x\"\"y\",z"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn row_width_checked() {
+        let mut t = Table::new("f", "t", &["a", "b"]);
+        t.row(&[&1]);
+    }
+
+    #[test]
+    fn rate_formatting() {
+        assert_eq!(fmt_rate(12.34), "12.3");
+        assert_eq!(fmt_rate(56_600.0), "56.6k");
+    }
+}

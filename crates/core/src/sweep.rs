@@ -1,0 +1,159 @@
+//! Parameter sweeps: run grids of independent experiments, optionally in
+//! parallel (each run is a self-contained deterministic simulation).
+
+use crate::engine::{run, EngineConfig, EngineReport};
+use crate::modes::SystemMode;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// One grid point's configuration and result.
+#[derive(Clone, Debug)]
+pub struct SweepPoint {
+    /// Which system ran.
+    pub mode: SystemMode,
+    /// At which parallelism.
+    pub parallelism: u32,
+    /// The run's report.
+    pub report: EngineReport,
+}
+
+/// Map `f` over `items` on up to `threads` worker threads, preserving
+/// input order in the output.
+pub fn par_map_with<T, R, F>(items: Vec<T>, threads: usize, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let n = items.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let threads = threads.clamp(1, n);
+    if threads == 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let work: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let next = AtomicUsize::new(0);
+    let results: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let item = work[i]
+                    .lock()
+                    .expect("work slot poisoned")
+                    .take()
+                    .expect("each slot taken once");
+                let r = f(item);
+                *results[i].lock().expect("result slot poisoned") = Some(r);
+            });
+        }
+    });
+    results
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .expect("no poison")
+                .expect("all slots filled")
+        })
+        .collect()
+}
+
+/// [`par_map_with`] at the machine's available parallelism (capped at 8:
+/// a 480-instance simulation holds non-trivial per-run state).
+pub fn par_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let threads = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(4)
+        .min(8);
+    par_map_with(items, threads, f)
+}
+
+/// Run the `modes × parallelisms` grid derived from `base` (its `mode`
+/// and `parallelism` fields are overridden per point), in parallel,
+/// results in grid order (parallelism-major, then mode).
+pub fn sweep_grid(
+    base: &EngineConfig,
+    modes: &[SystemMode],
+    parallelisms: &[u32],
+) -> Vec<SweepPoint> {
+    let points: Vec<(u32, SystemMode)> = parallelisms
+        .iter()
+        .flat_map(|&p| modes.iter().map(move |&m| (p, m)))
+        .collect();
+    par_map(points, |(parallelism, mode)| {
+        let mut cfg = base.clone();
+        cfg.mode = mode;
+        cfg.parallelism = parallelism;
+        // Mode-dependent defaults must re-derive: clear overrides only if
+        // the caller left them unset in `base` (they did not override).
+        SweepPoint {
+            mode,
+            parallelism,
+            report: run(cfg),
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::Drive;
+
+    #[test]
+    fn par_map_preserves_order() {
+        let out = par_map((0..64).collect(), |x: i32| x * 3);
+        assert_eq!(out, (0..64).map(|x| x * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_map_empty_and_single() {
+        assert!(par_map(Vec::<u8>::new(), |x| x).is_empty());
+        assert_eq!(par_map_with(vec![9], 4, |x: u8| x + 1), vec![10]);
+    }
+
+    #[test]
+    fn grid_runs_all_points_in_order() {
+        let base = EngineConfig::paper(SystemMode::Storm, 64, 0);
+        let mut base = base;
+        base.drive = Drive::Saturate { tuples: 10 };
+        let grid = sweep_grid(
+            &base,
+            &[SystemMode::Storm, SystemMode::WhaleFull],
+            &[64, 128],
+        );
+        assert_eq!(grid.len(), 4);
+        assert_eq!(grid[0].parallelism, 64);
+        assert_eq!(grid[0].mode, SystemMode::Storm);
+        assert_eq!(grid[1].mode, SystemMode::WhaleFull);
+        assert_eq!(grid[3].parallelism, 128);
+        for p in &grid {
+            assert_eq!(p.report.completed, 10, "{:?}", (p.mode, p.parallelism));
+        }
+    }
+
+    #[test]
+    fn parallel_grid_equals_sequential_runs() {
+        // Determinism across threading: par results must match direct runs.
+        let mut base = EngineConfig::paper(SystemMode::WhaleFull, 64, 0);
+        base.drive = Drive::Saturate { tuples: 15 };
+        let grid = sweep_grid(&base, &[SystemMode::WhaleFull], &[64, 96, 128]);
+        for point in grid {
+            let mut cfg = base.clone();
+            cfg.parallelism = point.parallelism;
+            let direct = run(cfg);
+            assert_eq!(point.report.completed, direct.completed);
+            assert_eq!(point.report.mean_latency, direct.mean_latency);
+            assert_eq!(point.report.traffic_per_10k, direct.traffic_per_10k);
+        }
+    }
+}

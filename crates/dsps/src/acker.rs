@@ -1,0 +1,259 @@
+//! Storm's acker: XOR-ledger tuple tracking for at-least-once semantics.
+//!
+//! Every tuple emitted by a spout gets a random 64-bit anchor id. Each
+//! downstream emit anchors a new random id; each completed execution acks
+//! the ids it consumed and produced. The acker XORs everything per tuple
+//! tree: since `x ^ x = 0`, the ledger reaches zero exactly when every
+//! tuple in the tree has been both anchored and acked — regardless of
+//! order — at O(1) memory per tree. A timeout marks trees as failed for
+//! replay.
+//!
+//! Whale changes the messaging layer, not the reliability layer, so the
+//! substrate carries Storm's design unchanged.
+
+use std::collections::HashMap;
+use whale_sim::{SimDuration, SimRng, SimTime};
+
+/// Completion state of one spout tuple tree.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum TreeState {
+    /// XOR ledger non-zero: executions outstanding.
+    Pending,
+    /// Ledger hit zero: fully processed.
+    Acked,
+    /// Timed out before the ledger zeroed: replay needed.
+    Failed,
+}
+
+/// One tracked tuple tree.
+#[derive(Clone, Copy, Debug)]
+struct Entry {
+    ledger: u64,
+    started: SimTime,
+}
+
+/// The acker task: tracks every in-flight spout tuple by root id.
+#[derive(Debug)]
+pub struct Acker {
+    entries: HashMap<u64, Entry>,
+    timeout: SimDuration,
+    acked: u64,
+    failed: u64,
+}
+
+impl Acker {
+    /// Create with the tree-completion `timeout` (Storm's
+    /// `topology.message.timeout.secs`).
+    pub fn new(timeout: SimDuration) -> Self {
+        assert!(!timeout.is_zero());
+        Acker {
+            entries: HashMap::new(),
+            timeout,
+            acked: 0,
+            failed: 0,
+        }
+    }
+
+    /// A spout emitted root tuple `root_id` with initial anchor
+    /// `anchor_id` at time `now`.
+    pub fn init(&mut self, root_id: u64, anchor_id: u64, now: SimTime) {
+        self.entries.insert(
+            root_id,
+            Entry {
+                ledger: anchor_id,
+                started: now,
+            },
+        );
+    }
+
+    /// An executor processed a tuple of tree `root_id`: XOR in the
+    /// consumed anchor and every newly emitted anchor. Returns the tree
+    /// state after the update.
+    pub fn ack(&mut self, root_id: u64, xor_of_anchors: u64) -> TreeState {
+        let Some(entry) = self.entries.get_mut(&root_id) else {
+            // Already acked/failed (e.g. late ack after timeout).
+            return TreeState::Failed;
+        };
+        entry.ledger ^= xor_of_anchors;
+        if entry.ledger == 0 {
+            self.entries.remove(&root_id);
+            self.acked += 1;
+            TreeState::Acked
+        } else {
+            TreeState::Pending
+        }
+    }
+
+    /// Expire trees older than the timeout at `now`; returns the failed
+    /// root ids (for spout replay).
+    pub fn expire(&mut self, now: SimTime) -> Vec<u64> {
+        let timeout = self.timeout;
+        let expired: Vec<u64> = self
+            .entries
+            .iter()
+            .filter(|(_, e)| now.since(e.started) > timeout)
+            .map(|(&id, _)| id)
+            .collect();
+        for id in &expired {
+            self.entries.remove(id);
+            self.failed += 1;
+        }
+        expired
+    }
+
+    /// Trees still pending.
+    pub fn pending(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Fully acked trees.
+    pub fn acked(&self) -> u64 {
+        self.acked
+    }
+
+    /// Timed-out trees.
+    pub fn failed(&self) -> u64 {
+        self.failed
+    }
+}
+
+/// Executor-side helper: accumulates the XOR an execution must report —
+/// the consumed anchor plus one fresh random anchor per emitted tuple.
+#[derive(Debug)]
+pub struct AckBuilder {
+    xor: u64,
+    rng: SimRng,
+    emitted_anchors: Vec<u64>,
+}
+
+impl AckBuilder {
+    /// Start an execution that consumed `consumed_anchor`.
+    pub fn consuming(consumed_anchor: u64, rng: SimRng) -> Self {
+        AckBuilder {
+            xor: consumed_anchor,
+            rng,
+            emitted_anchors: Vec::new(),
+        }
+    }
+
+    /// Register one emitted (anchored) tuple; returns its new anchor id
+    /// to attach to the outgoing tuple.
+    pub fn emit(&mut self) -> u64 {
+        let anchor = self.rng.next_u64().max(1); // 0 would be a no-op in XOR
+        self.xor ^= anchor;
+        self.emitted_anchors.push(anchor);
+        anchor
+    }
+
+    /// The value to send to the acker for this execution.
+    pub fn finish(self) -> u64 {
+        self.xor
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn acker() -> Acker {
+        Acker::new(SimDuration::from_secs(30))
+    }
+
+    #[test]
+    fn linear_chain_completes() {
+        // spout → A → B (leaf).
+        let mut a = acker();
+        let root = 7;
+        let anchor0 = 0xDEAD;
+        a.init(root, anchor0, SimTime::ZERO);
+
+        // A consumes anchor0 and emits one tuple with anchor1.
+        let mut b1 = AckBuilder::consuming(anchor0, SimRng::new(1));
+        let anchor1 = b1.emit();
+        assert_eq!(a.ack(root, b1.finish()), TreeState::Pending);
+
+        // B consumes anchor1, emits nothing.
+        let b2 = AckBuilder::consuming(anchor1, SimRng::new(2));
+        assert_eq!(a.ack(root, b2.finish()), TreeState::Acked);
+        assert_eq!(a.acked(), 1);
+        assert_eq!(a.pending(), 0);
+    }
+
+    #[test]
+    fn fanout_tree_completes_in_any_order() {
+        // spout tuple broadcast to 8 instances, each a leaf.
+        let mut a = acker();
+        let root = 1;
+        let mut rng = SimRng::new(9);
+        // The spout anchors one id per downstream branch: ledger starts as
+        // the XOR of all branch anchors.
+        let anchors: Vec<u64> = (0..8).map(|_| rng.next_u64().max(1)).collect();
+        let init: u64 = anchors.iter().fold(0, |x, &a| x ^ a);
+        a.init(root, init, SimTime::ZERO);
+        // Leaves ack in a scrambled order.
+        let mut order = anchors.clone();
+        rng.shuffle(&mut order);
+        for (i, &anchor) in order.iter().enumerate() {
+            let state = a.ack(root, anchor);
+            if i + 1 == order.len() {
+                assert_eq!(state, TreeState::Acked);
+            } else {
+                assert_eq!(state, TreeState::Pending, "i={i}");
+            }
+        }
+    }
+
+    #[test]
+    fn deep_tree_with_intermediate_emits() {
+        let mut a = acker();
+        let root = 2;
+        let spout_anchor = 0x1234_5678;
+        a.init(root, spout_anchor, SimTime::ZERO);
+        // Stage 1 consumes the spout anchor and emits 3 tuples.
+        let mut s1 = AckBuilder::consuming(spout_anchor, SimRng::new(5));
+        let children: Vec<u64> = (0..3).map(|_| s1.emit()).collect();
+        assert_eq!(a.ack(root, s1.finish()), TreeState::Pending);
+        // Stage 2: each child is a leaf.
+        for (i, &c) in children.iter().enumerate() {
+            let b = AckBuilder::consuming(c, SimRng::new(50 + i as u64));
+            let state = a.ack(root, b.finish());
+            if i == 2 {
+                assert_eq!(state, TreeState::Acked);
+            } else {
+                assert_eq!(state, TreeState::Pending);
+            }
+        }
+    }
+
+    #[test]
+    fn timeout_fails_stragglers() {
+        let mut a = Acker::new(SimDuration::from_millis(100));
+        a.init(1, 0xAA, SimTime::ZERO);
+        a.init(2, 0xBB, SimTime::from_millis(90));
+        let failed = a.expire(SimTime::from_millis(150));
+        assert_eq!(failed, vec![1]);
+        assert_eq!(a.failed(), 1);
+        assert_eq!(a.pending(), 1);
+        // The late ack for the failed tree is rejected.
+        assert_eq!(a.ack(1, 0xAA), TreeState::Failed);
+        // Tree 2 can still complete.
+        assert_eq!(a.ack(2, 0xBB), TreeState::Acked);
+    }
+
+    #[test]
+    fn anchors_never_zero() {
+        let mut b = AckBuilder::consuming(1, SimRng::new(3));
+        for _ in 0..1_000 {
+            assert_ne!(b.emit(), 0);
+        }
+    }
+
+    #[test]
+    fn partial_tree_stays_pending() {
+        let mut a = acker();
+        a.init(1, 0xF0F0, SimTime::ZERO);
+        assert_eq!(a.ack(1, 0x0F0F), TreeState::Pending);
+        assert_eq!(a.pending(), 1);
+        assert_eq!(a.ack(1, 0xFFFF), TreeState::Acked);
+    }
+}

@@ -1,0 +1,432 @@
+//! The wire codec: hand-written serialization for tuples and the two
+//! message formats of Fig 9.
+//!
+//! Owning the codec matters for this reproduction: the paper's central
+//! observation is that *per-destination* serialization dominates upstream
+//! CPU, and worker-oriented communication fixes it by serializing the data
+//! item once and packing destination ids into the header. The two formats:
+//!
+//! - [`InstanceMessage`] (Fig 9a, Storm): `destId | dataItem` — one message
+//!   per destination instance, data item serialized every time.
+//! - [`WorkerMessage`] (Fig 9b, Whale): `dstIds[] | dataItem` — one message
+//!   per destination *worker*, data item serialized once.
+
+use crate::task::TaskId;
+use crate::tuple::{Tuple, Value};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use std::sync::Arc;
+
+/// Errors from decoding.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum DecodeError {
+    /// Input ended before the value was complete.
+    Truncated,
+    /// Unknown type tag.
+    BadTag(u8),
+    /// String payload was not valid UTF-8.
+    BadUtf8,
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::Truncated => write!(f, "truncated input"),
+            DecodeError::BadTag(t) => write!(f, "unknown type tag {t}"),
+            DecodeError::BadUtf8 => write!(f, "invalid utf-8 in string value"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+const TAG_I64: u8 = 1;
+const TAG_F64: u8 = 2;
+const TAG_STR: u8 = 3;
+const TAG_BYTES: u8 = 4;
+const TAG_BOOL: u8 = 5;
+
+fn encode_value(buf: &mut BytesMut, v: &Value) {
+    match v {
+        Value::I64(x) => {
+            buf.put_u8(TAG_I64);
+            buf.put_i64_le(*x);
+        }
+        Value::F64(x) => {
+            buf.put_u8(TAG_F64);
+            buf.put_f64_le(*x);
+        }
+        Value::Str(s) => {
+            buf.put_u8(TAG_STR);
+            buf.put_u32_le(s.len() as u32);
+            buf.put_slice(s.as_bytes());
+        }
+        Value::Bytes(b) => {
+            buf.put_u8(TAG_BYTES);
+            buf.put_u32_le(b.len() as u32);
+            buf.put_slice(b);
+        }
+        Value::Bool(b) => {
+            buf.put_u8(TAG_BOOL);
+            buf.put_u8(*b as u8);
+        }
+    }
+}
+
+fn need(buf: &impl Buf, n: usize) -> Result<(), DecodeError> {
+    if buf.remaining() < n {
+        Err(DecodeError::Truncated)
+    } else {
+        Ok(())
+    }
+}
+
+fn decode_value(buf: &mut impl Buf) -> Result<Value, DecodeError> {
+    need(buf, 1)?;
+    let tag = buf.get_u8();
+    match tag {
+        TAG_I64 => {
+            need(buf, 8)?;
+            Ok(Value::I64(buf.get_i64_le()))
+        }
+        TAG_F64 => {
+            need(buf, 8)?;
+            Ok(Value::F64(buf.get_f64_le()))
+        }
+        TAG_STR => {
+            need(buf, 4)?;
+            let len = buf.get_u32_le() as usize;
+            need(buf, len)?;
+            let mut bytes = vec![0u8; len];
+            buf.copy_to_slice(&mut bytes);
+            let s = String::from_utf8(bytes).map_err(|_| DecodeError::BadUtf8)?;
+            Ok(Value::Str(Arc::from(s.as_str())))
+        }
+        TAG_BYTES => {
+            need(buf, 4)?;
+            let len = buf.get_u32_le() as usize;
+            need(buf, len)?;
+            let mut bytes = vec![0u8; len];
+            buf.copy_to_slice(&mut bytes);
+            Ok(Value::Bytes(Arc::from(bytes.as_slice())))
+        }
+        TAG_BOOL => {
+            need(buf, 1)?;
+            Ok(Value::Bool(buf.get_u8() != 0))
+        }
+        other => Err(DecodeError::BadTag(other)),
+    }
+}
+
+/// Serialize a tuple (the "data item" of the message formats).
+pub fn encode_tuple(t: &Tuple) -> Bytes {
+    let mut buf = BytesMut::with_capacity(t.payload_bytes());
+    buf.put_u64_le(t.id);
+    buf.put_u16_le(t.values.len() as u16);
+    for v in &t.values {
+        encode_value(&mut buf, v);
+    }
+    buf.freeze()
+}
+
+/// Deserialize a tuple.
+pub fn decode_tuple(buf: &mut impl Buf) -> Result<Tuple, DecodeError> {
+    need(buf, 10)?;
+    let id = buf.get_u64_le();
+    let arity = buf.get_u16_le() as usize;
+    let mut values = Vec::with_capacity(arity);
+    for _ in 0..arity {
+        values.push(decode_value(buf)?);
+    }
+    Ok(Tuple { id, values })
+}
+
+/// Fig 9a: Storm's instance-oriented message — one destination id and a
+/// freshly serialized copy of the data item.
+#[derive(Clone, PartialEq, Debug)]
+pub struct InstanceMessage {
+    /// Emitting task.
+    pub src: TaskId,
+    /// The single destination task.
+    pub dst: TaskId,
+    /// The data item.
+    pub tuple: Tuple,
+}
+
+impl InstanceMessage {
+    /// Serialize: `src | dst | dataItem`.
+    pub fn encode(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(8 + self.tuple.payload_bytes());
+        buf.put_u32_le(self.src.0);
+        buf.put_u32_le(self.dst.0);
+        let t = encode_tuple(&self.tuple);
+        buf.put_slice(&t);
+        buf.freeze()
+    }
+
+    /// Deserialize.
+    pub fn decode(mut buf: impl Buf) -> Result<Self, DecodeError> {
+        need(&buf, 8)?;
+        let src = TaskId(buf.get_u32_le());
+        let dst = TaskId(buf.get_u32_le());
+        let tuple = decode_tuple(&mut buf)?;
+        Ok(InstanceMessage { src, dst, tuple })
+    }
+
+    /// Wire size in bytes.
+    pub fn wire_bytes(&self) -> usize {
+        8 + self.tuple.payload_bytes()
+    }
+}
+
+/// Fig 9b: Whale's worker-oriented `BatchTuple`/`WorkerMessage` — the ids
+/// of all destination instances hosted on the same worker, plus the data
+/// item serialized exactly once.
+#[derive(Clone, PartialEq, Debug)]
+pub struct WorkerMessage {
+    /// Emitting task.
+    pub src: TaskId,
+    /// All destination tasks on the receiving worker.
+    pub dst_ids: Vec<TaskId>,
+    /// The data item.
+    pub tuple: Tuple,
+}
+
+impl WorkerMessage {
+    /// Serialize: `src | n | dstIds[n] | dataItem`.
+    pub fn encode(&self) -> Bytes {
+        let mut buf =
+            BytesMut::with_capacity(8 + 4 * self.dst_ids.len() + self.tuple.payload_bytes());
+        buf.put_u32_le(self.src.0);
+        buf.put_u32_le(self.dst_ids.len() as u32);
+        for id in &self.dst_ids {
+            buf.put_u32_le(id.0);
+        }
+        let t = encode_tuple(&self.tuple);
+        buf.put_slice(&t);
+        buf.freeze()
+    }
+
+    /// Serialize around an already-encoded data item (the zero-copy path:
+    /// the data item is serialized once and reused per worker).
+    pub fn encode_with_item(src: TaskId, dst_ids: &[TaskId], item: &Bytes) -> Bytes {
+        let mut buf = BytesMut::with_capacity(8 + 4 * dst_ids.len() + item.len());
+        buf.put_u32_le(src.0);
+        buf.put_u32_le(dst_ids.len() as u32);
+        for id in dst_ids {
+            buf.put_u32_le(id.0);
+        }
+        buf.put_slice(item);
+        buf.freeze()
+    }
+
+    /// Deserialize.
+    pub fn decode(mut buf: impl Buf) -> Result<Self, DecodeError> {
+        need(&buf, 8)?;
+        let src = TaskId(buf.get_u32_le());
+        let n = buf.get_u32_le() as usize;
+        need(&buf, 4 * n)?;
+        let mut dst_ids = Vec::with_capacity(n);
+        for _ in 0..n {
+            dst_ids.push(TaskId(buf.get_u32_le()));
+        }
+        let tuple = decode_tuple(&mut buf)?;
+        Ok(WorkerMessage {
+            src,
+            dst_ids,
+            tuple,
+        })
+    }
+
+    /// Wire size in bytes.
+    pub fn wire_bytes(&self) -> usize {
+        8 + 4 * self.dst_ids.len() + self.tuple.payload_bytes()
+    }
+}
+
+/// An `AddressedTuple`: what the dispatcher hands each local executor
+/// after deserializing a [`WorkerMessage`] (§4).
+#[derive(Clone, PartialEq, Debug)]
+pub struct AddressedTuple {
+    /// The destination task on this worker.
+    pub dst: TaskId,
+    /// The data item (shared — one deserialization, many destinations).
+    pub tuple: Arc<Tuple>,
+}
+
+/// Expand a decoded [`WorkerMessage`] into per-task [`AddressedTuple`]s,
+/// deserializing the data item exactly once.
+pub fn dispatch_worker_message(msg: WorkerMessage) -> Vec<AddressedTuple> {
+    let shared = Arc::new(msg.tuple);
+    msg.dst_ids
+        .iter()
+        .map(|&dst| AddressedTuple {
+            dst,
+            tuple: Arc::clone(&shared),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_tuple() -> Tuple {
+        Tuple::with_id(
+            99,
+            vec![
+                Value::I64(-7),
+                Value::F64(3.25),
+                Value::str("driver-42"),
+                Value::Bytes(Arc::from(&[1u8, 2, 3][..])),
+                Value::Bool(true),
+            ],
+        )
+    }
+
+    #[test]
+    fn tuple_roundtrip() {
+        let t = sample_tuple();
+        let bytes = encode_tuple(&t);
+        let mut buf = bytes.clone();
+        let back = decode_tuple(&mut buf).unwrap();
+        assert_eq!(back, t);
+        assert_eq!(buf.remaining(), 0, "decoder must consume everything");
+    }
+
+    #[test]
+    fn encoded_size_matches_accounting() {
+        let t = sample_tuple();
+        assert_eq!(encode_tuple(&t).len(), t.payload_bytes());
+    }
+
+    #[test]
+    fn instance_message_roundtrip() {
+        let m = InstanceMessage {
+            src: TaskId(3),
+            dst: TaskId(77),
+            tuple: sample_tuple(),
+        };
+        let bytes = m.encode();
+        assert_eq!(bytes.len(), m.wire_bytes());
+        let back = InstanceMessage::decode(bytes).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn worker_message_roundtrip() {
+        let m = WorkerMessage {
+            src: TaskId(3),
+            dst_ids: vec![TaskId(10), TaskId(11), TaskId(12)],
+            tuple: sample_tuple(),
+        };
+        let bytes = m.encode();
+        assert_eq!(bytes.len(), m.wire_bytes());
+        let back = WorkerMessage::decode(bytes).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn encode_with_item_equals_full_encode() {
+        let t = sample_tuple();
+        let item = encode_tuple(&t);
+        let dsts = vec![TaskId(1), TaskId(2)];
+        let a = WorkerMessage {
+            src: TaskId(0),
+            dst_ids: dsts.clone(),
+            tuple: t,
+        }
+        .encode();
+        let b = WorkerMessage::encode_with_item(TaskId(0), &dsts, &item);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn worker_message_smaller_than_n_instance_messages() {
+        let t = sample_tuple();
+        let n = 16;
+        let dsts: Vec<TaskId> = (0..n).map(TaskId).collect();
+        let wm = WorkerMessage {
+            src: TaskId(0),
+            dst_ids: dsts,
+            tuple: t.clone(),
+        };
+        let im_total: usize = (0..n)
+            .map(|i| {
+                InstanceMessage {
+                    src: TaskId(0),
+                    dst: TaskId(i),
+                    tuple: t.clone(),
+                }
+                .wire_bytes()
+            })
+            .sum();
+        assert!(
+            wm.wire_bytes() * 5 < im_total,
+            "worker message must amortize the data item"
+        );
+    }
+
+    #[test]
+    fn truncated_inputs_error() {
+        let t = sample_tuple();
+        let bytes = encode_tuple(&t);
+        for cut in [0, 1, 5, 9, bytes.len() - 1] {
+            let mut buf = bytes.slice(..cut);
+            assert_eq!(
+                decode_tuple(&mut buf),
+                Err(DecodeError::Truncated),
+                "cut={cut}"
+            );
+        }
+    }
+
+    #[test]
+    fn bad_tag_detected() {
+        let mut raw = BytesMut::new();
+        raw.put_u64_le(1);
+        raw.put_u16_le(1);
+        raw.put_u8(200); // bad tag
+        let mut buf = raw.freeze();
+        assert_eq!(decode_tuple(&mut buf), Err(DecodeError::BadTag(200)));
+    }
+
+    #[test]
+    fn bad_utf8_detected() {
+        let mut raw = BytesMut::new();
+        raw.put_u64_le(1);
+        raw.put_u16_le(1);
+        raw.put_u8(TAG_STR);
+        raw.put_u32_le(2);
+        raw.put_slice(&[0xFF, 0xFE]);
+        let mut buf = raw.freeze();
+        assert_eq!(decode_tuple(&mut buf), Err(DecodeError::BadUtf8));
+    }
+
+    #[test]
+    fn dispatch_shares_one_deserialization() {
+        let m = WorkerMessage {
+            src: TaskId(0),
+            dst_ids: vec![TaskId(5), TaskId(6)],
+            tuple: sample_tuple(),
+        };
+        let addressed = dispatch_worker_message(m);
+        assert_eq!(addressed.len(), 2);
+        assert_eq!(addressed[0].dst, TaskId(5));
+        assert_eq!(addressed[1].dst, TaskId(6));
+        assert!(Arc::ptr_eq(&addressed[0].tuple, &addressed[1].tuple));
+    }
+
+    #[test]
+    fn empty_tuple_roundtrip() {
+        let t = Tuple::new(vec![]);
+        let mut buf = encode_tuple(&t);
+        assert_eq!(decode_tuple(&mut buf).unwrap(), t);
+    }
+
+    #[test]
+    fn empty_string_and_bytes() {
+        let t = Tuple::new(vec![Value::str(""), Value::Bytes(Arc::from(&[][..]))]);
+        let mut buf = encode_tuple(&t);
+        assert_eq!(decode_tuple(&mut buf).unwrap(), t);
+    }
+}

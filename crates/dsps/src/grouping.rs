@@ -1,0 +1,189 @@
+//! Runtime grouping execution: mapping an emitted tuple to destination
+//! task ids.
+//!
+//! The three strategies of §1: *shuffle grouping* (load-balance, one
+//! destination), *key/fields grouping* (hash of a key field, one
+//! destination), and *all grouping* (one-to-many: every downstream task) —
+//! plus direct addressing.
+
+use crate::task::TaskId;
+use crate::topology::Grouping;
+use crate::tuple::{Tuple, Value};
+
+/// A stateful executor of one grouping over a fixed destination task list.
+#[derive(Clone, Debug)]
+pub struct GroupingExec {
+    grouping: Grouping,
+    targets: Vec<TaskId>,
+    rr_next: usize,
+}
+
+impl GroupingExec {
+    /// Create for a grouping and the downstream component's task ids.
+    pub fn new(grouping: Grouping, targets: Vec<TaskId>) -> Self {
+        assert!(!targets.is_empty(), "grouping needs at least one target");
+        GroupingExec {
+            grouping,
+            targets,
+            rr_next: 0,
+        }
+    }
+
+    /// The destination task list.
+    pub fn targets(&self) -> &[TaskId] {
+        &self.targets
+    }
+
+    /// The grouping strategy.
+    pub fn grouping(&self) -> &Grouping {
+        &self.grouping
+    }
+
+    /// Destinations for one tuple. For `Direct`, pass the chosen task in
+    /// `direct`; it must be one of the targets.
+    pub fn route(&mut self, tuple: &Tuple, direct: Option<TaskId>) -> Vec<TaskId> {
+        match &self.grouping {
+            Grouping::Shuffle => {
+                // Storm's shuffle is round-robin over the target list.
+                let t = self.targets[self.rr_next % self.targets.len()];
+                self.rr_next = (self.rr_next + 1) % self.targets.len();
+                vec![t]
+            }
+            Grouping::Fields(idx) => {
+                let key = tuple
+                    .get(*idx)
+                    .unwrap_or_else(|| panic!("tuple lacks key field {idx}"));
+                let h = hash_value(key);
+                vec![self.targets[(h % self.targets.len() as u64) as usize]]
+            }
+            Grouping::All => self.targets.clone(),
+            Grouping::Direct => {
+                let t = direct.expect("direct grouping requires an explicit destination");
+                assert!(
+                    self.targets.contains(&t),
+                    "direct destination {t} is not a subscriber"
+                );
+                vec![t]
+            }
+        }
+    }
+}
+
+/// Stable FNV-1a hash of a value, used by fields grouping so the same key
+/// always lands on the same task across runs and platforms.
+pub fn hash_value(v: &Value) -> u64 {
+    const OFFSET: u64 = 0xcbf29ce484222325;
+    const PRIME: u64 = 0x100000001b3;
+    let mut h = OFFSET;
+    let mut feed = |bytes: &[u8]| {
+        for &b in bytes {
+            h ^= b as u64;
+            h = h.wrapping_mul(PRIME);
+        }
+    };
+    match v {
+        Value::I64(x) => feed(&x.to_le_bytes()),
+        Value::F64(x) => feed(&x.to_bits().to_le_bytes()),
+        Value::Str(s) => feed(s.as_bytes()),
+        Value::Bytes(b) => feed(b),
+        Value::Bool(b) => feed(&[*b as u8]),
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn targets(n: u32) -> Vec<TaskId> {
+        (0..n).map(TaskId).collect()
+    }
+
+    fn key_tuple(k: &str) -> Tuple {
+        Tuple::new(vec![Value::str(k)])
+    }
+
+    #[test]
+    fn shuffle_round_robins() {
+        let mut g = GroupingExec::new(Grouping::Shuffle, targets(3));
+        let t = key_tuple("x");
+        let seq: Vec<TaskId> = (0..6).flat_map(|_| g.route(&t, None)).collect();
+        assert_eq!(
+            seq,
+            vec![
+                TaskId(0),
+                TaskId(1),
+                TaskId(2),
+                TaskId(0),
+                TaskId(1),
+                TaskId(2)
+            ]
+        );
+    }
+
+    #[test]
+    fn fields_grouping_is_sticky() {
+        let mut g = GroupingExec::new(Grouping::Fields(0), targets(8));
+        let a1 = g.route(&key_tuple("driver-1"), None);
+        let a2 = g.route(&key_tuple("driver-1"), None);
+        assert_eq!(a1, a2, "same key must route to the same task");
+        assert_eq!(a1.len(), 1);
+    }
+
+    #[test]
+    fn fields_grouping_spreads_keys() {
+        let mut g = GroupingExec::new(Grouping::Fields(0), targets(16));
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..200 {
+            let dst = g.route(&key_tuple(&format!("key-{i}")), None)[0];
+            seen.insert(dst);
+        }
+        assert!(
+            seen.len() >= 12,
+            "200 keys over 16 tasks should hit most tasks"
+        );
+    }
+
+    #[test]
+    fn all_grouping_hits_everyone() {
+        let mut g = GroupingExec::new(Grouping::All, targets(5));
+        let dsts = g.route(&key_tuple("x"), None);
+        assert_eq!(dsts, targets(5));
+    }
+
+    #[test]
+    fn direct_grouping_uses_choice() {
+        let mut g = GroupingExec::new(Grouping::Direct, targets(4));
+        let dsts = g.route(&key_tuple("x"), Some(TaskId(2)));
+        assert_eq!(dsts, vec![TaskId(2)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a subscriber")]
+    fn direct_to_non_subscriber_panics() {
+        let mut g = GroupingExec::new(Grouping::Direct, targets(2));
+        g.route(&key_tuple("x"), Some(TaskId(9)));
+    }
+
+    #[test]
+    #[should_panic(expected = "requires an explicit destination")]
+    fn direct_without_choice_panics() {
+        let mut g = GroupingExec::new(Grouping::Direct, targets(2));
+        g.route(&key_tuple("x"), None);
+    }
+
+    #[test]
+    fn hash_value_distinguishes_types() {
+        // Same bit pattern, different types should not be forced equal.
+        let a = hash_value(&Value::str("abc"));
+        let b = hash_value(&Value::str("abd"));
+        assert_ne!(a, b);
+        assert_eq!(hash_value(&Value::I64(5)), hash_value(&Value::I64(5)));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one target")]
+    fn empty_targets_rejected() {
+        let _ = GroupingExec::new(Grouping::Shuffle, vec![]);
+    }
+}

@@ -1,0 +1,116 @@
+//! Operator traits: the user-facing API for writing spouts and bolts.
+
+use crate::tuple::Tuple;
+
+/// Receives the tuples an operator emits.
+pub trait Emitter {
+    /// Emit a tuple to all subscribed downstream components.
+    fn emit(&mut self, tuple: Tuple);
+}
+
+/// A simple collecting emitter for tests and batch-style execution.
+#[derive(Default, Debug)]
+pub struct VecEmitter {
+    /// Tuples emitted so far.
+    pub emitted: Vec<Tuple>,
+}
+
+impl Emitter for VecEmitter {
+    fn emit(&mut self, tuple: Tuple) {
+        self.emitted.push(tuple);
+    }
+}
+
+/// A source of tuples (one instance per spout task).
+pub trait Spout: Send {
+    /// Produce the next tuple, or `None` when the stream is exhausted.
+    fn next_tuple(&mut self) -> Option<Tuple>;
+}
+
+/// A processing operator (one instance per bolt task).
+pub trait Bolt: Send {
+    /// Process one input tuple, emitting any outputs.
+    fn execute(&mut self, input: &Tuple, out: &mut dyn Emitter);
+
+    /// Called once when the stream has fully drained; emit any final state.
+    fn finish(&mut self, _out: &mut dyn Emitter) {}
+}
+
+/// Factory producing per-task bolt instances.
+pub type BoltFactory = Box<dyn Fn(u32) -> Box<dyn Bolt> + Send + Sync>;
+/// Factory producing per-task spout instances.
+pub type SpoutFactory = Box<dyn Fn(u32) -> Box<dyn Spout> + Send + Sync>;
+
+/// A spout over any iterator, for tests and examples.
+pub struct IterSpout<I: Iterator<Item = Tuple> + Send> {
+    iter: I,
+}
+
+impl<I: Iterator<Item = Tuple> + Send> IterSpout<I> {
+    /// Wrap an iterator.
+    pub fn new(iter: I) -> Self {
+        IterSpout { iter }
+    }
+}
+
+impl<I: Iterator<Item = Tuple> + Send> Spout for IterSpout<I> {
+    fn next_tuple(&mut self) -> Option<Tuple> {
+        self.iter.next()
+    }
+}
+
+/// A bolt applying a function to each tuple, for tests and examples.
+pub struct FnBolt<F: FnMut(&Tuple, &mut dyn Emitter) + Send> {
+    f: F,
+}
+
+impl<F: FnMut(&Tuple, &mut dyn Emitter) + Send> FnBolt<F> {
+    /// Wrap a function.
+    pub fn new(f: F) -> Self {
+        FnBolt { f }
+    }
+}
+
+impl<F: FnMut(&Tuple, &mut dyn Emitter) + Send> Bolt for FnBolt<F> {
+    fn execute(&mut self, input: &Tuple, out: &mut dyn Emitter) {
+        (self.f)(input, out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tuple::Value;
+
+    #[test]
+    fn iter_spout_drains() {
+        let tuples = vec![
+            Tuple::new(vec![Value::I64(1)]),
+            Tuple::new(vec![Value::I64(2)]),
+        ];
+        let mut s = IterSpout::new(tuples.into_iter());
+        assert_eq!(s.next_tuple().unwrap().get(0).unwrap().as_i64(), Some(1));
+        assert_eq!(s.next_tuple().unwrap().get(0).unwrap().as_i64(), Some(2));
+        assert!(s.next_tuple().is_none());
+    }
+
+    #[test]
+    fn fn_bolt_transforms() {
+        let mut b = FnBolt::new(|t: &Tuple, out: &mut dyn Emitter| {
+            let x = t.get(0).unwrap().as_i64().unwrap();
+            out.emit(Tuple::new(vec![Value::I64(x * 2)]));
+        });
+        let mut out = VecEmitter::default();
+        b.execute(&Tuple::new(vec![Value::I64(21)]), &mut out);
+        assert_eq!(out.emitted.len(), 1);
+        assert_eq!(out.emitted[0].get(0).unwrap().as_i64(), Some(42));
+    }
+
+    #[test]
+    fn default_finish_is_noop() {
+        let mut b = FnBolt::new(|_t: &Tuple, _out: &mut dyn Emitter| {});
+        let mut out = VecEmitter::default();
+        b.finish(&mut out);
+        assert!(out.emitted.is_empty());
+    }
+}

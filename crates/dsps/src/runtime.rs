@@ -1,0 +1,1049 @@
+//! The live runtime: a miniature Storm executing a topology on real
+//! threads, with workers, dispatchers, and executors wired through the
+//! in-process fabric.
+//!
+//! One thread per task (spout or bolt executor) plus one dispatcher thread
+//! per worker, exactly mirroring the paper's worker model: remote messages
+//! arrive at the worker's endpoint, the dispatcher deserializes them and
+//! routes `AddressedTuple`s to the hosted executors' incoming queues.
+//!
+//! The [`CommMode`] decides whether an emitted tuple becomes one
+//! [`InstanceMessage`](crate::codec::InstanceMessage) per destination task
+//! (Storm) or one [`WorkerMessage`](crate::codec::WorkerMessage) per
+//! destination worker (Whale), and `zero_copy` selects RDMA-style shared
+//! buffers vs TCP-style copies on the fabric.
+
+use crate::codec::{self, InstanceMessage, WorkerMessage};
+use crate::grouping::GroupingExec;
+use crate::messaging::{plan, CommMode};
+use crate::operator::{Bolt, BoltFactory, Emitter, Spout, SpoutFactory};
+use crate::scheduler::{Placement, WorkerId};
+use crate::task::{ComponentId, TaskId};
+use crate::topology::{ComponentKind, Grouping, Topology};
+use crate::tuple::Tuple;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+use whale_multicast::{build_nonblocking, MulticastTree, Node};
+use whale_net::{ClusterSpec, EndpointId, LiveFabric};
+
+/// Message tags on the live fabric.
+const TAG_INSTANCE: u8 = 1;
+const TAG_WORKER: u8 = 2;
+const TAG_EOS: u8 = 3;
+/// A broadcast tuple traveling through the non-blocking multicast tree:
+/// `origin_worker | to_component | node_index | data item`.
+const TAG_RELAY: u8 = 4;
+/// End-of-stream traveling the same tree path as relayed data, so it
+/// cannot overtake in-flight tuples:
+/// `origin_worker | to_component | node_index | src_task`.
+const TAG_RELAY_EOS: u8 = 5;
+
+/// What an executor receives in its incoming queue.
+enum ExecMsg {
+    /// A data tuple (shared: one deserialization per worker).
+    Data(Arc<Tuple>),
+    /// End-of-stream from one upstream task.
+    Eos(TaskId),
+}
+
+/// What a task pushes to its dedicated sending thread.
+enum SendMsg {
+    /// An emitted tuple to route and transmit.
+    Data(Tuple),
+    /// The task has finished: flush and broadcast EOS, then exit.
+    Eos,
+}
+
+/// Where a task's emissions go: routed inline on the task's own thread,
+/// or queued to its dedicated sending thread (Storm's executor design).
+enum Outbox {
+    Inline(Vec<(ComponentId, GroupingExec)>),
+    Queued(Sender<SendMsg>),
+}
+
+impl Outbox {
+    fn emit(&mut self, routing: &Routing, src: TaskId, tuple: Tuple) {
+        match self {
+            Outbox::Inline(groupings) => routing.emit(src, groupings, tuple),
+            Outbox::Queued(tx) => {
+                let _ = tx.send(SendMsg::Data(tuple));
+            }
+        }
+    }
+
+    /// Signal end-of-stream: inline outboxes broadcast immediately; queued
+    /// ones enqueue the EOS behind any pending data so ordering holds.
+    fn finish(self, routing: &Routing, src: TaskId) {
+        match self {
+            Outbox::Inline(_) => routing.broadcast_eos(src),
+            Outbox::Queued(tx) => {
+                let _ = tx.send(SendMsg::Eos);
+            }
+        }
+    }
+}
+
+/// The dedicated sending thread: owns the task's grouping state, drains
+/// the send queue, serializes, and transmits.
+fn sender_loop(task: TaskId, comp: ComponentId, rx: Receiver<SendMsg>, routing: &Routing) {
+    let mut groupings = build_groupings(&routing.topology, comp);
+    while let Ok(msg) = rx.recv() {
+        match msg {
+            SendMsg::Data(t) => routing.emit(task, &mut groupings, t),
+            SendMsg::Eos => {
+                routing.broadcast_eos(task);
+                return;
+            }
+        }
+    }
+}
+
+/// Build a task's outbox (and its sender thread when configured).
+fn make_outbox(
+    routing: &Arc<Routing>,
+    task: TaskId,
+    comp: ComponentId,
+    sender_handles: &mut Vec<std::thread::JoinHandle<()>>,
+) -> Outbox {
+    if routing.config.dedicated_senders {
+        let (tx, rx) = unbounded();
+        let routing = Arc::clone(routing);
+        sender_handles.push(std::thread::spawn(move || {
+            sender_loop(task, comp, rx, &routing)
+        }));
+        Outbox::Queued(tx)
+    } else {
+        Outbox::Inline(build_groupings(&routing.topology, comp))
+    }
+}
+
+/// Runtime configuration.
+#[derive(Clone, Debug)]
+pub struct LiveConfig {
+    /// Number of simulated machines (= worker processes).
+    pub machines: u32,
+    /// Instance-oriented (Storm) or worker-oriented (Whale) messaging.
+    pub comm_mode: CommMode,
+    /// RDMA-style shared buffers (true) vs TCP-style copies (false).
+    pub zero_copy: bool,
+    /// Relay all-grouped broadcasts through a non-blocking multicast tree
+    /// over the workers with this maximum out-degree, instead of the
+    /// source sending to every worker directly. Requires
+    /// [`CommMode::WorkerOriented`].
+    pub multicast_d_star: Option<u32>,
+    /// Storm's executor architecture (§4): each task has a dedicated
+    /// sending thread draining its send queue, so serialization and
+    /// transmission happen off the worker thread. `false` = emit inline.
+    pub dedicated_senders: bool,
+}
+
+impl Default for LiveConfig {
+    fn default() -> Self {
+        LiveConfig {
+            machines: 4,
+            comm_mode: CommMode::WorkerOriented,
+            zero_copy: true,
+            multicast_d_star: None,
+            dedicated_senders: false,
+        }
+    }
+}
+
+/// Counters collected during a live run.
+#[derive(Debug, Default)]
+pub struct RunStats {
+    /// Times a data item was serialized.
+    pub serializations: AtomicU64,
+    /// Tuples executed, indexed by component id (filled at build).
+    pub executed: Vec<AtomicU64>,
+    /// Tuples emitted by spouts.
+    pub spout_emitted: AtomicU64,
+    /// Relay forwards performed by non-source workers (multicast tree).
+    pub relay_forwards: AtomicU64,
+    /// Emission instants of sampled tuple ids (delivery-latency probes).
+    pub emit_times: Mutex<HashMap<u64, Instant>>,
+    /// Spout-to-execute delivery latencies of sampled tuples (ns).
+    pub delivery_ns: Mutex<Vec<u64>>,
+}
+
+/// Every `LATENCY_SAMPLE`-th tracked tuple is timed from spout emission to
+/// each bolt execution (wall clock).
+const LATENCY_SAMPLE: u64 = 8;
+
+/// Result of a completed live run.
+#[derive(Debug)]
+pub struct RunReport {
+    /// Wall-clock time of the run.
+    pub elapsed: std::time::Duration,
+    /// Data-item serializations performed.
+    pub serializations: u64,
+    /// Tuples executed per component (by component id index).
+    pub executed: Vec<u64>,
+    /// Tuples emitted by spouts.
+    pub spout_emitted: u64,
+    /// Network messages through the fabric.
+    pub fabric_messages: u64,
+    /// Bytes copied (TCP semantics).
+    pub copied_bytes: u64,
+    /// Bytes shared (RDMA semantics).
+    pub shared_bytes: u64,
+    /// Relay forwards performed by non-source workers (multicast tree).
+    pub relay_forwards: u64,
+    /// Sampled spout-to-execute delivery latencies (ns), unordered.
+    pub delivery_ns: Vec<u64>,
+}
+
+impl RunReport {
+    /// Mean sampled delivery latency.
+    pub fn mean_delivery(&self) -> std::time::Duration {
+        if self.delivery_ns.is_empty() {
+            return std::time::Duration::ZERO;
+        }
+        let sum: u64 = self.delivery_ns.iter().sum();
+        std::time::Duration::from_nanos(sum / self.delivery_ns.len() as u64)
+    }
+
+    /// p99 sampled delivery latency.
+    pub fn p99_delivery(&self) -> std::time::Duration {
+        if self.delivery_ns.is_empty() {
+            return std::time::Duration::ZERO;
+        }
+        let mut v = self.delivery_ns.clone();
+        v.sort_unstable();
+        let idx = ((v.len() - 1) as f64 * 0.99).round() as usize;
+        std::time::Duration::from_nanos(v[idx])
+    }
+}
+
+/// Per-component operator implementations.
+#[derive(Default)]
+pub struct Operators {
+    spouts: HashMap<String, SpoutFactory>,
+    bolts: HashMap<String, BoltFactory>,
+}
+
+impl Operators {
+    /// New empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a spout factory for a component name.
+    pub fn spout(
+        mut self,
+        name: &str,
+        f: impl Fn(u32) -> Box<dyn Spout> + Send + Sync + 'static,
+    ) -> Self {
+        self.spouts.insert(name.to_string(), Box::new(f));
+        self
+    }
+
+    /// Register a bolt factory for a component name.
+    pub fn bolt(
+        mut self,
+        name: &str,
+        f: impl Fn(u32) -> Box<dyn Bolt> + Send + Sync + 'static,
+    ) -> Self {
+        self.bolts.insert(name.to_string(), Box::new(f));
+        self
+    }
+}
+
+/// Shared, immutable routing context used by every sender thread.
+struct Routing {
+    topology: Topology,
+    placement: Placement,
+    config: LiveConfig,
+    fabric: Arc<LiveFabric>,
+    /// Inboxes of every task (senders usable only for local delivery).
+    inboxes: HashMap<TaskId, Sender<ExecMsg>>,
+    stats: Arc<RunStats>,
+    /// Per-origin-worker multicast trees over the *other* workers
+    /// (node index i = the i-th worker id excluding the origin), built
+    /// once when `multicast_d_star` is set.
+    relay_trees: Vec<MulticastTree>,
+}
+
+/// Node index i of origin worker `origin` maps to this worker id.
+fn relay_node_worker(origin: u32, node: u32, n_workers: u32) -> WorkerId {
+    // Workers ascending, skipping the origin.
+    let id = if node < origin { node } else { node + 1 };
+    debug_assert!(id < n_workers);
+    WorkerId(id)
+}
+
+impl Routing {
+    /// Send one tuple from `src` to routed destinations of every
+    /// downstream edge. `groupings` carries the per-task grouping state.
+    fn emit(&self, src: TaskId, groupings: &mut [(ComponentId, GroupingExec)], tuple: Tuple) {
+        let shared = Arc::new(tuple);
+        for (comp, g) in groupings.iter_mut() {
+            let relayable = self.config.multicast_d_star.is_some()
+                && self.config.comm_mode == CommMode::WorkerOriented
+                && *g.grouping() == Grouping::All;
+            if relayable {
+                self.relay_broadcast(src, &shared, *comp);
+            } else {
+                let dsts = g.route(&shared, None);
+                self.send_data(src, &shared, &dsts);
+            }
+        }
+    }
+
+    /// Whale's multicast path: serialize once, dispatch locally, and send
+    /// only to the source worker's tree children; relays forward.
+    fn relay_broadcast(&self, src: TaskId, tuple: &Arc<Tuple>, comp: ComponentId) {
+        self.stats.serializations.fetch_add(1, Ordering::Relaxed);
+        let src_worker = self.placement.worker_of(src);
+        // Local instances of the broadcast target on the source's worker.
+        for &t in self.placement.tasks_on(src_worker) {
+            if self.topology.tasks().component_of(t) == Some(comp) {
+                let _ = self.inboxes[&t].send(ExecMsg::Data(Arc::clone(tuple)));
+            }
+        }
+        let item = codec::encode_tuple(tuple);
+        let tree = &self.relay_trees[src_worker.0 as usize];
+        for &child in tree.children(Node::Source) {
+            let Node::Dest(node) = child else { continue };
+            self.send_relay_frame(src, src_worker.0, comp, node, &item);
+        }
+    }
+
+    fn send_relay_frame(
+        &self,
+        src: TaskId,
+        origin: u32,
+        comp: ComponentId,
+        node: u32,
+        item: &Bytes,
+    ) {
+        let mut framed = BytesMut::with_capacity(13 + item.len());
+        framed.put_u8(TAG_RELAY);
+        framed.put_u32_le(origin);
+        framed.put_u32_le(comp.0);
+        framed.put_u32_le(node);
+        framed.put_slice(item);
+        let dst = relay_node_worker(origin, node, self.placement.workers());
+        self.transmit(src, dst, framed.freeze());
+    }
+
+    /// A relay worker received a broadcast frame: forward to tree
+    /// children, then dispatch to the local instances of the component.
+    fn on_relay_frame(
+        &self,
+        my_worker: u32,
+        origin: u32,
+        comp: ComponentId,
+        node: u32,
+        item: Bytes,
+    ) {
+        let tree = &self.relay_trees[origin as usize];
+        let children: Vec<Node> = tree.children(Node::Dest(node)).to_vec();
+        for child in children {
+            let Node::Dest(c) = child else { continue };
+            let mut framed = BytesMut::with_capacity(13 + item.len());
+            framed.put_u8(TAG_RELAY);
+            framed.put_u32_le(origin);
+            framed.put_u32_le(comp.0);
+            framed.put_u32_le(c);
+            framed.put_slice(&item);
+            let dst = relay_node_worker(origin, c, self.placement.workers());
+            // Relay transmission keeps the zero-copy/copied semantics of
+            // the run; attribution is the relay worker itself.
+            let from = EndpointId(my_worker);
+            let to = EndpointId(dst.0);
+            let result = if self.config.zero_copy {
+                let buf: Arc<[u8]> = Arc::from(&framed[..]);
+                self.fabric.send_shared(from, to, buf)
+            } else {
+                self.fabric.send_copied(from, to, &framed)
+            };
+            let _ = result;
+            self.stats.relay_forwards.fetch_add(1, Ordering::Relaxed);
+        }
+        // One deserialization for the whole worker, then local dispatch.
+        let mut buf = item;
+        let tuple = Arc::new(codec::decode_tuple(&mut buf).expect("malformed relayed tuple"));
+        for &t in self.placement.tasks_on(WorkerId(my_worker)) {
+            if self.topology.tasks().component_of(t) == Some(comp) {
+                let _ = self.inboxes[&t].send(ExecMsg::Data(Arc::clone(&tuple)));
+            }
+        }
+    }
+
+    fn send_data(&self, src: TaskId, tuple: &Arc<Tuple>, dsts: &[TaskId]) {
+        let item_bytes = tuple.payload_bytes();
+        let p = plan(
+            self.config.comm_mode,
+            src,
+            item_bytes,
+            dsts,
+            &self.placement,
+        );
+        // Local deliveries: no serialization beyond what the mode charges.
+        for &t in &p.local_tasks {
+            // Executor may already have exited after EOS; ignore.
+            let _ = self.inboxes[&t].send(ExecMsg::Data(Arc::clone(tuple)));
+        }
+        if p.remote.is_empty() {
+            // Instance-oriented Storm still serializes for local sends;
+            // account for it so the counters match the cost model.
+            self.stats
+                .serializations
+                .fetch_add(p.serializations as u64, Ordering::Relaxed);
+            return;
+        }
+        self.stats
+            .serializations
+            .fetch_add(p.serializations as u64, Ordering::Relaxed);
+        match self.config.comm_mode {
+            CommMode::InstanceOriented => {
+                for env in &p.remote {
+                    debug_assert_eq!(env.dst_tasks.len(), 1);
+                    let msg = InstanceMessage {
+                        src,
+                        dst: env.dst_tasks[0],
+                        tuple: (**tuple).clone(),
+                    };
+                    let mut framed = BytesMut::with_capacity(1 + msg.wire_bytes());
+                    framed.put_u8(TAG_INSTANCE);
+                    framed.put_slice(&msg.encode());
+                    self.transmit(src, env.dst_worker, framed.freeze());
+                }
+            }
+            CommMode::WorkerOriented => {
+                // Serialize the data item once; reuse per worker.
+                let item = codec::encode_tuple(tuple);
+                for env in &p.remote {
+                    let body = WorkerMessage::encode_with_item(src, &env.dst_tasks, &item);
+                    let mut framed = BytesMut::with_capacity(1 + body.len());
+                    framed.put_u8(TAG_WORKER);
+                    framed.put_slice(&body);
+                    self.transmit(src, env.dst_worker, framed.freeze());
+                }
+            }
+        }
+    }
+
+    fn transmit(&self, src: TaskId, dst_worker: WorkerId, framed: Bytes) {
+        let from = EndpointId(self.placement.worker_of(src).0);
+        let to = EndpointId(dst_worker.0);
+        let result = if self.config.zero_copy {
+            let buf: Arc<[u8]> = Arc::from(&framed[..]);
+            self.fabric.send_shared(from, to, buf)
+        } else {
+            self.fabric.send_copied(from, to, &framed)
+        };
+        // Receivers may have shut down during teardown; drop silently.
+        let _ = result;
+    }
+
+    fn send_relay_eos_frame(
+        &self,
+        from_worker: u32,
+        origin: u32,
+        comp: ComponentId,
+        node: u32,
+        src: TaskId,
+    ) {
+        let mut framed = BytesMut::with_capacity(17);
+        framed.put_u8(TAG_RELAY_EOS);
+        framed.put_u32_le(origin);
+        framed.put_u32_le(comp.0);
+        framed.put_u32_le(node);
+        framed.put_u32_le(src.0);
+        let dst = relay_node_worker(origin, node, self.placement.workers());
+        let from = EndpointId(from_worker);
+        let to = EndpointId(dst.0);
+        let result = if self.config.zero_copy {
+            let buf: Arc<[u8]> = Arc::from(&framed.freeze()[..]);
+            self.fabric.send_shared(from, to, buf)
+        } else {
+            self.fabric.send_copied(from, to, &framed)
+        };
+        let _ = result;
+    }
+
+    /// A relay worker received an EOS frame: forward along the tree, then
+    /// deliver EOS to the local instances of the component.
+    fn on_relay_eos(&self, my_worker: u32, origin: u32, comp: ComponentId, node: u32, src: TaskId) {
+        let tree = &self.relay_trees[origin as usize];
+        let children: Vec<Node> = tree.children(Node::Dest(node)).to_vec();
+        for child in children {
+            let Node::Dest(c) = child else { continue };
+            self.send_relay_eos_frame(my_worker, origin, comp, c, src);
+        }
+        for &t in self.placement.tasks_on(WorkerId(my_worker)) {
+            if self.topology.tasks().component_of(t) == Some(comp) {
+                let _ = self.inboxes[&t].send(ExecMsg::Eos(src));
+            }
+        }
+    }
+
+    /// Broadcast end-of-stream from `src` to every subscriber of its
+    /// component, across both local and remote paths.
+    fn broadcast_eos(&self, src: TaskId) {
+        let comp = self
+            .topology
+            .tasks()
+            .component_of(src)
+            .expect("task belongs to a component");
+        for edge in self.topology.downstream_edges(comp) {
+            // Relay-path streams must carry EOS along the same tree so it
+            // stays behind every in-flight tuple (per-hop FIFO channels).
+            let relayed = self.config.multicast_d_star.is_some()
+                && self.config.comm_mode == CommMode::WorkerOriented
+                && edge.grouping == Grouping::All;
+            if relayed {
+                let src_worker = self.placement.worker_of(src);
+                for &t in self.placement.tasks_on(src_worker) {
+                    if self.topology.tasks().component_of(t) == Some(edge.to) {
+                        let _ = self.inboxes[&t].send(ExecMsg::Eos(src));
+                    }
+                }
+                let tree = &self.relay_trees[src_worker.0 as usize];
+                for &child in tree.children(Node::Source) {
+                    let Node::Dest(node) = child else { continue };
+                    self.send_relay_eos_frame(src_worker.0, src_worker.0, edge.to, node, src);
+                }
+                continue;
+            }
+            let dsts = self.topology.tasks().tasks_of(edge.to);
+            let by_worker = self.placement.group_by_worker(&dsts);
+            let src_worker = self.placement.worker_of(src);
+            for (worker, tasks) in by_worker {
+                if worker == src_worker {
+                    for t in tasks {
+                        let _ = self.inboxes[&t].send(ExecMsg::Eos(src));
+                    }
+                } else {
+                    let mut framed = BytesMut::with_capacity(1 + 8 + 4 * tasks.len());
+                    framed.put_u8(TAG_EOS);
+                    framed.put_u32_le(src.0);
+                    framed.put_u32_le(tasks.len() as u32);
+                    for t in &tasks {
+                        framed.put_u32_le(t.0);
+                    }
+                    self.transmit(src, worker, framed.freeze());
+                }
+            }
+        }
+    }
+}
+
+fn build_groupings(topology: &Topology, comp: ComponentId) -> Vec<(ComponentId, GroupingExec)> {
+    topology
+        .downstream_edges(comp)
+        .into_iter()
+        .map(|e| {
+            assert!(
+                e.grouping != Grouping::Direct,
+                "direct grouping is not supported by the live runtime"
+            );
+            (
+                e.to,
+                GroupingExec::new(e.grouping.clone(), topology.tasks().tasks_of(e.to)),
+            )
+        })
+        .collect()
+}
+
+struct OutboxEmitter<'a> {
+    routing: &'a Routing,
+    src: TaskId,
+    outbox: &'a mut Outbox,
+}
+
+impl Emitter for OutboxEmitter<'_> {
+    fn emit(&mut self, tuple: Tuple) {
+        self.outbox.emit(self.routing, self.src, tuple);
+    }
+}
+
+/// Execute a topology to completion on the live runtime.
+///
+/// Every spout runs until its `next_tuple` returns `None`; EOS then
+/// propagates through the DAG; the run finishes when every executor has
+/// drained. Returns aggregate statistics.
+pub fn run_topology(topology: Topology, operators: Operators, config: LiveConfig) -> RunReport {
+    let cluster = ClusterSpec::new(config.machines, 1, 16);
+    let placement = Placement::even(&topology, &cluster);
+    let fabric = Arc::new(LiveFabric::new());
+
+    let stats = Arc::new(RunStats {
+        serializations: AtomicU64::new(0),
+        executed: (0..topology.components().len())
+            .map(|_| AtomicU64::new(0))
+            .collect(),
+        spout_emitted: AtomicU64::new(0),
+        relay_forwards: AtomicU64::new(0),
+        emit_times: Mutex::new(HashMap::new()),
+        delivery_ns: Mutex::new(Vec::new()),
+    });
+
+    if config.multicast_d_star.is_some() {
+        assert_eq!(
+            config.comm_mode,
+            CommMode::WorkerOriented,
+            "the multicast tree relays worker-oriented messages"
+        );
+    }
+    let relay_trees: Vec<MulticastTree> = match config.multicast_d_star {
+        Some(d) => (0..placement.workers())
+            .map(|_| build_nonblocking(placement.workers() - 1, d))
+            .collect(),
+        None => Vec::new(),
+    };
+
+    // Inboxes for every task.
+    let mut inboxes = HashMap::new();
+    let mut receivers: HashMap<TaskId, Receiver<ExecMsg>> = HashMap::new();
+    for t in topology.tasks().all_tasks() {
+        let (tx, rx) = unbounded();
+        inboxes.insert(t, tx);
+        receivers.insert(t, rx);
+    }
+
+    // Worker endpoints.
+    let mut worker_rx = Vec::new();
+    for w in 0..placement.workers() {
+        worker_rx.push(fabric.register(EndpointId(w)));
+    }
+
+    let routing = Arc::new(Routing {
+        topology,
+        placement,
+        config,
+        relay_trees,
+        fabric: Arc::clone(&fabric),
+        inboxes,
+        stats: Arc::clone(&stats),
+    });
+
+    let start = std::time::Instant::now();
+    let mut handles = Vec::new();
+
+    // Dispatcher threads: one per worker.
+    for (w, rx) in worker_rx.into_iter().enumerate() {
+        let routing = Arc::clone(&routing);
+        handles.push(std::thread::spawn(move || {
+            dispatcher_loop(w as u32, rx, &routing)
+        }));
+    }
+
+    // Executor + spout threads.
+    let mut work_handles = Vec::new();
+    for comp in routing.topology.components().to_vec() {
+        for (idx, task) in routing
+            .topology
+            .tasks()
+            .tasks_of(comp.id)
+            .into_iter()
+            .enumerate()
+        {
+            let routing = Arc::clone(&routing);
+            let stats = Arc::clone(&stats);
+            match comp.kind {
+                ComponentKind::Spout => {
+                    let spout_factory = operators
+                        .spouts
+                        .get(&comp.name)
+                        .unwrap_or_else(|| panic!("no spout registered for {:?}", comp.name));
+                    let mut spout = spout_factory(idx as u32);
+                    let mut outbox = make_outbox(&routing, task, comp.id, &mut work_handles);
+                    work_handles.push(std::thread::spawn(move || {
+                        while let Some(t) = spout.next_tuple() {
+                            stats.spout_emitted.fetch_add(1, Ordering::Relaxed);
+                            if t.id != 0 && t.id % LATENCY_SAMPLE == 0 {
+                                stats.emit_times.lock().insert(t.id, Instant::now());
+                            }
+                            outbox.emit(&routing, task, t);
+                        }
+                        outbox.finish(&routing, task);
+                    }));
+                }
+                ComponentKind::Bolt => {
+                    let bolt_factory = operators
+                        .bolts
+                        .get(&comp.name)
+                        .unwrap_or_else(|| panic!("no bolt registered for {:?}", comp.name));
+                    let mut bolt = bolt_factory(idx as u32);
+                    let rx = receivers.remove(&task).expect("receiver exists");
+                    let expected_eos: usize = routing
+                        .topology
+                        .upstream_edges(comp.id)
+                        .iter()
+                        .map(|e| routing.topology.tasks().parallelism(e.from) as usize)
+                        .sum();
+                    let outbox = make_outbox(&routing, task, comp.id, &mut work_handles);
+                    work_handles.push(std::thread::spawn(move || {
+                        executor_loop(
+                            task,
+                            comp.id,
+                            &mut *bolt,
+                            rx,
+                            expected_eos,
+                            outbox,
+                            &routing,
+                            &stats,
+                        )
+                    }));
+                }
+            }
+        }
+    }
+
+    for h in work_handles {
+        h.join().expect("worker thread panicked");
+    }
+    // All producers done: close the fabric endpoints so dispatchers exit.
+    for w in 0..routing.placement.workers() {
+        fabric.deregister(EndpointId(w));
+    }
+    for h in handles {
+        h.join().expect("dispatcher thread panicked");
+    }
+
+    let elapsed = start.elapsed();
+    RunReport {
+        elapsed,
+        serializations: stats.serializations.load(Ordering::Relaxed),
+        executed: stats
+            .executed
+            .iter()
+            .map(|a| a.load(Ordering::Relaxed))
+            .collect(),
+        spout_emitted: stats.spout_emitted.load(Ordering::Relaxed),
+        fabric_messages: fabric.messages(),
+        copied_bytes: fabric.copied_bytes(),
+        shared_bytes: fabric.shared_bytes(),
+        relay_forwards: stats.relay_forwards.load(Ordering::Relaxed),
+        delivery_ns: {
+            let mut samples = stats.delivery_ns.lock();
+            std::mem::take(&mut *samples)
+        },
+    }
+}
+
+fn dispatcher_loop(worker: u32, rx: Receiver<whale_net::LiveMessage>, routing: &Routing) {
+    while let Ok(msg) = rx.recv() {
+        let mut buf = msg.payload.bytes();
+        if buf.is_empty() {
+            continue;
+        }
+        let tag = buf.get_u8();
+        match tag {
+            TAG_RELAY => {
+                let origin = buf.get_u32_le();
+                let comp = ComponentId(buf.get_u32_le());
+                let node = buf.get_u32_le();
+                let item = Bytes::copy_from_slice(buf);
+                routing.on_relay_frame(worker, origin, comp, node, item);
+            }
+            TAG_RELAY_EOS => {
+                let origin = buf.get_u32_le();
+                let comp = ComponentId(buf.get_u32_le());
+                let node = buf.get_u32_le();
+                let src = TaskId(buf.get_u32_le());
+                routing.on_relay_eos(worker, origin, comp, node, src);
+            }
+            TAG_INSTANCE => {
+                let decoded =
+                    InstanceMessage::decode(&mut buf).expect("malformed instance message");
+                let _ = routing.inboxes[&decoded.dst].send(ExecMsg::Data(Arc::new(decoded.tuple)));
+            }
+            TAG_WORKER => {
+                let decoded = WorkerMessage::decode(&mut buf).expect("malformed worker message");
+                // One deserialization, fanned out to local executors.
+                for addressed in codec::dispatch_worker_message(decoded) {
+                    let _ = routing.inboxes[&addressed.dst].send(ExecMsg::Data(addressed.tuple));
+                }
+            }
+            TAG_EOS => {
+                let src = TaskId(buf.get_u32_le());
+                let n = buf.get_u32_le() as usize;
+                for _ in 0..n {
+                    let dst = TaskId(buf.get_u32_le());
+                    let _ = routing.inboxes[&dst].send(ExecMsg::Eos(src));
+                }
+            }
+            other => panic!("unknown fabric tag {other}"),
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn executor_loop(
+    task: TaskId,
+    comp: ComponentId,
+    bolt: &mut dyn Bolt,
+    rx: Receiver<ExecMsg>,
+    expected_eos: usize,
+    mut outbox: Outbox,
+    routing: &Routing,
+    stats: &RunStats,
+) {
+    let mut eos_seen = std::collections::HashSet::new();
+    while let Ok(msg) = rx.recv() {
+        match msg {
+            ExecMsg::Data(t) => {
+                stats.executed[comp.0 as usize].fetch_add(1, Ordering::Relaxed);
+                if t.id != 0 && t.id % LATENCY_SAMPLE == 0 {
+                    let start = stats.emit_times.lock().get(&t.id).copied();
+                    if let Some(start) = start {
+                        let ns = start.elapsed().as_nanos() as u64;
+                        stats.delivery_ns.lock().push(ns);
+                    }
+                }
+                let mut emitter = OutboxEmitter {
+                    routing,
+                    src: task,
+                    outbox: &mut outbox,
+                };
+                bolt.execute(&t, &mut emitter);
+            }
+            ExecMsg::Eos(src) => {
+                eos_seen.insert(src);
+                if eos_seen.len() >= expected_eos {
+                    let mut emitter = OutboxEmitter {
+                        routing,
+                        src: task,
+                        outbox: &mut outbox,
+                    };
+                    bolt.finish(&mut emitter);
+                    outbox.finish(routing, task);
+                    return;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::operator::{FnBolt, IterSpout};
+    use crate::tuple::{Schema, Value};
+
+    fn counting_topology(machines: u32, bolt_p: u32) -> (Topology, Operators) {
+        let mut b = crate::topology::TopologyBuilder::new();
+        b.spout("src", 1, Schema::new(vec!["n"]))
+            .bolt("double", bolt_p, Schema::new(vec!["n"]))
+            .bolt("sink", 1, Schema::new(vec!["n"]))
+            .connect("src", "double", Grouping::All)
+            .connect("double", "sink", Grouping::Shuffle);
+        let t = b.build().unwrap();
+        let _ = machines;
+        let ops = Operators::new()
+            .spout("src", |_| {
+                Box::new(IterSpout::new(
+                    (0..100i64).map(|i| Tuple::with_id(i as u64, vec![Value::I64(i)])),
+                ))
+            })
+            .bolt("double", |_| {
+                Box::new(FnBolt::new(|t: &Tuple, out: &mut dyn Emitter| {
+                    let x = t.get(0).unwrap().as_i64().unwrap();
+                    out.emit(Tuple::new(vec![Value::I64(x * 2)]));
+                }))
+            })
+            .bolt("sink", |_| {
+                Box::new(FnBolt::new(|_t: &Tuple, _out: &mut dyn Emitter| {}))
+            });
+        (t, ops)
+    }
+
+    fn run(mode: CommMode, zero_copy: bool, machines: u32, bolt_p: u32) -> RunReport {
+        let (t, ops) = counting_topology(machines, bolt_p);
+        run_topology(
+            t,
+            ops,
+            LiveConfig {
+                machines,
+                comm_mode: mode,
+                zero_copy,
+                multicast_d_star: None,
+                dedicated_senders: false,
+            },
+        )
+    }
+
+    #[test]
+    fn all_grouping_fans_out_to_every_instance() {
+        let r = run(CommMode::WorkerOriented, true, 4, 8);
+        // 100 source tuples × 8 instances.
+        assert_eq!(r.executed[1], 800);
+        // Each doubled tuple shuffles to the single sink.
+        assert_eq!(r.executed[2], 800);
+        assert_eq!(r.spout_emitted, 100);
+    }
+
+    #[test]
+    fn instance_oriented_matches_results_with_more_serialization() {
+        let io = run(CommMode::InstanceOriented, false, 4, 8);
+        let wo = run(CommMode::WorkerOriented, true, 4, 8);
+        // Same data-plane results...
+        assert_eq!(io.executed, wo.executed);
+        // ...but instance-oriented serializes per destination: the
+        // all-grouping stage costs 100×8 serializations instead of 100×1
+        // (the shuffle stage is 1-fanout and serializes once either way).
+        assert_eq!(io.serializations - wo.serializations, 100 * (8 - 1));
+        // And moves more bytes (copied path) than worker-oriented fabric
+        // messages.
+        assert!(io.fabric_messages > wo.fabric_messages);
+    }
+
+    #[test]
+    fn zero_copy_uses_shared_path() {
+        let r = run(CommMode::WorkerOriented, true, 4, 8);
+        assert_eq!(r.copied_bytes, 0);
+        assert!(r.shared_bytes > 0);
+        let r = run(CommMode::WorkerOriented, false, 4, 8);
+        assert_eq!(r.shared_bytes, 0);
+        assert!(r.copied_bytes > 0);
+    }
+
+    #[test]
+    fn single_machine_runs_entirely_local() {
+        let r = run(CommMode::WorkerOriented, true, 1, 4);
+        assert_eq!(r.executed[1], 400);
+        // EOS frames may be local too: everything is on one worker.
+        assert_eq!(r.copied_bytes + r.shared_bytes, 0);
+    }
+
+    #[test]
+    fn relay_multicast_equals_direct_results() {
+        let (t, ops) = counting_topology(8, 16);
+        let relayed = run_topology(
+            t,
+            ops,
+            LiveConfig {
+                machines: 8,
+                comm_mode: CommMode::WorkerOriented,
+                zero_copy: true,
+                multicast_d_star: Some(2),
+                dedicated_senders: false,
+            },
+        );
+        let direct = run(CommMode::WorkerOriented, true, 8, 16);
+        assert_eq!(relayed.executed, direct.executed);
+        assert_eq!(relayed.spout_emitted, direct.spout_emitted);
+        assert!(relayed.relay_forwards > 0, "relays must forward");
+        assert_eq!(direct.relay_forwards, 0);
+    }
+
+    #[test]
+    fn relay_offloads_the_source() {
+        // With 8 workers and d* = 2, the source sends to its 2 tree
+        // children; relays forward the remaining 5 frames per broadcast
+        // tuple. 100 broadcast tuples → 500 relay forwards (the shuffle
+        // stage to the sink is not relayed).
+        let (t, ops) = counting_topology(8, 16);
+        let r = run_topology(
+            t,
+            ops,
+            LiveConfig {
+                machines: 8,
+                comm_mode: CommMode::WorkerOriented,
+                zero_copy: true,
+                multicast_d_star: Some(2),
+                dedicated_senders: false,
+            },
+        );
+        assert_eq!(r.relay_forwards, 100 * 5);
+        // Still exactly one serialization per broadcast tuple.
+        assert_eq!(r.executed[1], 100 * 16);
+    }
+
+    #[test]
+    fn dedicated_senders_match_inline_results() {
+        let (t, ops) = counting_topology(4, 8);
+        let queued = run_topology(
+            t,
+            ops,
+            LiveConfig {
+                machines: 4,
+                comm_mode: CommMode::WorkerOriented,
+                zero_copy: true,
+                multicast_d_star: None,
+                dedicated_senders: true,
+            },
+        );
+        let inline = run(CommMode::WorkerOriented, true, 4, 8);
+        assert_eq!(queued.executed, inline.executed);
+        assert_eq!(queued.spout_emitted, inline.spout_emitted);
+        assert_eq!(queued.serializations, inline.serializations);
+    }
+
+    #[test]
+    fn dedicated_senders_with_relay_tree() {
+        let (t, ops) = counting_topology(8, 16);
+        let r = run_topology(
+            t,
+            ops,
+            LiveConfig {
+                machines: 8,
+                comm_mode: CommMode::WorkerOriented,
+                zero_copy: true,
+                multicast_d_star: Some(2),
+                dedicated_senders: true,
+            },
+        );
+        assert_eq!(r.executed[1], 100 * 16);
+        assert_eq!(r.relay_forwards, 100 * 5);
+    }
+
+    #[test]
+    fn delivery_latency_sampled() {
+        let r = run(CommMode::WorkerOriented, true, 4, 8);
+        // 100 source tuples with ids 0..100: ids 8,16,...,96 are sampled,
+        // each executed by 8 instances → at least some dozens of samples.
+        assert!(
+            r.delivery_ns.len() >= 50,
+            "samples = {}",
+            r.delivery_ns.len()
+        );
+        assert!(r.mean_delivery() > std::time::Duration::ZERO);
+        assert!(r.p99_delivery() >= r.mean_delivery() / 2);
+    }
+
+    #[test]
+    fn relay_node_worker_mapping_skips_origin() {
+        assert_eq!(relay_node_worker(0, 0, 4), WorkerId(1));
+        assert_eq!(relay_node_worker(0, 2, 4), WorkerId(3));
+        assert_eq!(relay_node_worker(2, 0, 4), WorkerId(0));
+        assert_eq!(relay_node_worker(2, 1, 4), WorkerId(1));
+        assert_eq!(relay_node_worker(2, 2, 4), WorkerId(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "worker-oriented")]
+    fn relay_requires_worker_oriented() {
+        let (t, ops) = counting_topology(4, 4);
+        let _ = run_topology(
+            t,
+            ops,
+            LiveConfig {
+                machines: 4,
+                comm_mode: CommMode::InstanceOriented,
+                zero_copy: false,
+                multicast_d_star: Some(2),
+                dedicated_senders: false,
+            },
+        );
+    }
+
+    #[test]
+    fn deterministic_tuple_counts_across_modes_and_scales() {
+        for machines in [1, 2, 8] {
+            for p in [1, 4, 16] {
+                let r = run(CommMode::WorkerOriented, true, machines, p);
+                assert_eq!(r.executed[1] as u32, 100 * p, "machines={machines} p={p}");
+            }
+        }
+    }
+}

@@ -1,0 +1,258 @@
+//! Tuples: the unit of data flowing through a topology.
+//!
+//! A tuple is a small ordered list of typed values described by the
+//! emitting component's schema, as in Storm. Size accounting matters here:
+//! serialization and wire costs in the simulation are driven by
+//! [`Tuple::payload_bytes`].
+
+use std::fmt;
+use std::sync::Arc;
+
+/// A single typed field value.
+#[derive(Clone, PartialEq, Debug)]
+pub enum Value {
+    /// Signed integer.
+    I64(i64),
+    /// Floating point.
+    F64(f64),
+    /// UTF-8 string (shared to keep clones cheap).
+    Str(Arc<str>),
+    /// Raw bytes.
+    Bytes(Arc<[u8]>),
+    /// Boolean.
+    Bool(bool),
+}
+
+impl Value {
+    /// A string value.
+    pub fn str(s: impl Into<Arc<str>>) -> Value {
+        Value::Str(s.into())
+    }
+
+    /// Wire size of this value in bytes (1 tag byte + payload).
+    pub fn wire_bytes(&self) -> usize {
+        1 + match self {
+            Value::I64(_) => 8,
+            Value::F64(_) => 8,
+            Value::Str(s) => 4 + s.len(),
+            Value::Bytes(b) => 4 + b.len(),
+            Value::Bool(_) => 1,
+        }
+    }
+
+    /// As i64, if this is an integer.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::I64(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// As f64, if this is a float.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::F64(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// As str, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// As bool, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// As bytes, if this is a byte array.
+    pub fn as_bytes(&self) -> Option<&[u8]> {
+        match self {
+            Value::Bytes(b) => Some(b),
+            _ => None,
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::I64(v)
+    }
+}
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::F64(v)
+    }
+}
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(Arc::from(v))
+    }
+}
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(Arc::from(v.as_str()))
+    }
+}
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::I64(v) => write!(f, "{v}"),
+            Value::F64(v) => write!(f, "{v}"),
+            Value::Str(s) => write!(f, "{s:?}"),
+            Value::Bytes(b) => write!(f, "<{} bytes>", b.len()),
+            Value::Bool(b) => write!(f, "{b}"),
+        }
+    }
+}
+
+/// A data tuple: ordered values plus a monotonically assigned id used for
+/// latency tracking.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Tuple {
+    /// Unique id assigned at the source (0 if untracked).
+    pub id: u64,
+    /// Field values in schema order.
+    pub values: Vec<Value>,
+}
+
+impl Tuple {
+    /// Build a tuple from values, untracked.
+    pub fn new(values: Vec<Value>) -> Self {
+        Tuple { id: 0, values }
+    }
+
+    /// Build a tracked tuple.
+    pub fn with_id(id: u64, values: Vec<Value>) -> Self {
+        Tuple { id, values }
+    }
+
+    /// Field by index.
+    pub fn get(&self, i: usize) -> Option<&Value> {
+        self.values.get(i)
+    }
+
+    /// Number of fields.
+    pub fn arity(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Serialized payload size: 8-byte id + 2-byte arity + values.
+    pub fn payload_bytes(&self) -> usize {
+        8 + 2 + self.values.iter().map(Value::wire_bytes).sum::<usize>()
+    }
+}
+
+/// A component's declared output fields.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct Schema {
+    fields: Vec<String>,
+}
+
+impl Schema {
+    /// Declare a schema from field names (must be unique).
+    pub fn new<S: Into<String>>(fields: Vec<S>) -> Self {
+        let fields: Vec<String> = fields.into_iter().map(Into::into).collect();
+        for (i, f) in fields.iter().enumerate() {
+            assert!(
+                !fields[..i].contains(f),
+                "duplicate field name {f:?} in schema"
+            );
+        }
+        Schema { fields }
+    }
+
+    /// Index of a field by name.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.fields.iter().position(|f| f == name)
+    }
+
+    /// Field names in order.
+    pub fn fields(&self) -> &[String] {
+        &self.fields
+    }
+
+    /// Number of fields.
+    pub fn arity(&self) -> usize {
+        self.fields.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_conversions() {
+        assert_eq!(Value::from(3i64).as_i64(), Some(3));
+        assert_eq!(Value::from(2.5f64).as_f64(), Some(2.5));
+        assert_eq!(Value::from("hi").as_str(), Some("hi"));
+        assert_eq!(Value::from(true).as_bool(), Some(true));
+        assert_eq!(Value::from("hi").as_i64(), None);
+        let b = Value::Bytes(Arc::from(&b"xyz"[..]));
+        assert_eq!(b.as_bytes(), Some(&b"xyz"[..]));
+    }
+
+    #[test]
+    fn wire_bytes_accounting() {
+        assert_eq!(Value::I64(1).wire_bytes(), 9);
+        assert_eq!(Value::F64(1.0).wire_bytes(), 9);
+        assert_eq!(Value::Bool(true).wire_bytes(), 2);
+        assert_eq!(Value::str("abc").wire_bytes(), 1 + 4 + 3);
+        assert_eq!(Value::Bytes(Arc::from(&b"ab"[..])).wire_bytes(), 1 + 4 + 2);
+    }
+
+    #[test]
+    fn tuple_payload_bytes() {
+        let t = Tuple::new(vec![Value::I64(1), Value::str("xy")]);
+        // 8 id + 2 arity + 9 + (1+4+2)
+        assert_eq!(t.payload_bytes(), 8 + 2 + 9 + 7);
+        assert_eq!(t.arity(), 2);
+    }
+
+    #[test]
+    fn tuple_access() {
+        let t = Tuple::with_id(42, vec![Value::I64(7)]);
+        assert_eq!(t.id, 42);
+        assert_eq!(t.get(0).unwrap().as_i64(), Some(7));
+        assert!(t.get(1).is_none());
+    }
+
+    #[test]
+    fn schema_lookup() {
+        let s = Schema::new(vec!["driver_id", "lat", "lng"]);
+        assert_eq!(s.index_of("lat"), Some(1));
+        assert_eq!(s.index_of("missing"), None);
+        assert_eq!(s.arity(), 3);
+        assert_eq!(s.fields()[0], "driver_id");
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate field name")]
+    fn schema_rejects_duplicates() {
+        let _ = Schema::new(vec!["a", "a"]);
+    }
+
+    #[test]
+    fn str_values_share_storage_on_clone() {
+        let v = Value::str("shared");
+        let w = v.clone();
+        match (&v, &w) {
+            (Value::Str(a), Value::Str(b)) => assert!(Arc::ptr_eq(a, b)),
+            _ => unreachable!(),
+        }
+    }
+}

@@ -1,0 +1,242 @@
+//! Multicast structure construction: Algorithm 1 (non-blocking tree), the
+//! RDMC-style binomial tree, and Storm's sequential star.
+
+use crate::tree::{MulticastTree, Node};
+
+/// The out-degree of the source in a binomial tree over `n` destinations:
+/// `ceil(log2(n + 1))` (§3.2.2).
+pub fn binomial_source_degree(n: u32) -> u32 {
+    if n == 0 {
+        return 0;
+    }
+    // ceil(log2(n+1)) = bits needed to represent n.
+    32 - n.leading_zeros()
+}
+
+/// Algorithm 1: build the non-blocking multicast tree over `n`
+/// destinations with maximum out-degree `d_star`.
+///
+/// ```
+/// use whale_multicast::{build_nonblocking, Node};
+///
+/// // The paper's Fig 6: 7 destinations, d* = 2.
+/// let tree = build_nonblocking(7, 2);
+/// tree.validate(2).unwrap();
+/// assert_eq!(tree.out_degree(Node::Source), 2);
+/// println!("{}", tree.render_ascii());
+/// ```
+///
+/// Layer by layer, every already-attached node with out-degree below
+/// `d_star` adopts one new destination per round (one round = one relay
+/// time unit), in node-attachment order. With `d_star >= ceil(log2(n+1))`
+/// this degenerates to the binomial tree.
+pub fn build_nonblocking(n: u32, d_star: u32) -> MulticastTree {
+    assert!(d_star >= 1, "d* must be at least 1");
+    let mut tree = MulticastTree::empty(n);
+    // `list` holds nodes in attachment order; the source is first.
+    let mut list: Vec<Node> = Vec::with_capacity(1 + n as usize);
+    list.push(Node::Source);
+    let mut next_dest: u32 = 0;
+    while next_dest < n {
+        let size = list.len();
+        for i in 0..size {
+            let t = list[i];
+            if tree.out_degree(t) < d_star {
+                tree.attach(t, next_dest);
+                list.push(Node::Dest(next_dest));
+                next_dest += 1;
+                if next_dest == n {
+                    return tree;
+                }
+            }
+        }
+    }
+    tree
+}
+
+/// The RDMC-style static binomial multicast tree over `n` destinations.
+///
+/// Equivalent to the non-blocking tree with an unbounded degree cap: each
+/// completed node adopts one new destination every round, so the reached
+/// set doubles per time unit and the source ends with out-degree
+/// `ceil(log2(n+1))`.
+pub fn build_binomial(n: u32) -> MulticastTree {
+    build_nonblocking(n, u32::MAX)
+}
+
+/// Storm's sequential multicast: the source connects to every destination
+/// directly and sends to them one after another (a star with out-degree
+/// `n`).
+pub fn build_sequential(n: u32) -> MulticastTree {
+    let mut tree = MulticastTree::empty(n);
+    for i in 0..n {
+        tree.attach(Node::Source, i);
+    }
+    tree
+}
+
+/// The structures compared in the paper's evaluation (Figs 17–22).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Structure {
+    /// Storm's sequential star.
+    Sequential,
+    /// RDMC's static binomial tree.
+    Binomial,
+    /// Whale's degree-capped non-blocking tree.
+    NonBlocking {
+        /// Maximum out-degree `d*`.
+        d_star: u32,
+    },
+}
+
+impl Structure {
+    /// Build the structure over `n` destinations.
+    pub fn build(self, n: u32) -> MulticastTree {
+        match self {
+            Structure::Sequential => build_sequential(n),
+            Structure::Binomial => build_binomial(n),
+            Structure::NonBlocking { d_star } => build_nonblocking(n, d_star),
+        }
+    }
+
+    /// The source's out-degree in this structure over `n` destinations:
+    /// `n` (sequential), `ceil(log2(n+1))` (binomial), or
+    /// `min(d*, ceil(log2(n+1)))` (non-blocking, §3.2.2).
+    pub fn source_degree(self, n: u32) -> u32 {
+        match self {
+            Structure::Sequential => n,
+            Structure::Binomial => binomial_source_degree(n),
+            Structure::NonBlocking { d_star } => d_star.min(binomial_source_degree(n)),
+        }
+    }
+
+    /// Display label used in reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            Structure::Sequential => "sequential",
+            Structure::Binomial => "binomial",
+            Structure::NonBlocking { .. } => "nonblocking",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::Node;
+
+    #[test]
+    fn nonblocking_valid_over_many_shapes() {
+        for n in [1u32, 2, 3, 7, 8, 15, 16, 100, 480] {
+            for d in [1u32, 2, 3, 4, 8] {
+                let t = build_nonblocking(n, d);
+                t.validate(d).unwrap_or_else(|e| panic!("n={n} d={d}: {e}"));
+                assert_eq!(t.reachable_count(), n);
+            }
+        }
+    }
+
+    #[test]
+    fn fig6_shape_reproduced() {
+        // |T| = 7, d* = 2 must give the paper's Fig 6 structure.
+        let t = build_nonblocking(7, 2);
+        t.validate(2).unwrap();
+        assert_eq!(t.out_degree(Node::Source), 2);
+        // S's children: T0 (layer 1), T1 (layer 2).
+        assert_eq!(t.children(Node::Source), &[Node::Dest(0), Node::Dest(1)]);
+        // T0's children: T2 (layer 2), T3 (layer 3).
+        assert_eq!(t.children(Node::Dest(0)), &[Node::Dest(2), Node::Dest(3)]);
+        // T1: T4 (layer 3), T6 (layer 4). T2: T5 (layer 3).
+        assert_eq!(t.children(Node::Dest(1)), &[Node::Dest(4), Node::Dest(6)]);
+        assert_eq!(t.children(Node::Dest(2)), &[Node::Dest(5)]);
+        assert_eq!(t.height(), 3);
+    }
+
+    #[test]
+    fn binomial_source_degree_formula() {
+        assert_eq!(binomial_source_degree(0), 0);
+        assert_eq!(binomial_source_degree(1), 1);
+        assert_eq!(binomial_source_degree(3), 2);
+        assert_eq!(binomial_source_degree(7), 3);
+        assert_eq!(binomial_source_degree(8), 4);
+        assert_eq!(binomial_source_degree(15), 4);
+        assert_eq!(binomial_source_degree(480), 9);
+    }
+
+    #[test]
+    fn binomial_doubles_each_round() {
+        // After t rounds a binomial multicast reaches 2^t - 1 destinations,
+        // so with n = 2^k - 1 the height is k and source degree k.
+        let t = build_binomial(15);
+        t.validate(u32::MAX).unwrap();
+        assert_eq!(t.out_degree(Node::Source), 4);
+        assert_eq!(t.height(), 4);
+    }
+
+    #[test]
+    fn binomial_equals_uncapped_nonblocking() {
+        for n in [1u32, 5, 31, 100] {
+            assert_eq!(build_binomial(n), build_nonblocking(n, u32::MAX));
+        }
+    }
+
+    #[test]
+    fn nonblocking_with_large_dstar_is_binomial() {
+        let n = 100;
+        let cap = binomial_source_degree(n);
+        assert_eq!(build_nonblocking(n, cap), build_binomial(n));
+    }
+
+    #[test]
+    fn sequential_is_a_star() {
+        let t = build_sequential(10);
+        t.validate(10).unwrap();
+        assert_eq!(t.out_degree(Node::Source), 10);
+        assert_eq!(t.height(), 1);
+        for i in 0..10 {
+            assert_eq!(t.parent(i), Some(Node::Source));
+        }
+    }
+
+    #[test]
+    fn dstar_one_is_a_chain() {
+        let t = build_nonblocking(5, 1);
+        t.validate(1).unwrap();
+        assert_eq!(t.height(), 5);
+        assert_eq!(t.children(Node::Source), &[Node::Dest(0)]);
+        assert_eq!(t.children(Node::Dest(0)), &[Node::Dest(1)]);
+    }
+
+    #[test]
+    fn source_degree_caps() {
+        assert_eq!(Structure::Sequential.source_degree(480), 480);
+        assert_eq!(Structure::Binomial.source_degree(480), 9);
+        assert_eq!(Structure::NonBlocking { d_star: 3 }.source_degree(480), 3);
+        assert_eq!(Structure::NonBlocking { d_star: 99 }.source_degree(480), 9);
+        // And the built trees agree with the formula.
+        for s in [
+            Structure::Sequential,
+            Structure::Binomial,
+            Structure::NonBlocking { d_star: 3 },
+        ] {
+            let t = s.build(480);
+            assert_eq!(t.out_degree(Node::Source), s.source_degree(480), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn zero_destinations() {
+        let t = build_nonblocking(0, 3);
+        t.validate(3).unwrap();
+        assert_eq!(t.reachable_count(), 0);
+        let t = build_sequential(0);
+        t.validate(0).unwrap();
+    }
+
+    #[test]
+    fn structure_labels() {
+        assert_eq!(Structure::Sequential.label(), "sequential");
+        assert_eq!(Structure::Binomial.label(), "binomial");
+        assert_eq!(Structure::NonBlocking { d_star: 3 }.label(), "nonblocking");
+    }
+}

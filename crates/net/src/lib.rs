@@ -1,0 +1,31 @@
+//! # whale-net — RDMA/TCP fabric emulation
+//!
+//! Stand-in for the Mellanox InfiniBand FDR + DiSNI verbs stack the paper
+//! runs on. Provides: the cluster topology (machines/racks), a verbs-style
+//! API (queue pairs, work requests, completion queues, one-sided/two-sided
+//! verbs with per-verb costs), registered memory with the ring memory
+//! region multiplexing of §4, the MMS/WTL stream-slicing batcher, a NIC
+//! transmit model for the discrete-event simulation, and a live in-process
+//! fabric that preserves the copy-vs-zero-copy semantics for the runnable
+//! examples.
+
+#![warn(missing_docs)]
+
+pub mod batch;
+pub mod channel;
+pub mod fabric;
+pub mod memory;
+pub mod nic;
+pub mod topology;
+pub mod verbs;
+
+pub use batch::{Batch, BatchConfig, Batcher, FlushReason};
+pub use channel::{ChannelMsg, Departure, PushResult, RdmaChannel};
+pub use fabric::{EndpointId, LiveFabric, LiveMessage, Payload, SendError};
+pub use memory::{MemoryRegionId, MemoryRegistry, RingFull, RingRegion, SlotAddr};
+pub use nic::Nic;
+pub use topology::{ClusterSpec, MachineId, RackId};
+pub use verbs::{
+    Completion, CompletionQueue, PostCosts, QpId, QueuePair, VerbPolicy, WcStatus, WorkRequest,
+    WrId,
+};

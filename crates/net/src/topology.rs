@@ -1,0 +1,172 @@
+//! Physical cluster topology: machines, racks, and NIC placement.
+//!
+//! The paper's testbed is 30 machines (16 cores each), optionally
+//! partitioned into 1–5 racks (Figs 33–34). Topology answers two questions
+//! for the fabric: how many rack hops separate two machines, and which
+//! machine hosts which worker.
+
+use std::fmt;
+
+/// Identifier of a physical machine in the cluster.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct MachineId(pub u32);
+
+impl fmt::Display for MachineId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "m{}", self.0)
+    }
+}
+
+/// Identifier of a rack.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct RackId(pub u32);
+
+/// Static description of the simulated cluster.
+#[derive(Clone, Debug)]
+pub struct ClusterSpec {
+    machines: u32,
+    racks: u32,
+    cores_per_machine: u32,
+}
+
+impl ClusterSpec {
+    /// The paper's testbed: 30 machines, 16 cores, one rack.
+    pub fn paper_testbed() -> Self {
+        ClusterSpec::new(30, 1, 16)
+    }
+
+    /// Build a cluster of `machines` machines spread round-robin over
+    /// `racks` racks, each with `cores_per_machine` cores.
+    pub fn new(machines: u32, racks: u32, cores_per_machine: u32) -> Self {
+        assert!(machines > 0, "need at least one machine");
+        assert!(
+            racks > 0 && racks <= machines,
+            "racks must be in 1..=machines"
+        );
+        assert!(cores_per_machine > 0);
+        ClusterSpec {
+            machines,
+            racks,
+            cores_per_machine,
+        }
+    }
+
+    /// Number of machines.
+    pub fn machines(&self) -> u32 {
+        self.machines
+    }
+
+    /// Number of racks.
+    pub fn racks(&self) -> u32 {
+        self.racks
+    }
+
+    /// Cores per machine.
+    pub fn cores_per_machine(&self) -> u32 {
+        self.cores_per_machine
+    }
+
+    /// Total cores in the cluster.
+    pub fn total_cores(&self) -> u32 {
+        self.machines * self.cores_per_machine
+    }
+
+    /// Iterate over all machine ids.
+    pub fn machine_ids(&self) -> impl Iterator<Item = MachineId> {
+        (0..self.machines).map(MachineId)
+    }
+
+    /// The rack a machine belongs to (round-robin placement).
+    pub fn rack_of(&self, m: MachineId) -> RackId {
+        assert!(m.0 < self.machines, "machine {m} out of range");
+        RackId(m.0 % self.racks)
+    }
+
+    /// Number of rack hops between two machines: 0 within a rack,
+    /// 1 across racks (single ToR-to-ToR hop in a leaf-spine fabric).
+    pub fn rack_hops(&self, a: MachineId, b: MachineId) -> u32 {
+        if a == b {
+            return 0;
+        }
+        if self.rack_of(a) == self.rack_of(b) {
+            0
+        } else {
+            1
+        }
+    }
+
+    /// True if both machines are the same physical host (loopback traffic
+    /// does not cross the NIC).
+    pub fn is_local(&self, a: MachineId, b: MachineId) -> bool {
+        a == b
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_testbed_shape() {
+        let c = ClusterSpec::paper_testbed();
+        assert_eq!(c.machines(), 30);
+        assert_eq!(c.racks(), 1);
+        assert_eq!(c.cores_per_machine(), 16);
+        assert_eq!(c.total_cores(), 480);
+    }
+
+    #[test]
+    fn round_robin_rack_placement() {
+        let c = ClusterSpec::new(10, 3, 4);
+        assert_eq!(c.rack_of(MachineId(0)), RackId(0));
+        assert_eq!(c.rack_of(MachineId(1)), RackId(1));
+        assert_eq!(c.rack_of(MachineId(2)), RackId(2));
+        assert_eq!(c.rack_of(MachineId(3)), RackId(0));
+        assert_eq!(c.rack_of(MachineId(9)), RackId(0));
+    }
+
+    #[test]
+    fn rack_hops_zero_within_rack() {
+        let c = ClusterSpec::new(10, 2, 4);
+        // 0 and 2 both land in rack 0.
+        assert_eq!(c.rack_hops(MachineId(0), MachineId(2)), 0);
+        assert_eq!(c.rack_hops(MachineId(0), MachineId(1)), 1);
+        assert_eq!(c.rack_hops(MachineId(5), MachineId(5)), 0);
+    }
+
+    #[test]
+    fn single_rack_never_hops() {
+        let c = ClusterSpec::new(30, 1, 16);
+        for a in c.machine_ids() {
+            assert_eq!(c.rack_hops(a, MachineId(0)), 0);
+        }
+    }
+
+    #[test]
+    fn locality() {
+        let c = ClusterSpec::new(4, 2, 2);
+        assert!(c.is_local(MachineId(1), MachineId(1)));
+        assert!(!c.is_local(MachineId(1), MachineId(3)));
+    }
+
+    #[test]
+    fn machine_ids_enumerates_all() {
+        let c = ClusterSpec::new(5, 1, 1);
+        let ids: Vec<_> = c.machine_ids().collect();
+        assert_eq!(ids.len(), 5);
+        assert_eq!(ids[4], MachineId(4));
+    }
+
+    #[test]
+    #[should_panic(expected = "racks must be in 1..=machines")]
+    fn too_many_racks_rejected() {
+        let _ = ClusterSpec::new(2, 3, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rack_of_bounds_checked() {
+        let c = ClusterSpec::new(2, 1, 1);
+        let _ = c.rack_of(MachineId(7));
+    }
+}

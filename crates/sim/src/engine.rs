@@ -1,0 +1,313 @@
+//! The discrete-event simulation engine.
+//!
+//! A simulation is a [`SimWorld`]: a state machine that reacts to typed
+//! events. The engine owns the virtual clock and the future event list; the
+//! world schedules follow-up events through the [`Scheduler`] handle it is
+//! given on every dispatch. This split sidesteps the usual Rust borrow
+//! tangle of closure-based DES designs while staying fully deterministic.
+
+use crate::event::{EventId, EventQueue};
+use crate::time::{SimDuration, SimTime};
+
+/// A simulated system: reacts to its own event type.
+pub trait SimWorld {
+    /// The event payload type dispatched by the engine.
+    type Event;
+
+    /// Handle one event at virtual time `now`, scheduling any follow-ups.
+    fn handle(&mut self, now: SimTime, event: Self::Event, sched: &mut Scheduler<Self::Event>);
+}
+
+/// Scheduling handle passed to the world on every dispatch.
+pub struct Scheduler<E> {
+    now: SimTime,
+    queue: EventQueue<E>,
+    dispatched: u64,
+}
+
+impl<E> Scheduler<E> {
+    fn new() -> Self {
+        Scheduler {
+            now: SimTime::ZERO,
+            queue: EventQueue::new(),
+            dispatched: 0,
+        }
+    }
+
+    /// Current virtual time.
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Schedule an event at an absolute time. Times in the past are clamped
+    /// to `now` (they fire next, preserving causality).
+    pub fn at(&mut self, time: SimTime, event: E) -> EventId {
+        self.queue.schedule(time.max(self.now), event)
+    }
+
+    /// Schedule an event `delay` after the current time.
+    pub fn after(&mut self, delay: SimDuration, event: E) -> EventId {
+        self.queue.schedule(self.now + delay, event)
+    }
+
+    /// Schedule an event at the current time (fires after already-queued
+    /// events with the same timestamp).
+    pub fn immediately(&mut self, event: E) -> EventId {
+        self.queue.schedule(self.now, event)
+    }
+
+    /// Cancel a pending event. Returns true if it had not yet fired.
+    pub fn cancel(&mut self, id: EventId) -> bool {
+        self.queue.cancel(id)
+    }
+
+    /// Number of pending events.
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Total events dispatched so far.
+    pub fn dispatched(&self) -> u64 {
+        self.dispatched
+    }
+}
+
+/// The simulation driver: owns the world and the scheduler.
+///
+/// ```
+/// use whale_sim::{Engine, Scheduler, SimDuration, SimTime, SimWorld};
+///
+/// struct Pinger(u32);
+/// impl SimWorld for Pinger {
+///     type Event = ();
+///     fn handle(&mut self, _now: SimTime, _ev: (), sched: &mut Scheduler<()>) {
+///         if self.0 > 0 {
+///             self.0 -= 1;
+///             sched.after(SimDuration::from_micros(10), ());
+///         }
+///     }
+/// }
+///
+/// let mut engine = Engine::new(Pinger(3));
+/// engine.scheduler().at(SimTime::ZERO, ());
+/// engine.run_until(SimTime::from_secs(1));
+/// assert_eq!(engine.world().0, 0);
+/// assert_eq!(engine.scheduler().dispatched(), 4);
+/// ```
+pub struct Engine<W: SimWorld> {
+    world: W,
+    sched: Scheduler<W::Event>,
+}
+
+/// Why a run loop stopped.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum StopReason {
+    /// No events remain.
+    Drained,
+    /// The requested horizon was reached with events still pending.
+    Horizon,
+    /// The event budget was exhausted.
+    Budget,
+}
+
+impl<W: SimWorld> Engine<W> {
+    /// Create an engine around an initial world state.
+    pub fn new(world: W) -> Self {
+        Engine {
+            world,
+            sched: Scheduler::new(),
+        }
+    }
+
+    /// Access the world (for inspection between runs).
+    pub fn world(&self) -> &W {
+        &self.world
+    }
+
+    /// Mutable access to the world (for reconfiguration between runs).
+    pub fn world_mut(&mut self) -> &mut W {
+        &mut self.world
+    }
+
+    /// Access the scheduler (e.g. to seed initial events).
+    pub fn scheduler(&mut self) -> &mut Scheduler<W::Event> {
+        &mut self.sched
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.sched.now
+    }
+
+    /// Dispatch a single event. Returns false if none remain.
+    pub fn step(&mut self) -> bool {
+        match self.sched.queue.pop() {
+            Some((time, ev)) => {
+                debug_assert!(time >= self.sched.now, "time must not move backwards");
+                self.sched.now = time;
+                self.sched.dispatched += 1;
+                self.world.handle(time, ev, &mut self.sched);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Run until the queue drains or virtual time would pass `until`.
+    /// Events at exactly `until` are dispatched. The clock is left at
+    /// `until` when stopping at the horizon with events pending.
+    pub fn run_until(&mut self, until: SimTime) -> StopReason {
+        loop {
+            let Some(next) = self.sched.queue.peek_time() else {
+                // Advance the clock to the horizon so repeated runs compose.
+                self.sched.now = self.sched.now.max(until);
+                return StopReason::Drained;
+            };
+            if next > until {
+                self.sched.now = until;
+                return StopReason::Horizon;
+            }
+            self.step();
+        }
+    }
+
+    /// Run until the queue drains, with an event-count budget as a guard
+    /// against runaway self-scheduling worlds.
+    pub fn run_to_completion(&mut self, max_events: u64) -> StopReason {
+        let start = self.sched.dispatched;
+        while self.sched.dispatched - start < max_events {
+            if !self.step() {
+                return StopReason::Drained;
+            }
+        }
+        StopReason::Budget
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A world that counts down, scheduling the next tick 1us later.
+    struct Countdown {
+        remaining: u32,
+        fired_at: Vec<SimTime>,
+    }
+
+    enum Tick {
+        Tick,
+    }
+
+    impl SimWorld for Countdown {
+        type Event = Tick;
+        fn handle(&mut self, now: SimTime, _ev: Tick, sched: &mut Scheduler<Tick>) {
+            self.fired_at.push(now);
+            if self.remaining > 0 {
+                self.remaining -= 1;
+                sched.after(SimDuration::from_micros(1), Tick::Tick);
+            }
+        }
+    }
+
+    #[test]
+    fn chain_of_events_advances_clock() {
+        let mut eng = Engine::new(Countdown {
+            remaining: 3,
+            fired_at: vec![],
+        });
+        eng.scheduler().at(SimTime::from_micros(10), Tick::Tick);
+        let reason = eng.run_until(SimTime::from_secs(1));
+        assert_eq!(reason, StopReason::Drained);
+        assert_eq!(
+            eng.world().fired_at,
+            vec![
+                SimTime::from_micros(10),
+                SimTime::from_micros(11),
+                SimTime::from_micros(12),
+                SimTime::from_micros(13),
+            ]
+        );
+        assert_eq!(eng.now(), SimTime::from_secs(1));
+    }
+
+    #[test]
+    fn horizon_stops_midway() {
+        let mut eng = Engine::new(Countdown {
+            remaining: 1000,
+            fired_at: vec![],
+        });
+        eng.scheduler().at(SimTime::ZERO, Tick::Tick);
+        let reason = eng.run_until(SimTime::from_micros(5));
+        assert_eq!(reason, StopReason::Horizon);
+        // Events at t=0..=5us fire: 6 events.
+        assert_eq!(eng.world().fired_at.len(), 6);
+        assert_eq!(eng.now(), SimTime::from_micros(5));
+        // Resuming continues where we left off.
+        let reason = eng.run_until(SimTime::from_micros(7));
+        assert_eq!(reason, StopReason::Horizon);
+        assert_eq!(eng.world().fired_at.len(), 8);
+    }
+
+    #[test]
+    fn budget_guard_stops_runaway() {
+        /// A world that reschedules itself forever.
+        struct Forever;
+        impl SimWorld for Forever {
+            type Event = ();
+            fn handle(&mut self, _now: SimTime, _ev: (), sched: &mut Scheduler<()>) {
+                sched.after(SimDuration::from_nanos(1), ());
+            }
+        }
+        let mut eng = Engine::new(Forever);
+        eng.scheduler().immediately(());
+        assert_eq!(eng.run_to_completion(100), StopReason::Budget);
+        assert_eq!(eng.scheduler().dispatched(), 100);
+    }
+
+    #[test]
+    fn past_times_clamp_to_now() {
+        struct Recorder(Vec<SimTime>);
+        enum Ev {
+            SchedulePast,
+            Fired,
+        }
+        impl SimWorld for Recorder {
+            type Event = Ev;
+            fn handle(&mut self, now: SimTime, ev: Ev, sched: &mut Scheduler<Ev>) {
+                match ev {
+                    Ev::SchedulePast => {
+                        sched.at(SimTime::ZERO, Ev::Fired);
+                    }
+                    Ev::Fired => self.0.push(now),
+                }
+            }
+        }
+        let mut eng = Engine::new(Recorder(vec![]));
+        eng.scheduler()
+            .at(SimTime::from_micros(9), Ev::SchedulePast);
+        eng.run_until(SimTime::from_secs(1));
+        assert_eq!(eng.world().0, vec![SimTime::from_micros(9)]);
+    }
+
+    #[test]
+    fn step_returns_false_when_empty() {
+        let mut eng = Engine::new(Countdown {
+            remaining: 0,
+            fired_at: vec![],
+        });
+        assert!(!eng.step());
+    }
+
+    #[test]
+    fn cancelled_events_do_not_fire() {
+        let mut eng = Engine::new(Countdown {
+            remaining: 0,
+            fired_at: vec![],
+        });
+        let id = eng.scheduler().at(SimTime::from_micros(1), Tick::Tick);
+        eng.scheduler().cancel(id);
+        eng.run_until(SimTime::from_secs(1));
+        assert!(eng.world().fired_at.is_empty());
+    }
+}

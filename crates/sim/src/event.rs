@@ -1,0 +1,218 @@
+//! The future event list: a cancellable, deterministic priority queue of
+//! timestamped events.
+//!
+//! Events with equal timestamps fire in insertion order (FIFO), which keeps
+//! simulations deterministic regardless of heap internals. Cancellation is
+//! implemented with tombstones so it is O(1); dead entries are skipped on pop.
+
+use crate::time::SimTime;
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashSet};
+
+/// Identifier of a scheduled event, usable to cancel it before it fires.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct EventId(u64);
+
+struct Entry<E> {
+    time: SimTime,
+    seq: u64,
+    id: EventId,
+    payload: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest (time, seq) pops first.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A deterministic future event list.
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    /// Ids still in the heap and not cancelled.
+    pending: HashSet<EventId>,
+    next_seq: u64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Create an empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            pending: HashSet::new(),
+            next_seq: 0,
+        }
+    }
+
+    /// Schedule `payload` to fire at `time`. Returns an id for cancellation.
+    pub fn schedule(&mut self, time: SimTime, payload: E) -> EventId {
+        let id = EventId(self.next_seq);
+        self.heap.push(Entry {
+            time,
+            seq: self.next_seq,
+            id,
+            payload,
+        });
+        self.next_seq += 1;
+        self.pending.insert(id);
+        id
+    }
+
+    /// Cancel a previously scheduled event. Returns true if the event was
+    /// still pending (and is now guaranteed not to fire); false if it has
+    /// already fired, was already cancelled, or never existed.
+    pub fn cancel(&mut self, id: EventId) -> bool {
+        self.pending.remove(&id)
+    }
+
+    /// Time of the next live event, if any.
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        self.skip_dead();
+        self.heap.peek().map(|e| e.time)
+    }
+
+    /// Pop the next live event as `(time, payload)`.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        self.skip_dead();
+        self.heap.pop().map(|e| {
+            self.pending.remove(&e.id);
+            (e.time, e.payload)
+        })
+    }
+
+    fn skip_dead(&mut self) {
+        while let Some(top) = self.heap.peek() {
+            if self.pending.contains(&top.id) {
+                break;
+            }
+            self.heap.pop();
+        }
+    }
+
+    /// Number of live (non-cancelled) pending events.
+    pub fn len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// True if no live events remain.
+    pub fn is_empty(&self) -> bool {
+        self.pending.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn q() -> EventQueue<&'static str> {
+        EventQueue::new()
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut eq = q();
+        eq.schedule(SimTime::from_nanos(30), "c");
+        eq.schedule(SimTime::from_nanos(10), "a");
+        eq.schedule(SimTime::from_nanos(20), "b");
+        assert_eq!(eq.pop().unwrap().1, "a");
+        assert_eq!(eq.pop().unwrap().1, "b");
+        assert_eq!(eq.pop().unwrap().1, "c");
+        assert!(eq.pop().is_none());
+    }
+
+    #[test]
+    fn equal_times_fire_fifo() {
+        let mut eq = q();
+        let t = SimTime::from_nanos(5);
+        for name in ["first", "second", "third"] {
+            eq.schedule(t, name);
+        }
+        assert_eq!(eq.pop().unwrap().1, "first");
+        assert_eq!(eq.pop().unwrap().1, "second");
+        assert_eq!(eq.pop().unwrap().1, "third");
+    }
+
+    #[test]
+    fn cancellation_prevents_firing() {
+        let mut eq = q();
+        let id = eq.schedule(SimTime::from_nanos(10), "dead");
+        eq.schedule(SimTime::from_nanos(20), "alive");
+        assert!(eq.cancel(id));
+        assert_eq!(eq.pop().unwrap().1, "alive");
+        assert!(eq.pop().is_none());
+    }
+
+    #[test]
+    fn double_cancel_is_noop() {
+        let mut eq = q();
+        let id = eq.schedule(SimTime::from_nanos(1), "x");
+        assert!(eq.cancel(id));
+        assert!(!eq.cancel(id));
+    }
+
+    #[test]
+    fn cancel_after_fire_is_false() {
+        let mut eq = q();
+        let id = eq.schedule(SimTime::from_nanos(1), "x");
+        assert!(eq.pop().is_some());
+        assert!(!eq.cancel(id));
+    }
+
+    #[test]
+    fn cancel_unknown_id_is_false() {
+        let mut eq = q();
+        assert!(!eq.cancel(EventId(99)));
+    }
+
+    #[test]
+    fn peek_skips_cancelled() {
+        let mut eq = q();
+        let id = eq.schedule(SimTime::from_nanos(1), "dead");
+        eq.schedule(SimTime::from_nanos(5), "alive");
+        eq.cancel(id);
+        assert_eq!(eq.peek_time(), Some(SimTime::from_nanos(5)));
+    }
+
+    #[test]
+    fn len_tracks_live_events() {
+        let mut eq = q();
+        assert!(eq.is_empty());
+        let a = eq.schedule(SimTime::from_nanos(1), "a");
+        eq.schedule(SimTime::from_nanos(2), "b");
+        assert_eq!(eq.len(), 2);
+        eq.cancel(a);
+        assert_eq!(eq.len(), 1);
+        eq.pop();
+        assert!(eq.is_empty());
+    }
+
+    #[test]
+    fn interleaved_schedule_pop() {
+        let mut eq = q();
+        eq.schedule(SimTime::from_nanos(10), "t10");
+        assert_eq!(eq.pop().unwrap().0, SimTime::from_nanos(10));
+        eq.schedule(SimTime::from_nanos(5), "t5");
+        assert_eq!(eq.pop().unwrap().0, SimTime::from_nanos(5));
+    }
+}

@@ -1,0 +1,433 @@
+//! Measurement primitives: counters, histograms, and time series.
+//!
+//! Experiments report throughput (tuples/s), latency distributions
+//! (mean/percentiles), and over-time traces (Figs 23–24). These are the
+//! minimal, allocation-conscious instruments for that.
+
+use crate::time::{SimDuration, SimTime};
+
+/// A monotonically increasing event counter with rate computation.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Counter {
+    count: u64,
+}
+
+impl Counter {
+    /// New zeroed counter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add one.
+    #[inline]
+    pub fn incr(&mut self) {
+        self.count += 1;
+    }
+
+    /// Add `n`.
+    #[inline]
+    pub fn add(&mut self, n: u64) {
+        self.count += n;
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.count
+    }
+
+    /// Events per second over a window.
+    pub fn rate(&self, window: SimDuration) -> f64 {
+        let secs = window.as_secs_f64();
+        if secs <= 0.0 {
+            return 0.0;
+        }
+        self.count as f64 / secs
+    }
+
+    /// Reset to zero.
+    pub fn reset(&mut self) {
+        self.count = 0;
+    }
+}
+
+/// A latency/size histogram with exact mean and approximate percentiles.
+///
+/// Values are bucketed logarithmically (≈4.6% relative bucket width), so
+/// p50/p99 are accurate to a few percent at any scale — plenty for
+/// reproducing the shapes of the paper's latency figures.
+#[derive(Clone, Debug)]
+pub struct Histogram {
+    /// log-scale buckets: value v goes to floor(ln(v+1) * SCALE).
+    buckets: Vec<u64>,
+    count: u64,
+    sum: f64,
+    min: u64,
+    max: u64,
+}
+
+const HIST_SCALE: f64 = 22.18; // ≈ 1 / ln(1.046)
+const HIST_BUCKETS: usize = 1024;
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// New empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            buckets: vec![0; HIST_BUCKETS],
+            count: 0,
+            sum: 0.0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    fn bucket_of(v: u64) -> usize {
+        let b = ((v as f64 + 1.0).ln() * HIST_SCALE) as usize;
+        b.min(HIST_BUCKETS - 1)
+    }
+
+    fn bucket_mid(b: usize) -> f64 {
+        ((b as f64 + 0.5) / HIST_SCALE).exp() - 1.0
+    }
+
+    /// Record a raw value (e.g. nanoseconds).
+    pub fn record(&mut self, v: u64) {
+        self.buckets[Self::bucket_of(v)] += 1;
+        self.count += 1;
+        self.sum += v as f64;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Record a duration in nanoseconds.
+    pub fn record_duration(&mut self, d: SimDuration) {
+        self.record(d.as_nanos());
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Exact mean of recorded values (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Smallest recorded value (0 when empty).
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest recorded value.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Approximate percentile in `[0, 100]`.
+    pub fn percentile(&self, p: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let target = (p / 100.0 * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0;
+        for (b, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= target {
+                return Self::bucket_mid(b)
+                    .max(self.min as f64)
+                    .min(self.max as f64);
+            }
+        }
+        self.max as f64
+    }
+
+    /// Mean as a `SimDuration` (interpreting values as nanoseconds).
+    pub fn mean_duration(&self) -> SimDuration {
+        SimDuration::from_nanos(self.mean().round() as u64)
+    }
+
+    /// One-line summary: `(mean, p50, p99, max)` in raw units.
+    pub fn summary(&self) -> (f64, f64, f64, u64) {
+        (
+            self.mean(),
+            self.percentile(50.0),
+            self.percentile(99.0),
+            self.max(),
+        )
+    }
+
+    /// Merge another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += *b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        if other.count > 0 {
+            self.min = self.min.min(other.min);
+            self.max = self.max.max(other.max);
+        }
+    }
+}
+
+/// An append-only `(time, value)` trace for over-time plots.
+#[derive(Clone, Debug, Default)]
+pub struct TimeSeries {
+    points: Vec<(SimTime, f64)>,
+}
+
+impl TimeSeries {
+    /// New empty series.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append a point. Times should be non-decreasing.
+    pub fn push(&mut self, t: SimTime, v: f64) {
+        debug_assert!(
+            self.points.last().is_none_or(|&(pt, _)| pt <= t),
+            "time series must be appended in order"
+        );
+        self.points.push((t, v));
+    }
+
+    /// All points.
+    pub fn points(&self) -> &[(SimTime, f64)] {
+        &self.points
+    }
+
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True if no points.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Maximum value (None when empty).
+    pub fn max_value(&self) -> Option<f64> {
+        self.points
+            .iter()
+            .map(|&(_, v)| v)
+            .fold(None, |m, v| Some(m.map_or(v, |m: f64| m.max(v))))
+    }
+
+    /// Mean of values over a time range `[from, to)`.
+    pub fn mean_in(&self, from: SimTime, to: SimTime) -> Option<f64> {
+        let vals: Vec<f64> = self
+            .points
+            .iter()
+            .filter(|&&(t, _)| t >= from && t < to)
+            .map(|&(_, v)| v)
+            .collect();
+        if vals.is_empty() {
+            None
+        } else {
+            Some(vals.iter().sum::<f64>() / vals.len() as f64)
+        }
+    }
+}
+
+/// Windowed rate meter: counts events and emits a rate sample per window.
+///
+/// Used to build throughput-over-time traces (Fig 23).
+#[derive(Clone, Debug)]
+pub struct RateMeter {
+    window: SimDuration,
+    window_start: SimTime,
+    in_window: u64,
+    series: TimeSeries,
+}
+
+impl RateMeter {
+    /// New meter with the given sampling window.
+    pub fn new(window: SimDuration) -> Self {
+        assert!(!window.is_zero());
+        RateMeter {
+            window,
+            window_start: SimTime::ZERO,
+            in_window: 0,
+            series: TimeSeries::new(),
+        }
+    }
+
+    /// Record `n` events at time `t`, closing any windows that have elapsed.
+    pub fn record(&mut self, t: SimTime, n: u64) {
+        self.roll_to(t);
+        self.in_window += n;
+    }
+
+    /// Close windows up to time `t` (emitting zero-rate samples for empty
+    /// windows so the trace has no gaps).
+    pub fn roll_to(&mut self, t: SimTime) {
+        while t >= self.window_start + self.window {
+            let rate = self.in_window as f64 / self.window.as_secs_f64();
+            self.series.push(self.window_start + self.window, rate);
+            self.window_start += self.window;
+            self.in_window = 0;
+        }
+    }
+
+    /// Rate samples so far: `(window_end_time, events_per_sec)`.
+    pub fn series(&self) -> &TimeSeries {
+        &self.series
+    }
+
+    /// Finish at time `t`, flushing the partial window if non-empty.
+    pub fn finish(mut self, t: SimTime) -> TimeSeries {
+        self.roll_to(t);
+        let partial = t.since(self.window_start);
+        if self.in_window > 0 && !partial.is_zero() {
+            let rate = self.in_window as f64 / partial.as_secs_f64();
+            self.series.push(t, rate);
+        }
+        self.series
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_rate() {
+        let mut c = Counter::new();
+        c.add(500);
+        c.incr();
+        assert_eq!(c.get(), 501);
+        assert!((c.rate(SimDuration::from_secs(2)) - 250.5).abs() < 1e-9);
+        assert_eq!(c.rate(SimDuration::ZERO), 0.0);
+        c.reset();
+        assert_eq!(c.get(), 0);
+    }
+
+    #[test]
+    fn histogram_mean_exact() {
+        let mut h = Histogram::new();
+        for v in [10u64, 20, 30, 40] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 4);
+        assert!((h.mean() - 25.0).abs() < 1e-9);
+        assert_eq!(h.min(), 10);
+        assert_eq!(h.max(), 40);
+    }
+
+    #[test]
+    fn histogram_percentiles_approximate() {
+        let mut h = Histogram::new();
+        for v in 1..=10_000u64 {
+            h.record(v);
+        }
+        let p50 = h.percentile(50.0);
+        let p99 = h.percentile(99.0);
+        assert!((p50 - 5_000.0).abs() / 5_000.0 < 0.08, "p50={p50}");
+        assert!((p99 - 9_900.0).abs() / 9_900.0 < 0.08, "p99={p99}");
+    }
+
+    #[test]
+    fn histogram_empty() {
+        let h = Histogram::new();
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.percentile(99.0), 0.0);
+        assert_eq!(h.min(), 0);
+    }
+
+    #[test]
+    fn histogram_summary() {
+        let mut h = Histogram::new();
+        for v in 1..=100u64 {
+            h.record(v);
+        }
+        let (mean, p50, p99, max) = h.summary();
+        assert!((mean - 50.5).abs() < 1e-9);
+        assert!((p50 - 50.0).abs() / 50.0 < 0.1);
+        assert!((p99 - 99.0).abs() / 99.0 < 0.1);
+        assert_eq!(max, 100);
+    }
+
+    #[test]
+    fn histogram_merge() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        a.record(100);
+        b.record(300);
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert!((a.mean() - 200.0).abs() < 1e-9);
+        assert_eq!(a.min(), 100);
+        assert_eq!(a.max(), 300);
+    }
+
+    #[test]
+    fn histogram_wide_range() {
+        let mut h = Histogram::new();
+        h.record(1);
+        h.record(1_000_000_000); // 1s in ns
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.max(), 1_000_000_000);
+    }
+
+    #[test]
+    fn timeseries_basic() {
+        let mut ts = TimeSeries::new();
+        ts.push(SimTime::from_secs(1), 10.0);
+        ts.push(SimTime::from_secs(2), 30.0);
+        ts.push(SimTime::from_secs(3), 20.0);
+        assert_eq!(ts.len(), 3);
+        assert_eq!(ts.max_value(), Some(30.0));
+        assert_eq!(
+            ts.mean_in(SimTime::from_secs(1), SimTime::from_secs(3)),
+            Some(20.0)
+        );
+        assert_eq!(
+            ts.mean_in(SimTime::from_secs(9), SimTime::from_secs(10)),
+            None
+        );
+    }
+
+    #[test]
+    fn rate_meter_windows() {
+        let mut m = RateMeter::new(SimDuration::from_secs(1));
+        // 100 events in window [0,1), 200 in [1,2), none in [2,3).
+        for i in 0..100 {
+            m.record(SimTime::from_millis(i * 10), 1);
+        }
+        for i in 0..200 {
+            m.record(SimTime::from_millis(1000 + i * 5), 1);
+        }
+        let series = m.finish(SimTime::from_secs(3));
+        let pts = series.points();
+        assert_eq!(pts.len(), 3);
+        assert!((pts[0].1 - 100.0).abs() < 1e-9);
+        assert!((pts[1].1 - 200.0).abs() < 1e-9);
+        assert!((pts[2].1 - 0.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rate_meter_partial_final_window() {
+        let mut m = RateMeter::new(SimDuration::from_secs(1));
+        m.record(SimTime::from_millis(1_200), 50);
+        let series = m.finish(SimTime::from_millis(1_500));
+        let pts = series.points();
+        // First window [0,1) empty, then partial [1, 1.5) with 50 events → 100/s.
+        assert_eq!(pts.len(), 2);
+        assert!((pts[1].1 - 100.0).abs() < 1e-9);
+    }
+}

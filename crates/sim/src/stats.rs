@@ -1,0 +1,186 @@
+//! Small numeric helpers shared by monitors and reports.
+
+/// Exponentially weighted moving average, the α-weighted smoothing of §4:
+/// `λ(t) = α·λ(t-1) + (1-α)·N(t)`.
+#[derive(Clone, Copy, Debug)]
+pub struct Ewma {
+    alpha: f64,
+    value: Option<f64>,
+}
+
+impl Ewma {
+    /// Create with smoothing factor `alpha` in `[0, 1)`; larger alpha gives
+    /// more weight to history (slower, smoother).
+    pub fn new(alpha: f64) -> Self {
+        assert!((0.0..1.0).contains(&alpha), "alpha must be in [0,1)");
+        Ewma { alpha, value: None }
+    }
+
+    /// Feed an observation; returns the smoothed value.
+    pub fn observe(&mut self, x: f64) -> f64 {
+        let v = match self.value {
+            None => x,
+            Some(prev) => self.alpha * prev + (1.0 - self.alpha) * x,
+        };
+        self.value = Some(v);
+        v
+    }
+
+    /// Current smoothed value, if any observation has been made.
+    pub fn value(&self) -> Option<f64> {
+        self.value
+    }
+
+    /// Drop all history.
+    pub fn reset(&mut self) {
+        self.value = None;
+    }
+}
+
+/// Running mean/variance (Welford) without storing samples.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Running {
+    n: u64,
+    mean: f64,
+    m2: f64,
+}
+
+impl Running {
+    /// New empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a sample.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Population variance (0 when fewer than 2 samples).
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / self.n as f64
+        }
+    }
+
+    /// Population standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+}
+
+/// Mean of a slice (0 when empty). For report code.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// Exact percentile of a slice by sorting a copy (p in [0, 100]).
+pub fn percentile(xs: &[f64], p: f64) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let mut v: Vec<f64> = xs.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let rank = (p / 100.0 * (v.len() - 1) as f64).round() as usize;
+    v[rank.min(v.len() - 1)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ewma_first_observation_passthrough() {
+        let mut e = Ewma::new(0.9);
+        assert_eq!(e.observe(10.0), 10.0);
+    }
+
+    #[test]
+    fn ewma_smooths_toward_input() {
+        let mut e = Ewma::new(0.5);
+        e.observe(0.0);
+        let v = e.observe(10.0);
+        assert!((v - 5.0).abs() < 1e-12);
+        let v = e.observe(10.0);
+        assert!((v - 7.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ewma_converges() {
+        let mut e = Ewma::new(0.8);
+        for _ in 0..200 {
+            e.observe(42.0);
+        }
+        assert!((e.value().unwrap() - 42.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn ewma_reset() {
+        let mut e = Ewma::new(0.5);
+        e.observe(5.0);
+        e.reset();
+        assert!(e.value().is_none());
+        assert_eq!(e.observe(1.0), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha must be in [0,1)")]
+    fn ewma_rejects_bad_alpha() {
+        let _ = Ewma::new(1.0);
+    }
+
+    #[test]
+    fn running_moments() {
+        let mut r = Running::new();
+        for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            r.push(x);
+        }
+        assert_eq!(r.count(), 8);
+        assert!((r.mean() - 5.0).abs() < 1e-12);
+        assert!((r.std_dev() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn running_empty_and_single() {
+        let mut r = Running::new();
+        assert_eq!(r.mean(), 0.0);
+        assert_eq!(r.variance(), 0.0);
+        r.push(3.0);
+        assert_eq!(r.mean(), 3.0);
+        assert_eq!(r.variance(), 0.0);
+    }
+
+    #[test]
+    fn slice_helpers() {
+        let xs = [1.0, 2.0, 3.0, 4.0, 5.0];
+        assert!((mean(&xs) - 3.0).abs() < 1e-12);
+        assert_eq!(percentile(&xs, 0.0), 1.0);
+        assert_eq!(percentile(&xs, 50.0), 3.0);
+        assert_eq!(percentile(&xs, 100.0), 5.0);
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(percentile(&[], 50.0), 0.0);
+    }
+}

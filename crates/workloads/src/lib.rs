@@ -1,0 +1,22 @@
+//! # whale-workloads — synthetic datasets and rate-controlled sources
+//!
+//! Stand-ins for the paper's data infrastructure: a seeded Didi-GAIA-style
+//! ride-hailing generator (driver locations + passenger requests with
+//! Zipf-skewed hot spots), a NASDAQ-style exchange-record generator
+//! (6,649 symbols, buy/sell with per-symbol price baselines), a Kafka-like
+//! rate-controlled arrival process (fixed / Poisson / the stepped dynamic
+//! profile of Figs 23–24), and the Table 2 statistics reproduction.
+
+#![warn(missing_docs)]
+
+pub mod didi;
+pub mod nasdaq;
+pub mod source;
+pub mod stats;
+pub mod trace;
+
+pub use didi::{DidiConfig, DidiGenerator, DriverLocation, OrderRequest};
+pub use nasdaq::{NasdaqConfig, NasdaqGenerator, Side, StockRecord};
+pub use source::{ArrivalProcess, RatePlan};
+pub use stats::{didi_row, nasdaq_row, table2, DatasetRow};
+pub use trace::TraceError;

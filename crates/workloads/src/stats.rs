@@ -1,0 +1,108 @@
+//! Dataset statistics — reproduces Table 2.
+//!
+//! The paper's Table 2 reports `(# of tuples, # of keys)` for the two
+//! datasets. We report both the reference (paper) numbers and measured
+//! statistics from a sampled run of our generators, so the benchmark
+//! harness can print the table with a scaled sample column next to the
+//! full-trace reference.
+
+use crate::didi::{DidiConfig, DidiGenerator};
+use crate::nasdaq::{NasdaqConfig, NasdaqGenerator};
+use std::collections::HashSet;
+
+/// One row of Table 2.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DatasetRow {
+    /// Dataset name.
+    pub dataset: &'static str,
+    /// Tuples in the paper's full trace.
+    pub paper_tuples: u64,
+    /// Distinct keys in the paper's full trace.
+    pub paper_keys: u64,
+    /// Tuples sampled from our generator for this row.
+    pub sampled_tuples: u64,
+    /// Distinct keys observed in the sample.
+    pub sampled_keys: u64,
+}
+
+/// Sample the Didi generator and produce its Table 2 row.
+///
+/// `sample` location records are generated; keys are driver ids.
+pub fn didi_row(seed: u64, config: DidiConfig, sample: u64) -> DatasetRow {
+    let mut g = DidiGenerator::new(seed, config);
+    let mut keys = HashSet::new();
+    for _ in 0..sample {
+        keys.insert(g.next_location().driver_id);
+    }
+    DatasetRow {
+        dataset: "Didi Orders",
+        paper_tuples: crate::didi::scale::PAPER_TRAJECTORIES,
+        paper_keys: crate::didi::scale::PAPER_DRIVERS,
+        sampled_tuples: sample,
+        sampled_keys: keys.len() as u64,
+    }
+}
+
+/// Sample the NASDAQ generator and produce its Table 2 row.
+///
+/// Keys are stock symbols.
+pub fn nasdaq_row(seed: u64, config: NasdaqConfig, sample: u64) -> DatasetRow {
+    let mut g = NasdaqGenerator::new(seed, config);
+    let mut keys = HashSet::new();
+    for _ in 0..sample {
+        keys.insert(g.next_record().symbol);
+    }
+    DatasetRow {
+        dataset: "Nasdaq Stock",
+        paper_tuples: crate::nasdaq::scale::PAPER_RECORDS,
+        paper_keys: crate::nasdaq::scale::PAPER_SYMBOLS,
+        sampled_tuples: sample,
+        sampled_keys: keys.len() as u64,
+    }
+}
+
+/// Both rows of Table 2 with a default sample size.
+pub fn table2(seed: u64, sample: u64) -> Vec<DatasetRow> {
+    vec![
+        didi_row(seed, DidiConfig::default(), sample),
+        nasdaq_row(seed, NasdaqConfig::default(), sample),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn didi_row_reference_values() {
+        let row = didi_row(1, DidiConfig::default(), 10_000);
+        assert_eq!(row.paper_tuples, 13_000_000_000);
+        assert_eq!(row.paper_keys, 6_000_000);
+        assert_eq!(row.sampled_tuples, 10_000);
+        assert!(row.sampled_keys > 1_000, "keys={}", row.sampled_keys);
+    }
+
+    #[test]
+    fn nasdaq_row_reference_values() {
+        let row = nasdaq_row(1, NasdaqConfig::default(), 50_000);
+        assert_eq!(row.paper_tuples, 274_000_000);
+        assert_eq!(row.paper_keys, 6_649);
+        // With Zipf skew the sample covers a good share of symbols but
+        // never more than exist.
+        assert!(row.sampled_keys <= 6_649);
+        assert!(row.sampled_keys > 1_000);
+    }
+
+    #[test]
+    fn table_has_both_rows() {
+        let t = table2(7, 5_000);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t[0].dataset, "Didi Orders");
+        assert_eq!(t[1].dataset, "Nasdaq Stock");
+    }
+
+    #[test]
+    fn sampling_is_deterministic() {
+        assert_eq!(table2(3, 2_000), table2(3, 2_000));
+    }
+}

@@ -1,0 +1,53 @@
+//! Quickstart: reproduce the paper's headline result in one run.
+//!
+//! Compares the five systems of §5.1 (Storm, RDMA-based Storm, Whale-WOC,
+//! Whale-WOC-RDMA, full Whale) at parallelism 480 on the simulated
+//! 30-node cluster and prints throughput, latency, and traffic.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use whale::core::{run, EngineConfig, SystemMode};
+
+fn main() {
+    let parallelism = 480;
+    let tuples = 300;
+
+    println!("One-to-many data partitioning, parallelism = {parallelism}, 30 machines");
+    println!(
+        "{:<16} {:>12} {:>14} {:>14} {:>16}",
+        "system", "tuples/s", "mean latency", "multicast lat", "bytes per 10k"
+    );
+
+    let mut storm_tput = 0.0;
+    for mode in SystemMode::ALL {
+        let report = run(EngineConfig::paper(mode, parallelism, tuples));
+        if mode == SystemMode::Storm {
+            storm_tput = report.throughput;
+        }
+        println!(
+            "{:<16} {:>12.1} {:>14} {:>14} {:>16}",
+            mode.label(),
+            report.throughput,
+            format!("{}", report.mean_latency),
+            format!("{}", report.mean_multicast_latency),
+            report.traffic_per_10k
+        );
+        if mode == SystemMode::WhaleFull {
+            println!(
+                "\nWhale vs Storm: {:.1}x throughput (paper: 56.6x), latency -{:.1}%  (paper: -96.6%)",
+                report.throughput / storm_tput,
+                100.0 * (1.0 - report.mean_latency.as_secs_f64() / storm_latency_secs())
+            );
+        }
+    }
+}
+
+/// Storm's latency at the same operating point, for the summary line.
+fn storm_latency_secs() -> f64 {
+    run(EngineConfig::paper(SystemMode::Storm, 480, 300))
+        .mean_latency
+        .as_secs_f64()
+}

