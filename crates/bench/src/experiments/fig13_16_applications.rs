@@ -3,6 +3,7 @@
 //! parallelism levels.
 
 use crate::experiments::common::{config, Dataset, PARALLELISM_SWEEP};
+use crate::report::engine_run_json;
 use crate::{fmt_rate, Scale, Table};
 use whale_core::{run, EngineReport, SystemMode};
 
@@ -35,6 +36,15 @@ fn tables(dataset: Dataset, ids: (&str, &str), tuples: u64) -> Vec<Table> {
             mode.label().to_string(),
             fmt_rate(r.throughput),
         ]);
+        // The throughput table's JSON carries the full per-run metrics
+        // snapshot (latency percentiles, queue/CPU gauges, seed).
+        tput.attach_run(engine_run_json(
+            ids.0,
+            mode.label(),
+            *p,
+            dataset.seed(),
+            r,
+        ));
         lat.row_strings(vec![
             p.to_string(),
             mode.label().to_string(),

@@ -13,7 +13,7 @@ pub mod par;
 pub mod report;
 
 pub use par::{par_map, par_map_with};
-pub use report::{fmt_rate, results_dir, Table};
+pub use report::{engine_run_json, fmt_rate, results_dir, Table, JSON_SCHEMA};
 
 /// How much work to spend: `Quick` keeps every experiment seconds-scale;
 /// `Full` uses longer runs for smoother series; `Smoke` is a minimal

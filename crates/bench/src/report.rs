@@ -1,8 +1,15 @@
-//! Result tables: aligned console output + CSV files under `results/`.
+//! Result tables: aligned console output + CSV files under `results/`,
+//! each paired with a schema-stable machine-readable JSON report.
 
 use std::fmt::Display;
 use std::fs;
 use std::path::PathBuf;
+use whale_core::EngineReport;
+use whale_sim::JsonValue;
+
+/// Version tag stamped into every JSON report so downstream tooling can
+/// detect layout changes.
+pub const JSON_SCHEMA: &str = "whale-bench/v1";
 
 /// A simple column-aligned result table that doubles as a CSV writer.
 #[derive(Clone, Debug)]
@@ -13,6 +20,9 @@ pub struct Table {
     pub title: String,
     header: Vec<String>,
     rows: Vec<Vec<String>>,
+    /// Optional per-run JSON objects (see [`engine_run_json`]) carrying
+    /// the full metrics snapshot behind the table's summary rows.
+    runs: Vec<JsonValue>,
 }
 
 impl Table {
@@ -23,7 +33,14 @@ impl Table {
             title: title.to_string(),
             header: header.iter().map(|s| s.to_string()).collect(),
             rows: Vec::new(),
+            runs: Vec::new(),
         }
+    }
+
+    /// Attach one run-level JSON object (typically from
+    /// [`engine_run_json`]) to the table's JSON report.
+    pub fn attach_run(&mut self, run: JsonValue) {
+        self.runs.push(run);
     }
 
     /// Append a row (stringifies each cell).
@@ -101,22 +118,157 @@ impl Table {
         out
     }
 
-    /// Print to stdout and write `results/<id>.csv` (or `<id>_<suffix>.csv`).
+    /// The table as a schema-stable JSON report: id, title, columns, each
+    /// row as an object (cells parsed to numbers where they are numeric),
+    /// and any attached run-level metrics objects. Rendering is fully
+    /// deterministic, so two same-seed runs produce byte-identical files.
+    pub fn to_json(&self) -> JsonValue {
+        let rows = self
+            .rows
+            .iter()
+            .map(|row| {
+                JsonValue::Object(
+                    self.header
+                        .iter()
+                        .zip(row)
+                        .map(|(h, c)| (h.clone(), cell_to_json(c)))
+                        .collect(),
+                )
+            })
+            .collect();
+        let mut fields = vec![
+            ("schema".to_string(), JsonValue::str(JSON_SCHEMA)),
+            ("figure".to_string(), JsonValue::str(&self.id)),
+            ("title".to_string(), JsonValue::str(&self.title)),
+            (
+                "columns".to_string(),
+                JsonValue::Array(self.header.iter().map(JsonValue::str).collect()),
+            ),
+            ("rows".to_string(), JsonValue::Array(rows)),
+        ];
+        if !self.runs.is_empty() {
+            fields.push(("runs".to_string(), JsonValue::Array(self.runs.clone())));
+        }
+        JsonValue::Object(fields)
+    }
+
+    /// Print to stdout and write `results/<id>.csv` plus the matching
+    /// `results/<id>.json` (or `<id>_<suffix>.{csv,json}`).
     pub fn emit(&self, suffix: Option<&str>) {
         println!("{}", self.render());
         let dir = results_dir();
         let _ = fs::create_dir_all(&dir);
-        let name = match suffix {
-            Some(s) => format!("{}_{s}.csv", self.id),
-            None => format!("{}.csv", self.id),
+        let stem = match suffix {
+            Some(s) => format!("{}_{s}", self.id),
+            None => self.id.clone(),
         };
-        let path = dir.join(name);
-        if let Err(e) = fs::write(&path, self.to_csv()) {
-            eprintln!("warning: could not write {}: {e}", path.display());
+        let csv_path = dir.join(format!("{stem}.csv"));
+        if let Err(e) = fs::write(&csv_path, self.to_csv()) {
+            eprintln!("warning: could not write {}: {e}", csv_path.display());
         } else {
-            println!("wrote {}\n", path.display());
+            println!("wrote {}", csv_path.display());
+        }
+        let json_path = dir.join(format!("{stem}.json"));
+        if let Err(e) = fs::write(&json_path, self.to_json().to_json_pretty()) {
+            eprintln!("warning: could not write {}: {e}", json_path.display());
+        } else {
+            println!("wrote {}\n", json_path.display());
         }
     }
+}
+
+/// A CSV cell as a typed JSON value: unsigned, signed, finite float, or
+/// string, in that preference order.
+fn cell_to_json(cell: &str) -> JsonValue {
+    if let Ok(u) = cell.parse::<u64>() {
+        return JsonValue::UInt(u);
+    }
+    if let Ok(i) = cell.parse::<i64>() {
+        return JsonValue::Int(i);
+    }
+    // Reject float syntax Rust accepts but JSON consumers may not expect
+    // from a table cell (inf/nan), keeping those cells as strings.
+    if cell.parse::<f64>().is_ok_and(f64::is_finite)
+        && cell.chars().all(|c| "0123456789+-.eE".contains(c))
+    {
+        if let Ok(f) = cell.parse::<f64>() {
+            return JsonValue::Float(f);
+        }
+    }
+    JsonValue::str(cell)
+}
+
+/// One engine run as a schema-stable JSON object: the acceptance headline
+/// numbers (throughput, latency percentiles, queue/CPU gauges, seed) at
+/// the top level, plus the engine's full [`MetricsRegistry`] snapshot
+/// under `"metrics"`.
+///
+/// [`MetricsRegistry`]: whale_sim::MetricsRegistry
+pub fn engine_run_json(
+    figure: &str,
+    mode: &str,
+    parallelism: u32,
+    seed: u64,
+    r: &EngineReport,
+) -> JsonValue {
+    let ns_to_ms = 1e-6;
+    let lat = |f: &dyn Fn(&whale_sim::Summary) -> f64| -> JsonValue {
+        match r.metrics.summary("engine.latency_ns") {
+            Some(s) => JsonValue::Float(f(&s) * ns_to_ms),
+            None => JsonValue::Null,
+        }
+    };
+    let gauge = |name: &str| -> JsonValue {
+        match r.metrics.gauge(name) {
+            Some(v) => JsonValue::Float(v),
+            None => JsonValue::Null,
+        }
+    };
+    JsonValue::Object(vec![
+        ("figure".to_string(), JsonValue::str(figure)),
+        ("mode".to_string(), JsonValue::str(mode)),
+        ("parallelism".to_string(), JsonValue::UInt(parallelism as u64)),
+        ("seed".to_string(), JsonValue::UInt(seed)),
+        ("completed".to_string(), JsonValue::UInt(r.completed)),
+        ("dropped".to_string(), JsonValue::UInt(r.dropped)),
+        (
+            "throughput_tuples_per_s".to_string(),
+            JsonValue::Float(r.throughput),
+        ),
+        (
+            "latency_ms".to_string(),
+            JsonValue::Object(vec![
+                ("mean".to_string(), lat(&|s| s.mean)),
+                ("p50".to_string(), lat(&|s| s.p50)),
+                ("p95".to_string(), lat(&|s| s.p95)),
+                ("p99".to_string(), lat(&|s| s.p99)),
+            ]),
+        ),
+        (
+            "queue".to_string(),
+            JsonValue::Object(vec![
+                ("capacity".to_string(), gauge("engine.queue.capacity")),
+                (
+                    "mean_load_factor".to_string(),
+                    gauge("engine.queue.mean_load_factor"),
+                ),
+            ]),
+        ),
+        (
+            "cpu".to_string(),
+            JsonValue::Object(vec![
+                ("source".to_string(), gauge("engine.cpu.source")),
+                ("downstream".to_string(), gauge("engine.cpu.downstream")),
+                ("dispatcher".to_string(), gauge("engine.cpu.dispatcher")),
+                ("aggregator".to_string(), gauge("engine.cpu.aggregator")),
+            ]),
+        ),
+        (
+            "elapsed_secs".to_string(),
+            JsonValue::Float(r.elapsed.as_secs_f64()),
+        ),
+        ("metrics".to_string(), r.metrics.to_json()),
+    ])
 }
 
 /// Where CSVs land: `$WHALE_RESULTS_DIR` or `./results`.
@@ -170,5 +322,64 @@ mod tests {
     fn rate_formatting() {
         assert_eq!(fmt_rate(12.34), "12.3");
         assert_eq!(fmt_rate(56_600.0), "56.6k");
+    }
+
+    #[test]
+    fn json_report_schema() {
+        let mut t = Table::new("figX", "demo", &["parallelism", "system", "rate"]);
+        t.row_strings(vec!["120".into(), "whale".into(), "56.6k".into()]);
+        let j = t.to_json().to_json_string();
+        assert!(j.contains("\"schema\":\"whale-bench/v1\""), "{j}");
+        assert!(j.contains("\"figure\":\"figX\""));
+        assert!(j.contains("\"parallelism\":120"));
+        // Non-numeric cells stay strings.
+        assert!(j.contains("\"rate\":\"56.6k\""));
+        // No runs attached → no runs field.
+        assert!(!j.contains("\"runs\""));
+    }
+
+    #[test]
+    fn cells_parse_to_typed_json() {
+        assert_eq!(cell_to_json("12"), JsonValue::UInt(12));
+        assert_eq!(cell_to_json("-3"), JsonValue::Int(-3));
+        assert_eq!(cell_to_json("2.5"), JsonValue::Float(2.5));
+        assert_eq!(cell_to_json("inf"), JsonValue::str("inf"));
+        assert_eq!(cell_to_json("NaN"), JsonValue::str("NaN"));
+        assert_eq!(cell_to_json("56.6k"), JsonValue::str("56.6k"));
+    }
+
+    #[test]
+    fn engine_run_json_has_acceptance_fields() {
+        use whale_core::{run, EngineConfig, SystemMode};
+        let r = run(EngineConfig::paper(SystemMode::WhaleFull, 64, 10));
+        let j = engine_run_json("fig13", "whale", 64, 42, &r).to_json_string();
+        for key in [
+            "\"figure\":\"fig13\"",
+            "\"mode\":\"whale\"",
+            "\"parallelism\":64",
+            "\"seed\":42",
+            "\"throughput_tuples_per_s\":",
+            "\"p50\":",
+            "\"p95\":",
+            "\"p99\":",
+            "\"mean_load_factor\":",
+            "\"dispatcher\":",
+            "\"metrics\":",
+        ] {
+            assert!(j.contains(key), "missing {key}");
+        }
+    }
+
+    #[test]
+    fn same_seed_runs_render_byte_identical_json() {
+        use whale_core::{run, EngineConfig, SystemMode};
+        let render = || {
+            let r = run(EngineConfig::paper(SystemMode::WhaleFull, 64, 10));
+            let mut t = Table::new("figX", "demo", &["a"]);
+            t.row_strings(vec!["1".into()]);
+            t.attach_run(engine_run_json("figX", "whale", 64, 42, &r));
+            t.to_json().to_json_pretty()
+        };
+        assert_eq!(render(), render());
     }
 }

@@ -25,8 +25,9 @@ use whale_multicast::{
 };
 use whale_net::{ClusterSpec, MachineId, Nic, VerbPolicy};
 use whale_sim::{
-    BoundedQueue, CoreClock, CostModel, CpuAccount, CpuCategory, Engine, PushOutcome, RateMeter,
-    Scheduler, SimDuration, SimRng, SimTime, SimWorld, StopReason, TimeSeries,
+    BoundedQueue, CoreClock, CostModel, CpuAccount, CpuCategory, Engine, MetricsRegistry,
+    PushOutcome, RateMeter, Scheduler, SimDuration, SimRng, SimTime, SimWorld, StopReason,
+    TimeSeries,
 };
 use whale_workloads::{ArrivalProcess, RatePlan};
 
@@ -199,6 +200,11 @@ pub struct EngineReport {
     pub switches: Vec<(SimTime, u32, SimDuration)>,
     /// Virtual duration of the run.
     pub elapsed: SimDuration,
+    /// Unified observability snapshot: every per-stage counter, gauge,
+    /// latency summary, and time series under dotted names
+    /// (`engine.*`, `multicast.*`, `net.*`). Keys are sorted, so two
+    /// same-seed runs render to byte-identical JSON.
+    pub metrics: MetricsRegistry,
 }
 
 impl std::fmt::Display for EngineReport {
@@ -862,6 +868,71 @@ pub fn run(cfg: EngineConfig) -> EngineReport {
         (w.agg_busy.as_nanos() as f64 / elapsed.as_nanos() as f64).min(1.0)
     };
 
+    // The unified observability snapshot. Dotted names group by layer;
+    // BTreeMap ordering in the registry makes the JSON rendering stable.
+    let mut metrics = MetricsRegistry::new();
+    metrics.set_counter("engine.completed", completed);
+    metrics.set_counter("engine.dropped", w.dropped);
+    metrics.set_counter("engine.sourced", w.tuples_sourced);
+    metrics.set_counter("engine.serializations", w.serializations);
+    metrics.set_counter("engine.traffic_per_10k_bytes", {
+        (w.source_tx_bytes * 10_000)
+            .checked_div(w.tuples_sourced)
+            .unwrap_or(0)
+    });
+    metrics.set_gauge("engine.throughput", throughput);
+    metrics.set_gauge("engine.elapsed_secs", elapsed.as_secs_f64());
+    metrics.set_summary("engine.latency_ns", w.latency.histogram());
+    metrics.set_summary("engine.multicast_latency_ns", w.multicast.histogram());
+    metrics.set_gauge("engine.cpu.source", w.source_cpu.utilization(elapsed));
+    metrics.set_gauge("engine.cpu.downstream", downstream_cpu);
+    metrics.set_gauge("engine.cpu.dispatcher", dispatcher_cpu);
+    metrics.set_gauge("engine.cpu.aggregator", agg_cpu);
+    for &c in CpuCategory::ALL.iter() {
+        let name = format!("engine.cpu.source_share.{:?}", c).to_lowercase();
+        metrics.set_gauge(&name, w.source_cpu.share(c));
+    }
+    metrics.set_gauge(
+        "engine.comm_secs_per_tuple",
+        (source_busy / sourced).as_secs_f64(),
+    );
+    metrics.set_gauge(
+        "engine.ser_secs_per_tuple",
+        (ser_busy / sourced).as_secs_f64(),
+    );
+    metrics.set_gauge("engine.queue.capacity", w.queue.capacity() as f64);
+    metrics.set_gauge(
+        "engine.queue.mean_load_factor",
+        if w.load_samples == 0 {
+            0.0
+        } else {
+            w.load_sum / w.load_samples as f64
+        },
+    );
+    if record_series {
+        metrics.set_series("engine.queue.depth", &w.queue_series);
+        metrics.set_series("engine.throughput_series", &throughput_series);
+        metrics.set_series("engine.latency_ms_series", &latency_series);
+    }
+    metrics.set_counter("multicast.switches", w.switches.len() as u64);
+    if let Some(&(_, d, delay)) = w.switches.last() {
+        metrics.set_gauge("multicast.last_d_star", d as f64);
+        metrics.set_gauge("multicast.last_t_switch_secs", delay.as_secs_f64());
+    }
+    w.monitor.export_metrics(&mut metrics, "multicast.monitor");
+    if let Some(ctl) = &w.controller {
+        ctl.export_metrics(&mut metrics, "multicast.controller");
+    }
+    let (nic_msgs, nic_bytes) = w
+        .nics
+        .iter()
+        .fold((0, 0), |(m, b), n| (m + n.sent_msgs(), b + n.sent_bytes()));
+    metrics.set_counter("net.nic.total.sent_msgs", nic_msgs);
+    metrics.set_counter("net.nic.total.sent_bytes", nic_bytes);
+    if let Some(src_nic) = w.nics.first() {
+        src_nic.export_metrics(&mut metrics, "net.nic.source", elapsed);
+    }
+
     EngineReport {
         completed,
         dropped: w.dropped,
@@ -893,6 +964,7 @@ pub fn run(cfg: EngineConfig) -> EngineReport {
         latency_series,
         switches: std::mem::take(&mut w.switches),
         elapsed,
+        metrics,
     }
 }
 
@@ -1079,5 +1151,47 @@ mod tests {
         assert_eq!(a.completed, b.completed);
         assert_eq!(a.mean_latency, b.mean_latency);
         assert_eq!(a.traffic_per_10k, b.traffic_per_10k);
+    }
+
+    #[test]
+    fn metrics_snapshot_covers_all_layers() {
+        let r = saturate(SystemMode::WhaleFull, 120, 30);
+        let m = &r.metrics;
+        assert_eq!(m.counter("engine.completed"), Some(30));
+        assert_eq!(m.counter("engine.serializations"), Some(30));
+        assert!(m.gauge("engine.throughput").unwrap() > 0.0);
+        assert!(m.gauge("engine.cpu.source").unwrap() > 0.0);
+        let lat = m.summary("engine.latency_ns").unwrap();
+        assert_eq!(lat.count, 30);
+        assert!(lat.p99 >= lat.p50 && lat.p50 > 0.0);
+        assert!(m.gauge("multicast.monitor.lambda").is_some());
+        assert!(m.gauge("multicast.controller.degree").is_some());
+        assert!(m.counter("net.nic.total.sent_msgs").unwrap() > 0);
+        assert!(m.gauge("net.nic.source.utilization").is_some());
+    }
+
+    #[test]
+    fn metrics_series_only_when_recording() {
+        let quiet = saturate(SystemMode::WhaleFull, 64, 10);
+        assert!(quiet.metrics.get("engine.queue.depth").is_none());
+        let mut cfg = EngineConfig::paper(SystemMode::WhaleFull, 64, 0);
+        cfg.drive = Drive::Rate {
+            plan: RatePlan::Poisson(200.0),
+            horizon: SimTime::from_secs(1),
+        };
+        cfg.record_series = true;
+        let r = run(cfg);
+        assert!(r.metrics.get("engine.queue.depth").is_some());
+        assert!(r.metrics.get("engine.throughput_series").is_some());
+    }
+
+    #[test]
+    fn metrics_json_is_byte_identical_across_same_seed_runs() {
+        let a = saturate(SystemMode::WhaleFull, 240, 40);
+        let b = saturate(SystemMode::WhaleFull, 240, 40);
+        assert_eq!(
+            a.metrics.to_json().to_json_pretty(),
+            b.metrics.to_json().to_json_pretty()
+        );
     }
 }

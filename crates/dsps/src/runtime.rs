@@ -165,6 +165,9 @@ pub struct RunStats {
     pub spout_emitted: AtomicU64,
     /// Relay forwards performed by non-source workers (multicast tree).
     pub relay_forwards: AtomicU64,
+    /// Malformed, truncated, or unroutable fabric frames dropped by the
+    /// dispatchers instead of crashing the worker.
+    pub dropped_frames: AtomicU64,
     /// Emission instants of sampled tuple ids (delivery-latency probes).
     pub emit_times: Mutex<HashMap<u64, Instant>>,
     /// Spout-to-execute delivery latencies of sampled tuples (ns).
@@ -194,6 +197,11 @@ pub struct RunReport {
     pub shared_bytes: u64,
     /// Relay forwards performed by non-source workers (multicast tree).
     pub relay_forwards: u64,
+    /// Malformed or unroutable fabric frames dropped by dispatchers.
+    pub dropped_frames: u64,
+    /// Executor or dispatcher threads that panicked; the run still joins
+    /// every thread and tears the fabric down in order.
+    pub thread_panics: u64,
     /// Sampled spout-to-execute delivery latencies (ns), unordered.
     pub delivery_ns: Vec<u64>,
 }
@@ -217,6 +225,32 @@ impl RunReport {
         v.sort_unstable();
         let idx = ((v.len() - 1) as f64 * 0.99).round() as usize;
         std::time::Duration::from_nanos(v[idx])
+    }
+
+    /// Export the run as a [`MetricsRegistry`] snapshot under `dsps.*`:
+    /// dispatch/send/relay counters, fabric byte split, and the sampled
+    /// delivery-latency distribution as a percentile summary.
+    pub fn metrics(&self) -> whale_sim::MetricsRegistry {
+        use whale_sim::{Histogram, MetricsRegistry};
+        let mut reg = MetricsRegistry::new();
+        reg.set_gauge("dsps.elapsed_secs", self.elapsed.as_secs_f64());
+        reg.set_counter("dsps.serializations", self.serializations);
+        reg.set_counter("dsps.spout_emitted", self.spout_emitted);
+        reg.set_counter("dsps.relay_forwards", self.relay_forwards);
+        reg.set_counter("dsps.dropped_frames", self.dropped_frames);
+        reg.set_counter("dsps.thread_panics", self.thread_panics);
+        reg.set_counter("dsps.fabric.messages", self.fabric_messages);
+        reg.set_counter("dsps.fabric.copied_bytes", self.copied_bytes);
+        reg.set_counter("dsps.fabric.shared_bytes", self.shared_bytes);
+        for (i, &n) in self.executed.iter().enumerate() {
+            reg.set_counter(&format!("dsps.executed.component_{i}"), n);
+        }
+        let mut h = Histogram::new();
+        for &ns in &self.delivery_ns {
+            h.record(ns);
+        }
+        reg.set_summary("dsps.delivery_ns", &h);
+        reg
     }
 }
 
@@ -367,8 +401,16 @@ impl Routing {
             self.stats.relay_forwards.fetch_add(1, Ordering::Relaxed);
         }
         // One deserialization for the whole worker, then local dispatch.
+        // A corrupt payload is dropped (and counted) rather than crashing
+        // the relay worker.
         let mut buf = item;
-        let tuple = Arc::new(codec::decode_tuple(&mut buf).expect("malformed relayed tuple"));
+        let tuple = match codec::decode_tuple(&mut buf) {
+            Ok(t) => Arc::new(t),
+            Err(_) => {
+                self.stats.dropped_frames.fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+        };
         for &t in self.placement.tasks_on(WorkerId(my_worker)) {
             if self.topology.tasks().component_of(t) == Some(comp) {
                 let _ = self.inboxes[&t].send(ExecMsg::Data(Arc::clone(&tuple)));
@@ -582,6 +624,7 @@ pub fn run_topology(topology: Topology, operators: Operators, config: LiveConfig
             .collect(),
         spout_emitted: AtomicU64::new(0),
         relay_forwards: AtomicU64::new(0),
+        dropped_frames: AtomicU64::new(0),
         emit_times: Mutex::new(HashMap::new()),
         delivery_ns: Mutex::new(Vec::new()),
     });
@@ -673,7 +716,13 @@ pub fn run_topology(topology: Topology, operators: Operators, config: LiveConfig
                         .get(&comp.name)
                         .unwrap_or_else(|| panic!("no bolt registered for {:?}", comp.name));
                     let mut bolt = bolt_factory(idx as u32);
-                    let rx = receivers.remove(&task).expect("receiver exists");
+                    // Every task got an inbox above; a missing receiver
+                    // would mean a task list mismatch — skip rather than
+                    // crash mid-spawn with other threads already running.
+                    let Some(rx) = receivers.remove(&task) else {
+                        debug_assert!(false, "no receiver for task {task:?}");
+                        continue;
+                    };
                     let expected_eos: usize = routing
                         .topology
                         .upstream_edges(comp.id)
@@ -698,15 +747,23 @@ pub fn run_topology(topology: Topology, operators: Operators, config: LiveConfig
         }
     }
 
+    // Join every thread even if some panicked: bailing on the first
+    // failure would skip the endpoint teardown below and leave the
+    // dispatcher threads blocked on `recv` forever.
+    let mut thread_panics = 0u64;
     for h in work_handles {
-        h.join().expect("worker thread panicked");
+        if h.join().is_err() {
+            thread_panics += 1;
+        }
     }
     // All producers done: close the fabric endpoints so dispatchers exit.
     for w in 0..routing.placement.workers() {
         fabric.deregister(EndpointId(w));
     }
     for h in handles {
-        h.join().expect("dispatcher thread panicked");
+        if h.join().is_err() {
+            thread_panics += 1;
+        }
     }
 
     let elapsed = start.elapsed();
@@ -723,6 +780,8 @@ pub fn run_topology(topology: Topology, operators: Operators, config: LiveConfig
         copied_bytes: fabric.copied_bytes(),
         shared_bytes: fabric.shared_bytes(),
         relay_forwards: stats.relay_forwards.load(Ordering::Relaxed),
+        dropped_frames: stats.dropped_frames.load(Ordering::Relaxed),
+        thread_panics,
         delivery_ns: {
             let mut samples = stats.delivery_ns.lock();
             std::mem::take(&mut *samples)
@@ -731,6 +790,18 @@ pub fn run_topology(topology: Topology, operators: Operators, config: LiveConfig
 }
 
 fn dispatcher_loop(worker: u32, rx: Receiver<whale_net::LiveMessage>, routing: &Routing) {
+    // A frame that is truncated, fails to decode, carries an unknown tag,
+    // or addresses a task this worker does not host is dropped and counted
+    // (`RunStats::dropped_frames`) — a bad peer must not crash the worker.
+    let drop_frame = || {
+        routing.stats.dropped_frames.fetch_add(1, Ordering::Relaxed);
+    };
+    let deliver = |dst: TaskId, msg: ExecMsg| match routing.inboxes.get(&dst) {
+        Some(tx) => {
+            let _ = tx.send(msg);
+        }
+        None => drop_frame(),
+    };
     while let Ok(msg) = rx.recv() {
         let mut buf = msg.payload.bytes();
         if buf.is_empty() {
@@ -739,40 +810,69 @@ fn dispatcher_loop(worker: u32, rx: Receiver<whale_net::LiveMessage>, routing: &
         let tag = buf.get_u8();
         match tag {
             TAG_RELAY => {
+                if buf.remaining() < 12 {
+                    drop_frame();
+                    continue;
+                }
                 let origin = buf.get_u32_le();
                 let comp = ComponentId(buf.get_u32_le());
                 let node = buf.get_u32_le();
+                if (origin as usize) >= routing.relay_trees.len()
+                    || node >= routing.relay_trees[origin as usize].n()
+                {
+                    drop_frame();
+                    continue;
+                }
                 let item = Bytes::copy_from_slice(buf);
                 routing.on_relay_frame(worker, origin, comp, node, item);
             }
             TAG_RELAY_EOS => {
+                if buf.remaining() < 16 {
+                    drop_frame();
+                    continue;
+                }
                 let origin = buf.get_u32_le();
                 let comp = ComponentId(buf.get_u32_le());
                 let node = buf.get_u32_le();
                 let src = TaskId(buf.get_u32_le());
+                if (origin as usize) >= routing.relay_trees.len()
+                    || node >= routing.relay_trees[origin as usize].n()
+                {
+                    drop_frame();
+                    continue;
+                }
                 routing.on_relay_eos(worker, origin, comp, node, src);
             }
-            TAG_INSTANCE => {
-                let decoded =
-                    InstanceMessage::decode(&mut buf).expect("malformed instance message");
-                let _ = routing.inboxes[&decoded.dst].send(ExecMsg::Data(Arc::new(decoded.tuple)));
-            }
-            TAG_WORKER => {
-                let decoded = WorkerMessage::decode(&mut buf).expect("malformed worker message");
+            TAG_INSTANCE => match InstanceMessage::decode(&mut buf) {
+                Ok(decoded) => deliver(decoded.dst, ExecMsg::Data(Arc::new(decoded.tuple))),
+                Err(_) => drop_frame(),
+            },
+            TAG_WORKER => match WorkerMessage::decode(&mut buf) {
                 // One deserialization, fanned out to local executors.
-                for addressed in codec::dispatch_worker_message(decoded) {
-                    let _ = routing.inboxes[&addressed.dst].send(ExecMsg::Data(addressed.tuple));
+                Ok(decoded) => {
+                    for addressed in codec::dispatch_worker_message(decoded) {
+                        deliver(addressed.dst, ExecMsg::Data(addressed.tuple));
+                    }
                 }
-            }
+                Err(_) => drop_frame(),
+            },
             TAG_EOS => {
+                if buf.remaining() < 8 {
+                    drop_frame();
+                    continue;
+                }
                 let src = TaskId(buf.get_u32_le());
                 let n = buf.get_u32_le() as usize;
+                if buf.remaining() < n * 4 {
+                    drop_frame();
+                    continue;
+                }
                 for _ in 0..n {
                     let dst = TaskId(buf.get_u32_le());
-                    let _ = routing.inboxes[&dst].send(ExecMsg::Eos(src));
+                    deliver(dst, ExecMsg::Eos(src));
                 }
             }
-            other => panic!("unknown fabric tag {other}"),
+            _ => drop_frame(),
         }
     }
 }
@@ -1035,6 +1135,123 @@ mod tests {
                 dedicated_senders: false,
             },
         );
+    }
+
+    #[test]
+    fn run_survives_panicking_bolt_and_tears_down_in_order() {
+        // A panicking executor must not wedge the run: every thread is
+        // still joined, the fabric endpoints are closed so dispatchers
+        // exit, and the report records the failures.
+        let mut b = crate::topology::TopologyBuilder::new();
+        b.spout("src", 1, Schema::new(vec!["n"]))
+            .bolt("boom", 4, Schema::new(vec!["n"]))
+            .connect("src", "boom", Grouping::All);
+        let t = b.build().unwrap();
+        let ops = Operators::new()
+            .spout("src", |_| {
+                Box::new(IterSpout::new(
+                    (0..10i64).map(|i| Tuple::with_id(i as u64, vec![Value::I64(i)])),
+                ))
+            })
+            .bolt("boom", |_| {
+                Box::new(FnBolt::new(|_t: &Tuple, _out: &mut dyn Emitter| {
+                    panic!("injected bolt failure")
+                }))
+            });
+        let r = run_topology(
+            t,
+            ops,
+            LiveConfig {
+                machines: 2,
+                comm_mode: CommMode::WorkerOriented,
+                zero_copy: true,
+                multicast_d_star: None,
+                dedicated_senders: false,
+            },
+        );
+        assert!(r.thread_panics >= 1, "panics = {}", r.thread_panics);
+        assert_eq!(r.spout_emitted, 10);
+    }
+
+    #[test]
+    fn dispatcher_drops_garbage_frames_instead_of_crashing() {
+        let (t, _ops) = counting_topology(2, 4);
+        let cluster = ClusterSpec::new(2, 1, 16);
+        let placement = Placement::even(&t, &cluster);
+        let fabric = Arc::new(LiveFabric::new());
+        let rx = fabric.register(EndpointId(0));
+        let routing = Arc::new(Routing {
+            topology: t,
+            placement,
+            config: LiveConfig {
+                machines: 2,
+                comm_mode: CommMode::WorkerOriented,
+                zero_copy: false,
+                multicast_d_star: None,
+                dedicated_senders: false,
+            },
+            fabric: Arc::clone(&fabric),
+            inboxes: HashMap::new(),
+            stats: Arc::new(RunStats::default()),
+            relay_trees: Vec::new(),
+        });
+        let r2 = Arc::clone(&routing);
+        let h = std::thread::spawn(move || dispatcher_loop(0, rx, &r2));
+
+        let mut frames: Vec<Vec<u8>> = vec![
+            vec![99],                     // unknown tag
+            vec![TAG_RELAY, 1, 2],        // truncated relay header
+            vec![TAG_RELAY_EOS, 0, 0, 0], // truncated relay EOS
+            vec![TAG_INSTANCE, 1, 2, 3],  // truncated instance message
+            vec![TAG_WORKER],             // truncated worker message
+            vec![TAG_EOS, 0],             // truncated EOS header
+        ];
+        // Relay frame with an origin worker no tree exists for.
+        let mut f = vec![TAG_RELAY];
+        f.extend_from_slice(&[0u8; 12]);
+        frames.push(f);
+        // EOS claiming 100 destinations but carrying none.
+        let mut f = vec![TAG_EOS];
+        f.extend_from_slice(&0u32.to_le_bytes());
+        f.extend_from_slice(&100u32.to_le_bytes());
+        frames.push(f);
+        // Well-formed instance message addressed to a task with no inbox.
+        let msg = InstanceMessage {
+            src: TaskId(0),
+            dst: TaskId(7),
+            tuple: Tuple::new(vec![Value::I64(1)]),
+        };
+        let mut framed = BytesMut::with_capacity(1 + msg.wire_bytes());
+        framed.put_u8(TAG_INSTANCE);
+        framed.put_slice(&msg.encode());
+        frames.push(framed.freeze().to_vec());
+
+        let expected = frames.len() as u64;
+        for f in &frames {
+            fabric
+                .send_copied(EndpointId(1), EndpointId(0), f)
+                .unwrap();
+        }
+        fabric.deregister(EndpointId(0));
+        h.join().expect("dispatcher must not panic on garbage");
+        assert_eq!(
+            routing.stats.dropped_frames.load(Ordering::Relaxed),
+            expected
+        );
+    }
+
+    #[test]
+    fn report_metrics_snapshot() {
+        let r = run(CommMode::WorkerOriented, true, 4, 8);
+        let m = r.metrics();
+        assert_eq!(m.counter("dsps.spout_emitted"), Some(100));
+        assert_eq!(m.counter("dsps.executed.component_1"), Some(800));
+        assert_eq!(m.counter("dsps.dropped_frames"), Some(0));
+        assert_eq!(m.counter("dsps.thread_panics"), Some(0));
+        assert!(m.counter("dsps.fabric.messages").unwrap() > 0);
+        let s = m.summary("dsps.delivery_ns").unwrap();
+        assert!(s.count >= 50, "samples = {}", s.count);
+        assert!(s.p99 >= s.p50);
     }
 
     #[test]

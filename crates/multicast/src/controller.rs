@@ -197,6 +197,15 @@ impl AdjustController {
     pub fn scale_ups(&self) -> u64 {
         self.scale_ups
     }
+
+    /// Export the applied degree and decision counters into `reg` under
+    /// `prefix.*`.
+    pub fn export_metrics(&self, reg: &mut whale_sim::MetricsRegistry, prefix: &str) {
+        reg.set_gauge(&format!("{prefix}.degree"), self.current_d as f64);
+        reg.set_counter(&format!("{prefix}.decisions"), self.decisions);
+        reg.set_counter(&format!("{prefix}.scale_downs"), self.scale_downs);
+        reg.set_counter(&format!("{prefix}.scale_ups"), self.scale_ups);
+    }
 }
 
 /// Theorem 4: dynamic switching for negative scale-down loses no tuples iff

@@ -123,6 +123,17 @@ impl WorkloadMonitor {
     pub fn last_report(&self) -> Option<MonitorReport> {
         self.last_report
     }
+
+    /// Export the current λ/t_e estimates and last queue observation into
+    /// `reg` under `prefix.*`.
+    pub fn export_metrics(&self, reg: &mut whale_sim::MetricsRegistry, prefix: &str) {
+        reg.set_gauge(&format!("{prefix}.lambda"), self.lambda());
+        reg.set_gauge(&format!("{prefix}.t_e_secs"), self.t_e_secs());
+        if let Some(r) = self.last_report {
+            reg.set_gauge(&format!("{prefix}.queue_len"), r.queue_len as f64);
+            reg.set_gauge(&format!("{prefix}.queue_delta"), r.delta() as f64);
+        }
+    }
 }
 
 #[cfg(test)]

@@ -151,6 +151,20 @@ impl SwitchCoordinator {
         }
     }
 
+    /// Export the switch-session state into `reg` under `prefix.*`:
+    /// outstanding ACK count, planned moves, and — once complete — the
+    /// measured `T_switch` in seconds.
+    pub fn export_metrics(&self, reg: &mut whale_sim::MetricsRegistry, prefix: &str) {
+        reg.set_gauge(
+            &format!("{prefix}.pending_acks"),
+            self.session.pending().len() as f64,
+        );
+        reg.set_counter(&format!("{prefix}.moves"), self.plan.moves.len() as u64);
+        if let Some(d) = self.session.switch_delay() {
+            reg.set_gauge(&format!("{prefix}.t_switch_secs"), d.as_secs_f64());
+        }
+    }
+
     /// Phase 4: after completion, the full-structure update delivered
     /// lazily with the data stream. Participants applied their urgent
     /// [`ControlMessage`]s during the switch but still need the complete

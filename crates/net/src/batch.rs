@@ -6,7 +6,7 @@
 //! Time Limit* (WTL) so a slow stream still flushes promptly. The paper
 //! calibrates MMS = 256 KB and WTL = 1 ms (Figs 11–12).
 
-use whale_sim::{SimDuration, SimTime};
+use whale_sim::{MetricsRegistry, SimDuration, SimTime};
 
 /// Configuration of the stream-slicing batcher.
 #[derive(Clone, Copy, Debug)]
@@ -172,6 +172,18 @@ impl<T> Batcher<T> {
         } else {
             self.flushed_items as f64 / self.flushed_batches as f64
         }
+    }
+
+    /// Export batch counters and current occupancy into `reg` under
+    /// `prefix.*`. `occupancy` is buffered bytes as a fraction of MMS.
+    pub fn export_metrics(&self, reg: &mut MetricsRegistry, prefix: &str) {
+        reg.set_counter(&format!("{prefix}.flushed_batches"), self.flushed_batches);
+        reg.set_counter(&format!("{prefix}.flushed_items"), self.flushed_items);
+        reg.set_gauge(&format!("{prefix}.mean_batch_size"), self.mean_batch_size());
+        reg.set_gauge(
+            &format!("{prefix}.occupancy"),
+            self.bytes as f64 / self.config.mms as f64,
+        );
     }
 }
 

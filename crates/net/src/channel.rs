@@ -223,6 +223,18 @@ impl RdmaChannel {
     pub fn sent_bytes(&self) -> u64 {
         self.sent_bytes
     }
+
+    /// Export the channel's full instrument set — verb posts from the QP,
+    /// slot reuse from the ring, occupancy from the batcher, and the
+    /// channel's own send counters — into `reg` under `prefix.*`.
+    pub fn export_metrics(&self, reg: &mut whale_sim::MetricsRegistry, prefix: &str) {
+        self.qp.export_metrics(reg, &format!("{prefix}.qp"));
+        self.ring.export_metrics(reg, &format!("{prefix}.ring"));
+        self.batcher.export_metrics(reg, &format!("{prefix}.batch"));
+        reg.set_counter(&format!("{prefix}.sent_batches"), self.sent_batches);
+        reg.set_counter(&format!("{prefix}.sent_msgs"), self.sent_msgs);
+        reg.set_counter(&format!("{prefix}.sent_bytes"), self.sent_bytes);
+    }
 }
 
 #[cfg(test)]

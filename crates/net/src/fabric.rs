@@ -186,6 +186,17 @@ impl LiveFabric {
         self.messages.load(Ordering::Relaxed)
     }
 
+    /// Export delivery counters into `reg` under `prefix.*`.
+    pub fn export_metrics(&self, reg: &mut whale_sim::MetricsRegistry, prefix: &str) {
+        reg.set_counter(&format!("{prefix}.messages"), self.messages());
+        reg.set_counter(&format!("{prefix}.copied_bytes"), self.copied_bytes());
+        reg.set_counter(&format!("{prefix}.shared_bytes"), self.shared_bytes());
+        reg.set_gauge(
+            &format!("{prefix}.endpoints"),
+            self.endpoints.read().len() as f64,
+        );
+    }
+
     /// Registered endpoint count.
     pub fn endpoint_count(&self) -> usize {
         self.endpoints.read().len()

@@ -75,6 +75,19 @@ impl Nic {
         }
         (self.busy.as_nanos() as f64 / window.as_nanos() as f64).min(1.0)
     }
+
+    /// Export transmit counters into `reg` under `prefix.*`; `window` is
+    /// the observation span used for the utilization gauge.
+    pub fn export_metrics(
+        &self,
+        reg: &mut whale_sim::MetricsRegistry,
+        prefix: &str,
+        window: SimDuration,
+    ) {
+        reg.set_counter(&format!("{prefix}.sent_msgs"), self.sent_msgs);
+        reg.set_counter(&format!("{prefix}.sent_bytes"), self.sent_bytes);
+        reg.set_gauge(&format!("{prefix}.utilization"), self.utilization(window));
+    }
 }
 
 #[cfg(test)]

@@ -8,7 +8,7 @@
 
 use crate::topology::MachineId;
 use std::collections::VecDeque;
-use whale_sim::{CostModel, SimDuration, SimTime, Transport, Verb};
+use whale_sim::{CostModel, MetricsRegistry, SimDuration, SimTime, Transport, Verb};
 
 /// Identifier of a queue pair (one reliable connection between two nodes).
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
@@ -88,6 +88,12 @@ impl CompletionQueue {
     pub fn total_delivered(&self) -> u64 {
         self.delivered
     }
+
+    /// Export delivery counters into `reg` under `prefix.*`.
+    pub fn export_metrics(&self, reg: &mut MetricsRegistry, prefix: &str) {
+        reg.set_counter(&format!("{prefix}.completions"), self.delivered);
+        reg.set_gauge(&format!("{prefix}.pending"), self.queue.len() as f64);
+    }
 }
 
 /// A queue pair: one end of a reliable connection, bound to a transport.
@@ -164,6 +170,12 @@ impl QueuePair {
     /// Bytes posted so far.
     pub fn posted_bytes(&self) -> u64 {
         self.posted_bytes
+    }
+
+    /// Export verb-post counters into `reg` under `prefix.*`.
+    pub fn export_metrics(&self, reg: &mut MetricsRegistry, prefix: &str) {
+        reg.set_counter(&format!("{prefix}.posts"), self.posted);
+        reg.set_counter(&format!("{prefix}.posted_bytes"), self.posted_bytes);
     }
 }
 

@@ -26,7 +26,9 @@ pub mod time;
 pub use cost::{CostModel, Transport, Verb};
 pub use engine::{Engine, Scheduler, SimWorld, StopReason};
 pub use event::{EventId, EventQueue};
-pub use metrics::{Counter, Histogram, RateMeter, TimeSeries};
+pub use metrics::{
+    Counter, Histogram, JsonValue, MetricValue, MetricsRegistry, RateMeter, Summary, TimeSeries,
+};
 pub use queue::{BoundedQueue, PushOutcome, QueueSample, QueueWatch};
 pub use resource::{CoreClock, CpuAccount, CpuCategory};
 pub use rng::{SimRng, Zipf};

@@ -1,10 +1,15 @@
-//! Measurement primitives: counters, histograms, and time series.
+//! Measurement primitives: counters, histograms, and time series —
+//! plus the [`MetricsRegistry`] snapshot type that unifies them.
 //!
 //! Experiments report throughput (tuples/s), latency distributions
 //! (mean/percentiles), and over-time traces (Figs 23–24). These are the
-//! minimal, allocation-conscious instruments for that.
+//! minimal, allocation-conscious instruments for that. Every layer
+//! (engine, live runtime, fabric, multicast controller) exports its
+//! counters into a [`MetricsRegistry`], which renders to deterministic
+//! JSON for the machine-readable bench reports under `results/`.
 
 use crate::time::{SimDuration, SimTime};
+use std::collections::BTreeMap;
 
 /// A monotonically increasing event counter with rate computation.
 #[derive(Clone, Copy, Debug, Default)]
@@ -301,6 +306,328 @@ impl RateMeter {
     }
 }
 
+/// Distribution summary captured from a [`Histogram`]: count, mean, and
+/// the p50/p95/p99 tail in the histogram's raw units.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct Summary {
+    /// Number of recorded values.
+    pub count: u64,
+    /// Exact mean.
+    pub mean: f64,
+    /// Median (approximate, log-bucketed).
+    pub p50: f64,
+    /// 95th percentile.
+    pub p95: f64,
+    /// 99th percentile.
+    pub p99: f64,
+    /// Smallest recorded value.
+    pub min: u64,
+    /// Largest recorded value.
+    pub max: u64,
+}
+
+impl Summary {
+    /// Capture the current state of a histogram.
+    pub fn from_histogram(h: &Histogram) -> Self {
+        Summary {
+            count: h.count(),
+            mean: h.mean(),
+            p50: h.percentile(50.0),
+            p95: h.percentile(95.0),
+            p99: h.percentile(99.0),
+            min: h.min(),
+            max: h.max(),
+        }
+    }
+}
+
+/// One labeled measurement inside a [`MetricsRegistry`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum MetricValue {
+    /// Monotonic event count.
+    Counter(u64),
+    /// Point-in-time level (queue depth, CPU share, λ estimate, ...).
+    Gauge(f64),
+    /// Distribution summary with percentiles.
+    Summary(Summary),
+    /// `(seconds, value)` trace sampled over the run.
+    Series(Vec<(f64, f64)>),
+}
+
+/// A labeled snapshot of every instrument a layer exports.
+///
+/// Keys are dotted paths (`engine.latency`, `net.verb_posts`,
+/// `multicast.lambda`); iteration and JSON rendering are in sorted key
+/// order, so two snapshots of the same deterministic run serialize to
+/// byte-identical JSON.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct MetricsRegistry {
+    entries: BTreeMap<String, MetricValue>,
+}
+
+impl MetricsRegistry {
+    /// New empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record a monotonic counter value.
+    pub fn set_counter(&mut self, name: &str, value: u64) {
+        self.entries
+            .insert(name.to_string(), MetricValue::Counter(value));
+    }
+
+    /// Record a point-in-time gauge.
+    pub fn set_gauge(&mut self, name: &str, value: f64) {
+        self.entries
+            .insert(name.to_string(), MetricValue::Gauge(value));
+    }
+
+    /// Capture a histogram as a percentile summary.
+    pub fn set_summary(&mut self, name: &str, histogram: &Histogram) {
+        self.entries.insert(
+            name.to_string(),
+            MetricValue::Summary(Summary::from_histogram(histogram)),
+        );
+    }
+
+    /// Capture a time series as `(seconds, value)` pairs.
+    pub fn set_series(&mut self, name: &str, series: &TimeSeries) {
+        let pts = series
+            .points()
+            .iter()
+            .map(|&(t, v)| (t.as_secs_f64(), v))
+            .collect();
+        self.entries
+            .insert(name.to_string(), MetricValue::Series(pts));
+    }
+
+    /// Merge `other` under `prefix.` (e.g. `absorb("net", fabric_metrics)`
+    /// files everything as `net.*`).
+    pub fn absorb(&mut self, prefix: &str, other: MetricsRegistry) {
+        for (k, v) in other.entries {
+            self.entries.insert(format!("{prefix}.{k}"), v);
+        }
+    }
+
+    /// Look up one metric.
+    pub fn get(&self, name: &str) -> Option<&MetricValue> {
+        self.entries.get(name)
+    }
+
+    /// Counter value, if `name` is a counter.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        match self.entries.get(name) {
+            Some(MetricValue::Counter(v)) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Gauge value, if `name` is a gauge.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        match self.entries.get(name) {
+            Some(MetricValue::Gauge(v)) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Summary value, if `name` is a summary.
+    pub fn summary(&self, name: &str) -> Option<Summary> {
+        match self.entries.get(name) {
+            Some(MetricValue::Summary(s)) => Some(*s),
+            _ => None,
+        }
+    }
+
+    /// Number of labeled metrics.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterate metrics in sorted key order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &MetricValue)> {
+        self.entries.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Render as a [`JsonValue`] object keyed by metric name.
+    pub fn to_json(&self) -> JsonValue {
+        let fields = self
+            .entries
+            .iter()
+            .map(|(k, v)| {
+                let jv = match v {
+                    MetricValue::Counter(c) => JsonValue::UInt(*c),
+                    MetricValue::Gauge(g) => JsonValue::Float(*g),
+                    MetricValue::Summary(s) => JsonValue::Object(vec![
+                        ("count".into(), JsonValue::UInt(s.count)),
+                        ("mean".into(), JsonValue::Float(s.mean)),
+                        ("p50".into(), JsonValue::Float(s.p50)),
+                        ("p95".into(), JsonValue::Float(s.p95)),
+                        ("p99".into(), JsonValue::Float(s.p99)),
+                        ("min".into(), JsonValue::UInt(s.min)),
+                        ("max".into(), JsonValue::UInt(s.max)),
+                    ]),
+                    MetricValue::Series(pts) => JsonValue::Array(
+                        pts.iter()
+                            .map(|&(t, v)| {
+                                JsonValue::Array(vec![
+                                    JsonValue::Float(t),
+                                    JsonValue::Float(v),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                };
+                (k.clone(), jv)
+            })
+            .collect();
+        JsonValue::Object(fields)
+    }
+}
+
+/// A JSON document tree with deterministic rendering.
+///
+/// Hand-rolled because the workspace has no serde: object fields render
+/// in insertion order, floats through rust's shortest-roundtrip `Display`
+/// (never scientific notation), and non-finite floats as `null` — so the
+/// bytes of a rendered report depend only on the values, never on the
+/// environment.
+#[derive(Clone, Debug, PartialEq)]
+pub enum JsonValue {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Unsigned integer.
+    UInt(u64),
+    /// Signed integer.
+    Int(i64),
+    /// Finite float (non-finite renders as `null`).
+    Float(f64),
+    /// String (escaped on render).
+    Str(String),
+    /// Ordered array.
+    Array(Vec<JsonValue>),
+    /// Object with fields rendered in insertion order.
+    Object(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// Convenience constructor for string values.
+    pub fn str(s: impl Into<String>) -> Self {
+        JsonValue::Str(s.into())
+    }
+
+    /// Render compactly (no whitespace) into `out`.
+    pub fn render(&self, out: &mut String) {
+        match self {
+            JsonValue::Null => out.push_str("null"),
+            JsonValue::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            JsonValue::UInt(v) => out.push_str(&v.to_string()),
+            JsonValue::Int(v) => out.push_str(&v.to_string()),
+            JsonValue::Float(v) => {
+                if v.is_finite() {
+                    // Display for f64 is shortest-roundtrip decimal,
+                    // which always parses as a JSON number.
+                    out.push_str(&v.to_string());
+                } else {
+                    out.push_str("null");
+                }
+            }
+            JsonValue::Str(s) => {
+                out.push('"');
+                for c in s.chars() {
+                    match c {
+                        '"' => out.push_str("\\\""),
+                        '\\' => out.push_str("\\\\"),
+                        '\n' => out.push_str("\\n"),
+                        '\r' => out.push_str("\\r"),
+                        '\t' => out.push_str("\\t"),
+                        c if (c as u32) < 0x20 => {
+                            out.push_str(&format!("\\u{:04x}", c as u32))
+                        }
+                        c => out.push(c),
+                    }
+                }
+                out.push('"');
+            }
+            JsonValue::Array(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.render(out);
+                }
+                out.push(']');
+            }
+            JsonValue::Object(fields) => {
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    JsonValue::Str(k.clone()).render(out);
+                    out.push(':');
+                    v.render(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
+    /// Render to an owned compact string.
+    pub fn to_json_string(&self) -> String {
+        let mut out = String::new();
+        self.render(&mut out);
+        out
+    }
+
+    /// Render with two-space indentation (stable, human-diffable — the
+    /// format written to `results/*.json`).
+    pub fn to_json_pretty(&self) -> String {
+        let mut out = String::new();
+        self.render_pretty(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    fn render_pretty(&self, out: &mut String, indent: usize) {
+        match self {
+            JsonValue::Array(items) if !items.is_empty() => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    out.push_str(if i > 0 { ",\n" } else { "\n" });
+                    out.push_str(&"  ".repeat(indent + 1));
+                    item.render_pretty(out, indent + 1);
+                }
+                out.push('\n');
+                out.push_str(&"  ".repeat(indent));
+                out.push(']');
+            }
+            JsonValue::Object(fields) if !fields.is_empty() => {
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    out.push_str(if i > 0 { ",\n" } else { "\n" });
+                    out.push_str(&"  ".repeat(indent + 1));
+                    JsonValue::Str(k.clone()).render(out);
+                    out.push_str(": ");
+                    v.render_pretty(out, indent + 1);
+                }
+                out.push('\n');
+                out.push_str(&"  ".repeat(indent));
+                out.push('}');
+            }
+            other => other.render(out),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -418,6 +745,79 @@ mod tests {
         assert!((pts[0].1 - 100.0).abs() < 1e-9);
         assert!((pts[1].1 - 200.0).abs() < 1e-9);
         assert!((pts[2].1 - 0.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn summary_captures_percentiles() {
+        let mut h = Histogram::new();
+        for v in 1..=1_000u64 {
+            h.record(v);
+        }
+        let s = Summary::from_histogram(&h);
+        assert_eq!(s.count, 1_000);
+        assert_eq!(s.min, 1);
+        assert_eq!(s.max, 1_000);
+        assert!((s.p50 - 500.0).abs() / 500.0 < 0.08, "p50={}", s.p50);
+        assert!((s.p95 - 950.0).abs() / 950.0 < 0.08, "p95={}", s.p95);
+        assert!((s.p99 - 990.0).abs() / 990.0 < 0.08, "p99={}", s.p99);
+    }
+
+    #[test]
+    fn registry_roundtrip_and_ordering() {
+        let mut r = MetricsRegistry::new();
+        r.set_gauge("z.last", 1.5);
+        r.set_counter("a.first", 7);
+        let mut h = Histogram::new();
+        h.record(10);
+        r.set_summary("m.lat", &h);
+        assert_eq!(r.counter("a.first"), Some(7));
+        assert_eq!(r.gauge("z.last"), Some(1.5));
+        assert_eq!(r.summary("m.lat").unwrap().count, 1);
+        // Sorted iteration regardless of insertion order.
+        let keys: Vec<&str> = r.iter().map(|(k, _)| k).collect();
+        assert_eq!(keys, vec!["a.first", "m.lat", "z.last"]);
+    }
+
+    #[test]
+    fn registry_absorb_prefixes() {
+        let mut inner = MetricsRegistry::new();
+        inner.set_counter("posts", 3);
+        let mut outer = MetricsRegistry::new();
+        outer.absorb("net", inner);
+        assert_eq!(outer.counter("net.posts"), Some(3));
+    }
+
+    #[test]
+    fn json_rendering_is_compact_and_escaped() {
+        let v = JsonValue::Object(vec![
+            ("a".into(), JsonValue::UInt(1)),
+            ("b".into(), JsonValue::Float(2.5)),
+            ("nan".into(), JsonValue::Float(f64::NAN)),
+            ("s".into(), JsonValue::str("x\"y\n")),
+            (
+                "arr".into(),
+                JsonValue::Array(vec![JsonValue::Bool(true), JsonValue::Null]),
+            ),
+        ]);
+        assert_eq!(
+            v.to_json_string(),
+            r#"{"a":1,"b":2.5,"nan":null,"s":"x\"y\n","arr":[true,null]}"#
+        );
+    }
+
+    #[test]
+    fn json_rendering_is_deterministic() {
+        let build = || {
+            let mut r = MetricsRegistry::new();
+            r.set_gauge("g", 0.1 + 0.2);
+            r.set_counter("c", u64::MAX);
+            let mut ts = TimeSeries::new();
+            ts.push(SimTime::from_millis(1500), 42.0);
+            r.set_series("s", &ts);
+            r.to_json().to_json_pretty()
+        };
+        assert_eq!(build(), build());
+        assert!(build().contains("\"c\": 18446744073709551615"));
     }
 
     #[test]

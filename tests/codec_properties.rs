@@ -96,3 +96,74 @@ proptest! {
         let _ = whale::dsps::codec::decode_tuple(&mut b);
     }
 }
+
+/// Deterministic regression tests for the codec's edge tuples: the
+/// empty batch, the single-field tuple, and maximum-size values.
+mod edge_tuples {
+    use super::*;
+    use whale::dsps::codec;
+
+    fn roundtrip(t: &Tuple) -> Tuple {
+        let bytes = codec::encode_tuple(t);
+        assert_eq!(bytes.len(), t.payload_bytes());
+        let mut buf = bytes;
+        let back = codec::decode_tuple(&mut buf).unwrap();
+        assert_eq!(buf.len(), 0, "decoder must consume everything");
+        back
+    }
+
+    #[test]
+    fn empty_tuple_roundtrips() {
+        let t = Tuple::with_id(0, vec![]);
+        assert_eq!(roundtrip(&t), t);
+        let t = Tuple::with_id(u64::MAX, vec![]);
+        assert_eq!(roundtrip(&t), t);
+    }
+
+    #[test]
+    fn empty_batch_worker_message_roundtrips() {
+        // A worker message with no destination tasks (the empty batch).
+        let m = WorkerMessage {
+            src: TaskId(0),
+            dst_ids: vec![],
+            tuple: Tuple::with_id(1, vec![Value::I64(7)]),
+        };
+        let bytes = m.encode();
+        assert_eq!(bytes.len(), m.wire_bytes());
+        assert_eq!(WorkerMessage::decode(bytes).unwrap(), m);
+    }
+
+    #[test]
+    fn single_field_tuples_roundtrip() {
+        for v in [
+            Value::I64(i64::MIN),
+            Value::I64(i64::MAX),
+            Value::F64(f64::MIN_POSITIVE),
+            Value::F64(-0.0),
+            Value::str(""),
+            Value::Bytes(std::sync::Arc::from(&[][..])),
+            Value::Bool(false),
+        ] {
+            let t = Tuple::with_id(3, vec![v]);
+            assert_eq!(roundtrip(&t), t);
+        }
+    }
+
+    #[test]
+    fn max_size_values_roundtrip() {
+        // A 1 MiB blob and a 1 MiB string: far past any batching
+        // threshold, exercising the u32 length prefixes.
+        let blob = vec![0xA5u8; 1 << 20];
+        let text = "x".repeat(1 << 20);
+        let t = Tuple::with_id(9, vec![
+            Value::Bytes(std::sync::Arc::from(blob.as_slice())),
+            Value::str(text.as_str()),
+        ]);
+        assert_eq!(roundtrip(&t), t);
+        // And through both message formats.
+        let im = InstanceMessage { src: TaskId(1), dst: TaskId(2), tuple: t.clone() };
+        assert_eq!(InstanceMessage::decode(im.encode()).unwrap(), im);
+        let wm = WorkerMessage { src: TaskId(1), dst_ids: vec![TaskId(2)], tuple: t };
+        assert_eq!(WorkerMessage::decode(wm.encode()).unwrap(), wm);
+    }
+}

@@ -145,6 +145,79 @@ fn d_star_is_the_largest_affordable_degree() {
 }
 
 #[test]
+fn eq1_service_rate_definition() {
+    // Eq. (1): µ = 1/(d0 · t_e).
+    let t_e = 8e-6;
+    for d in [1u32, 4, 17] {
+        let mu = mdone::service_rate(d, t_e);
+        assert!((mu - 1.0 / (d as f64 * t_e)).abs() < 1e-6, "d={d}");
+    }
+}
+
+#[test]
+fn eq2_closed_form_and_divergence() {
+    // At ρ = 1/2: E(L) = ρ²/(2(1−ρ)) + ρ = 0.25 + 0.5.
+    let mu = 10_000.0;
+    assert!((mdone::avg_queue_len(5_000.0, mu) - 0.75).abs() < 1e-12);
+    // The queue diverges at and beyond saturation.
+    assert!(mdone::avg_queue_len(mu, mu).is_infinite());
+    assert!(mdone::avg_queue_len(2.0 * mu, mu).is_infinite());
+    // And is empty with no arrivals.
+    assert_eq!(mdone::avg_queue_len(0.0, mu), 0.0);
+}
+
+#[test]
+fn eq4_capacity_factor_matches_naive_form() {
+    // The stable form 2Q/(Q+1+√(Q²+1)) must equal Q+1−√(Q²+1) ∈ (0,1].
+    for q in [1usize, 2, 128, 2_048, 1 << 20] {
+        let f = mdone::capacity_factor(q);
+        let qf = q as f64;
+        let naive = qf + 1.0 - (qf * qf + 1.0).sqrt();
+        assert!((f - naive).abs() < 1e-9, "q={q}: {f} vs {naive}");
+        assert!(f > 0.0 && f <= 1.0, "q={q}: {f}");
+    }
+}
+
+#[test]
+fn d_star_boundary_brackets_the_affordable_rate() {
+    // Eqs (3)/(5) consistency at the boundary: for λ just below M(d) the
+    // largest affordable degree is exactly d; just above, it drops.
+    let t_e = 8e-6;
+    let q = 2_048;
+    for d in [1u32, 2, 3, 7, 32, 100] {
+        let m = mdone::max_affordable_rate(d, t_e, q);
+        assert_eq!(mdone::d_star(m * 0.999, t_e, q), d, "just below M({d})");
+        assert_eq!(
+            mdone::d_star(m * 1.001, t_e, q),
+            (d - 1).max(1),
+            "just above M({d})"
+        );
+        // Eq. (3) ⇒ Eq. (2): at the affordable rate the queue fits in Q.
+        let mu = mdone::service_rate(d, t_e);
+        assert!(mdone::avg_queue_len(m * 0.999, mu) <= q as f64, "d={d}");
+    }
+    // Degenerate ends: no load affords any degree; extreme load forces a
+    // chain (d* never reaches 0).
+    assert_eq!(mdone::d_star(0.0, t_e, q), u32::MAX);
+    assert_eq!(mdone::d_star(-1.0, t_e, q), u32::MAX);
+    assert_eq!(mdone::d_star(1e12, t_e, q), 1);
+}
+
+#[test]
+fn d_star_monotone_in_lambda_and_queue() {
+    // Theorem 1: faster streams force (weakly) smaller out-degrees;
+    // larger transfer queues afford (weakly) larger ones.
+    let t_e = 8e-6;
+    let mut prev = u32::MAX;
+    for lambda in [1.0, 10.0, 1_000.0, 10_000.0, 50_000.0, 1e6] {
+        let d = mdone::d_star(lambda, t_e, 2_048);
+        assert!(d <= prev, "λ={lambda}: {d} > {prev}");
+        prev = d;
+    }
+    assert!(mdone::d_star(10_000.0, t_e, 4_096) >= mdone::d_star(10_000.0, t_e, 64));
+}
+
+#[test]
 fn theorem1_affordable_rate_halves_when_degree_doubles() {
     let t_e = 8e-6;
     let q = 512;
