@@ -71,6 +71,12 @@ pub mod channel {
         }
     }
 
+    impl<T> std::fmt::Debug for Sender<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("Sender { .. }")
+        }
+    }
+
     impl<T> Sender<T> {
         /// Send, blocking while a bounded channel is full.
         pub fn send(&self, value: T) -> Result<(), SendError<T>> {
@@ -98,6 +104,12 @@ pub mod channel {
     /// The receiving half of a channel.
     pub struct Receiver<T> {
         rx: mpsc::Receiver<T>,
+    }
+
+    impl<T> std::fmt::Debug for Receiver<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("Receiver { .. }")
+        }
     }
 
     impl<T> Receiver<T> {

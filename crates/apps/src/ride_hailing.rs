@@ -362,6 +362,7 @@ mod tests {
                 zero_copy: true,
                 multicast_d_star: None,
                 dedicated_senders: false,
+                fabric: whale_dsps::FabricKind::PerSend,
             },
         );
         // matching executes 200 locations (key-grouped once each) +

@@ -333,6 +333,7 @@ mod tests {
                 zero_copy: true,
                 multicast_d_star: None,
                 dedicated_senders: false,
+                fabric: whale_dsps::FabricKind::PerSend,
             },
         );
         // Source emitted everything; splits each saw all 2000.

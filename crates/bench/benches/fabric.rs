@@ -33,7 +33,7 @@ fn bench_fabric(c: &mut Criterion) {
     let payload = vec![0u8; 256];
     c.bench_function("live_fabric_send_copied_256B", |b| {
         let fabric = LiveFabric::new();
-        let rx = fabric.register(EndpointId(1));
+        let rx = fabric.register(EndpointId(1)).unwrap();
         b.iter(|| {
             fabric
                 .send_copied(EndpointId(0), EndpointId(1), black_box(&payload))
@@ -44,13 +44,28 @@ fn bench_fabric(c: &mut Criterion) {
 
     c.bench_function("live_fabric_send_shared_256B", |b| {
         let fabric = LiveFabric::new();
-        let rx = fabric.register(EndpointId(1));
+        let rx = fabric.register(EndpointId(1)).unwrap();
         let buf: Arc<[u8]> = Arc::from(&payload[..]);
         b.iter(|| {
             fabric
                 .send_shared(EndpointId(0), EndpointId(1), black_box(buf.clone()))
                 .unwrap();
             rx.recv().unwrap()
+        })
+    });
+
+    c.bench_function("ring_fabric_post_flush_256B", |b| {
+        let fabric = whale_net::RingFabric::new(whale_net::RingConfig::default());
+        let rx = fabric.register(EndpointId(1)).unwrap();
+        let buf: Arc<[u8]> = Arc::from(&payload[..]);
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            fabric
+                .send_shared(EndpointId(0), EndpointId(1), black_box(buf.clone()))
+                .unwrap();
+            fabric.flush_at(SimTime::from_nanos(i));
+            rx.try_recv().unwrap()
         })
     });
 }

@@ -1,0 +1,7 @@
+//! E19 — live path: batched ring delivery vs per-send capacity.
+fn main() {
+    let scale = whale_bench::Scale::from_env();
+    for table in whale_bench::experiments::live_ring::run_experiment(scale) {
+        table.emit(None);
+    }
+}

@@ -67,6 +67,10 @@ fn main() {
             Box::new(ex::fig33_34_racks::run_experiment),
         ),
         (
+            "E19 Live ring vs per-send",
+            Box::new(ex::live_ring::run_experiment),
+        ),
+        (
             "Ablations (beyond the paper)",
             Box::new(|s| {
                 let mut t = ex::ablations::run_dstar_sweep(s);

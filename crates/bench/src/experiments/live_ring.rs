@@ -1,0 +1,184 @@
+//! E19 — live path: batched ring delivery vs synchronous per-send.
+//!
+//! Drives a real [`RingFabric`] in deterministic mode (virtual clock, no
+//! flusher thread) with a rate-driven one-to-many workload: one source
+//! posting each tuple to `fanout` destination endpoints, the ring drained
+//! on every tick exactly as the doorbell-woken flusher would. The measured
+//! mean batch size then prices both delivery disciplines on the paper's
+//! cost model — one work-request post per *message* (the per-send path,
+//! what `LiveFabric` does) vs one post per *batch* plus a ring-buffer
+//! memory-region reuse per message (stream slicing, §4). Every run is a
+//! pure function of the config, so reruns emit byte-identical JSON.
+
+use crate::{Scale, Table};
+use std::sync::Arc;
+use whale_net::{BatchConfig, EndpointId, RingConfig, RingFabric};
+use whale_sim::{CostModel, SimDuration, SimTime, Transport};
+
+/// Tuple payload size, matching the Figs 11/12 calibration runs.
+const MSG_BYTES: usize = 150;
+
+/// One fan-out operating point.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct LivePoint {
+    /// Destinations per tuple.
+    pub fanout: u32,
+    /// Tuples the source emitted.
+    pub tuples: u64,
+    /// Messages delivered (must equal `tuples × fanout`).
+    pub messages: u64,
+    /// Batches the ring flushed.
+    pub batches: u64,
+    /// Mean messages per flushed batch.
+    pub mean_batch: f64,
+    /// Modeled sender capacity with one post per message (msgs/s).
+    pub per_send_msgs_s: f64,
+    /// Modeled sender capacity at the measured batch size (msgs/s).
+    pub ring_msgs_s: f64,
+}
+
+impl LivePoint {
+    /// Ring capacity over per-send capacity.
+    pub fn speedup(&self) -> f64 {
+        self.ring_msgs_s / self.per_send_msgs_s
+    }
+}
+
+/// Sender-side sustainable messages/s when flushes carry `batch_n`
+/// messages: each flush costs one work-request post, each message a
+/// ring-region reuse plus its wire time (same model as Figs 11/12).
+fn sender_capacity(batch_n: f64, cost: &CostModel) -> f64 {
+    let post = cost.rdma_post_send.as_secs_f64();
+    let per_msg =
+        cost.ring_mr_op.as_secs_f64() + cost.wire_time(Transport::Rdma, MSG_BYTES).as_secs_f64();
+    batch_n / (post + batch_n * per_msg)
+}
+
+/// Drive a ring fabric at `rate` tuples/s for `tuples` tuples, fanning
+/// each tuple out to `fanout` endpoints, and price the result.
+pub fn measure(scale: Scale, fanout: u32) -> LivePoint {
+    let tuples: u64 = scale.pick3(2_000, 10_000, 50_000);
+    let rate = 50_000.0; // tuples/s — WTL governs, as in the Fig 12 runs
+    let config = RingConfig {
+        ring_capacity: 64 * 1024,
+        batch: BatchConfig {
+            mms: 4 * 1024,
+            wtl: SimDuration::from_millis(1),
+        },
+    };
+    let fabric = RingFabric::new(config);
+    let receivers: Vec<_> = (0..fanout)
+        .map(|d| {
+            fabric
+                .register(EndpointId(d + 1))
+                .expect("fresh fabric has free endpoints")
+        })
+        .collect();
+
+    let source = EndpointId(0);
+    let payload: Arc<[u8]> = Arc::from(vec![0u8; MSG_BYTES].into_boxed_slice());
+    let gap = SimDuration::from_secs_f64(1.0 / rate);
+    let mut now = SimTime::ZERO;
+    for _ in 0..tuples {
+        for d in 0..fanout {
+            fabric
+                .send_shared(source, EndpointId(d + 1), Arc::clone(&payload))
+                .expect("ring sized above the workload");
+        }
+        // The doorbell-woken flusher drains size-triggered batches
+        // immediately and timer batches at their WTL deadline; pumping on
+        // every tick covers both (the tick gap is far below the WTL).
+        fabric.pump(now);
+        now += gap;
+    }
+    fabric.flush_at(now);
+
+    let mut delivered = 0u64;
+    for rx in &receivers {
+        delivered += std::iter::from_fn(|| rx.try_recv().ok()).count() as u64;
+    }
+    assert_eq!(
+        delivered,
+        tuples * fanout as u64,
+        "ring delivery must be lossless"
+    );
+
+    let cost = CostModel::default();
+    LivePoint {
+        fanout,
+        tuples,
+        messages: fabric.messages(),
+        batches: fabric.flushed_batches(),
+        mean_batch: fabric.mean_batch_size(),
+        per_send_msgs_s: sender_capacity(1.0, &cost),
+        ring_msgs_s: sender_capacity(fabric.mean_batch_size().max(1.0), &cost),
+    }
+}
+
+/// Run the fan-out sweep.
+pub fn run_experiment(scale: Scale) -> Vec<Table> {
+    let mut table = Table::new(
+        "live_ring",
+        "Live path: batched ring delivery vs per-send (modeled sender capacity)",
+        &[
+            "fanout",
+            "messages",
+            "batches",
+            "mean_batch",
+            "per_send_msgs_s",
+            "ring_msgs_s",
+            "speedup",
+        ],
+    );
+    for fanout in [1u32, 2, 4, 8] {
+        let p = measure(scale, fanout);
+        table.row_strings(vec![
+            p.fanout.to_string(),
+            p.messages.to_string(),
+            p.batches.to_string(),
+            format!("{:.1}", p.mean_batch),
+            format!("{:.0}", p.per_send_msgs_s),
+            format!("{:.0}", p.ring_msgs_s),
+            format!("{:.2}", p.speedup()),
+        ]);
+    }
+    vec![table]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_at_least_matches_per_send_at_fanout_4_and_up() {
+        for fanout in [4u32, 8] {
+            let p = measure(Scale::Smoke, fanout);
+            assert!(p.mean_batch > 1.0, "fanout {fanout}: {:.2}", p.mean_batch);
+            assert!(
+                p.ring_msgs_s >= p.per_send_msgs_s,
+                "fanout {fanout}: ring {:.0} < per-send {:.0}",
+                p.ring_msgs_s,
+                p.per_send_msgs_s
+            );
+        }
+    }
+
+    #[test]
+    fn delivery_is_lossless_and_deterministic() {
+        let a = measure(Scale::Smoke, 4);
+        let b = measure(Scale::Smoke, 4);
+        assert_eq!(a, b, "virtual-clock runs must be reproducible");
+        assert_eq!(a.messages, a.tuples * 4);
+        assert!(a.batches > 0);
+    }
+
+    #[test]
+    fn sweep_emits_one_row_per_fanout() {
+        let tables = run_experiment(Scale::Smoke);
+        assert_eq!(tables.len(), 1);
+        assert_eq!(tables[0].len(), 4);
+        let json = tables[0].to_json().to_json_string();
+        assert!(json.contains("\"schema\":\"whale-bench/v1\""), "{json}");
+        assert!(json.contains("\"figure\":\"live_ring\""));
+    }
+}

@@ -33,7 +33,8 @@ pub use messaging::{plan, CommMode, Envelope, MessagePlan};
 pub use operator::{
     Bolt, BoltFactory, Emitter, FnBolt, IterSpout, Spout, SpoutFactory, VecEmitter,
 };
-pub use runtime::{run_topology, LiveConfig, Operators, RunReport};
+pub use runtime::{run_topology, BuildError, LiveConfig, Operators, RunOutcome, RunReport};
+pub use whale_net::{FabricKind, RingConfig};
 pub use scheduler::{Placement, WorkerId};
 pub use task::{ComponentId, TaskId, TaskTable};
 pub use topology::{

@@ -29,7 +29,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 use whale_multicast::{build_nonblocking, MulticastTree, Node};
-use whale_net::{ClusterSpec, EndpointId, LiveFabric};
+use whale_net::{ClusterSpec, EndpointId, FabricKind, FabricPath, SendError};
 
 /// Message tags on the live fabric.
 const TAG_INSTANCE: u8 = 1;
@@ -140,6 +140,10 @@ pub struct LiveConfig {
     /// sending thread draining its send queue, so serialization and
     /// transmission happen off the worker thread. `false` = emit inline.
     pub dedicated_senders: bool,
+    /// Which live transport carries inter-worker frames: synchronous
+    /// per-send delivery, or descriptors posted to per-endpoint rings and
+    /// flushed in MMS/WTL batches (the paper's stream slicing, §4).
+    pub fabric: FabricKind,
 }
 
 impl Default for LiveConfig {
@@ -150,7 +154,51 @@ impl Default for LiveConfig {
             zero_copy: true,
             multicast_d_star: None,
             dedicated_senders: false,
+            fabric: FabricKind::PerSend,
         }
+    }
+}
+
+/// Why a topology could not be built into a running worker set.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum BuildError {
+    /// A spout component has no registered factory in [`Operators`].
+    MissingSpout(String),
+    /// A bolt component has no registered factory in [`Operators`].
+    MissingBolt(String),
+}
+
+impl std::fmt::Display for BuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BuildError::MissingSpout(name) => write!(f, "no spout registered for {name:?}"),
+            BuildError::MissingBolt(name) => write!(f, "no bolt registered for {name:?}"),
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
+
+/// Structured shutdown reason of a live run.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum RunOutcome {
+    /// Every thread completed normally.
+    Clean,
+    /// The topology never ran: validation failed before any thread was
+    /// spawned, and the report carries all-zero counters.
+    ConfigError(BuildError),
+    /// The run completed and tore down in order, but some executor or
+    /// dispatcher threads panicked along the way.
+    Degraded {
+        /// Number of threads that panicked.
+        thread_panics: u64,
+    },
+}
+
+impl RunOutcome {
+    /// True only for a fully clean completion.
+    pub fn is_clean(&self) -> bool {
+        *self == RunOutcome::Clean
     }
 }
 
@@ -202,6 +250,16 @@ pub struct RunReport {
     /// Executor or dispatcher threads that panicked; the run still joins
     /// every thread and tears the fabric down in order.
     pub thread_panics: u64,
+    /// Sends that failed at the fabric (unknown endpoint, backpressure
+    /// that never cleared, or a receiver dropped during teardown). Failed
+    /// sends never count toward the byte totals.
+    pub send_errors: u64,
+    /// Batches the transport flushed (0 on the per-send path).
+    pub batches_flushed: u64,
+    /// Mean messages per flushed batch (0 on the per-send path).
+    pub mean_batch_size: f64,
+    /// Structured shutdown reason.
+    pub outcome: RunOutcome,
     /// Sampled spout-to-execute delivery latencies (ns), unordered.
     pub delivery_ns: Vec<u64>,
 }
@@ -242,6 +300,13 @@ impl RunReport {
         reg.set_counter("dsps.fabric.messages", self.fabric_messages);
         reg.set_counter("dsps.fabric.copied_bytes", self.copied_bytes);
         reg.set_counter("dsps.fabric.shared_bytes", self.shared_bytes);
+        reg.set_counter("dsps.fabric.send_errors", self.send_errors);
+        reg.set_counter("dsps.fabric.batches_flushed", self.batches_flushed);
+        reg.set_gauge("dsps.fabric.mean_batch_size", self.mean_batch_size);
+        reg.set_gauge(
+            "dsps.clean",
+            if self.outcome.is_clean() { 1.0 } else { 0.0 },
+        );
         for (i, &n) in self.executed.iter().enumerate() {
             reg.set_counter(&format!("dsps.executed.component_{i}"), n);
         }
@@ -293,7 +358,7 @@ struct Routing {
     topology: Topology,
     placement: Placement,
     config: LiveConfig,
-    fabric: Arc<LiveFabric>,
+    fabric: Arc<dyn FabricPath>,
     /// Inboxes of every task (senders usable only for local delivery).
     inboxes: HashMap<TaskId, Sender<ExecMsg>>,
     stats: Arc<RunStats>,
@@ -389,15 +454,7 @@ impl Routing {
             let dst = relay_node_worker(origin, c, self.placement.workers());
             // Relay transmission keeps the zero-copy/copied semantics of
             // the run; attribution is the relay worker itself.
-            let from = EndpointId(my_worker);
-            let to = EndpointId(dst.0);
-            let result = if self.config.zero_copy {
-                let buf: Arc<[u8]> = Arc::from(&framed[..]);
-                self.fabric.send_shared(from, to, buf)
-            } else {
-                self.fabric.send_copied(from, to, &framed)
-            };
-            let _ = result;
+            self.fabric_send(EndpointId(my_worker), EndpointId(dst.0), &framed.freeze());
             self.stats.relay_forwards.fetch_add(1, Ordering::Relaxed);
         }
         // One deserialization for the whole worker, then local dispatch.
@@ -475,14 +532,27 @@ impl Routing {
     fn transmit(&self, src: TaskId, dst_worker: WorkerId, framed: Bytes) {
         let from = EndpointId(self.placement.worker_of(src).0);
         let to = EndpointId(dst_worker.0);
-        let result = if self.config.zero_copy {
-            let buf: Arc<[u8]> = Arc::from(&framed[..]);
-            self.fabric.send_shared(from, to, buf)
-        } else {
-            self.fabric.send_copied(from, to, &framed)
-        };
-        // Receivers may have shut down during teardown; drop silently.
-        let _ = result;
+        self.fabric_send(from, to, &framed);
+    }
+
+    /// Send one framed message, waiting out transient ring backpressure
+    /// (`Full` means posted descriptors outran the flusher, the bounded
+    /// transfer queue of the paper's model — yield and retry). Teardown
+    /// races (unknown or disconnected endpoints) are dropped here; the
+    /// fabric itself counts them in `send_errors`.
+    fn fabric_send(&self, from: EndpointId, to: EndpointId, framed: &Bytes) {
+        loop {
+            let result = if self.config.zero_copy {
+                let buf: Arc<[u8]> = Arc::from(&framed[..]);
+                self.fabric.send_shared(from, to, buf)
+            } else {
+                self.fabric.send_copied(from, to, framed)
+            };
+            match result {
+                Err(SendError::Full) => std::thread::yield_now(),
+                _ => return,
+            }
+        }
     }
 
     fn send_relay_eos_frame(
@@ -500,15 +570,7 @@ impl Routing {
         framed.put_u32_le(node);
         framed.put_u32_le(src.0);
         let dst = relay_node_worker(origin, node, self.placement.workers());
-        let from = EndpointId(from_worker);
-        let to = EndpointId(dst.0);
-        let result = if self.config.zero_copy {
-            let buf: Arc<[u8]> = Arc::from(&framed.freeze()[..]);
-            self.fabric.send_shared(from, to, buf)
-        } else {
-            self.fabric.send_copied(from, to, &framed)
-        };
-        let _ = result;
+        self.fabric_send(EndpointId(from_worker), EndpointId(dst.0), &framed.freeze());
     }
 
     /// A relay worker received an EOS frame: forward along the tree, then
@@ -613,9 +675,45 @@ impl Emitter for OutboxEmitter<'_> {
 /// propagates through the DAG; the run finishes when every executor has
 /// drained. Returns aggregate statistics.
 pub fn run_topology(topology: Topology, operators: Operators, config: LiveConfig) -> RunReport {
+    // Validate every component has an operator before spawning anything:
+    // a missing factory is a configuration error reported through
+    // [`RunOutcome::ConfigError`], not a worker crash.
+    let n_components = topology.components().len();
+    for comp in topology.components() {
+        let err = match comp.kind {
+            ComponentKind::Spout if !operators.spouts.contains_key(&comp.name) => {
+                Some(BuildError::MissingSpout(comp.name.clone()))
+            }
+            ComponentKind::Bolt if !operators.bolts.contains_key(&comp.name) => {
+                Some(BuildError::MissingBolt(comp.name.clone()))
+            }
+            _ => None,
+        };
+        if let Some(err) = err {
+            return RunReport {
+                elapsed: std::time::Duration::ZERO,
+                serializations: 0,
+                executed: vec![0; n_components],
+                spout_emitted: 0,
+                fabric_messages: 0,
+                copied_bytes: 0,
+                shared_bytes: 0,
+                relay_forwards: 0,
+                dropped_frames: 0,
+                thread_panics: 0,
+                send_errors: 0,
+                batches_flushed: 0,
+                mean_batch_size: 0.0,
+                outcome: RunOutcome::ConfigError(err),
+                delivery_ns: Vec::new(),
+            };
+        }
+    }
+
     let cluster = ClusterSpec::new(config.machines, 1, 16);
     let placement = Placement::even(&topology, &cluster);
-    let fabric = Arc::new(LiveFabric::new());
+    let mut instance = config.fabric.build();
+    let fabric = Arc::clone(&instance.fabric);
 
     let stats = Arc::new(RunStats {
         serializations: AtomicU64::new(0),
@@ -652,10 +750,15 @@ pub fn run_topology(topology: Topology, operators: Operators, config: LiveConfig
         receivers.insert(t, rx);
     }
 
-    // Worker endpoints.
+    // Worker endpoints (ids are assigned sequentially, so registration
+    // cannot collide).
     let mut worker_rx = Vec::new();
     for w in 0..placement.workers() {
-        worker_rx.push(fabric.register(EndpointId(w)));
+        worker_rx.push(
+            fabric
+                .register(EndpointId(w))
+                .expect("worker endpoint ids are unique"),
+        );
     }
 
     let routing = Arc::new(Routing {
@@ -696,7 +799,7 @@ pub fn run_topology(topology: Topology, operators: Operators, config: LiveConfig
                     let spout_factory = operators
                         .spouts
                         .get(&comp.name)
-                        .unwrap_or_else(|| panic!("no spout registered for {:?}", comp.name));
+                        .expect("validated before spawning");
                     let mut spout = spout_factory(idx as u32);
                     let mut outbox = make_outbox(&routing, task, comp.id, &mut work_handles);
                     work_handles.push(std::thread::spawn(move || {
@@ -714,7 +817,7 @@ pub fn run_topology(topology: Topology, operators: Operators, config: LiveConfig
                     let bolt_factory = operators
                         .bolts
                         .get(&comp.name)
-                        .unwrap_or_else(|| panic!("no bolt registered for {:?}", comp.name));
+                        .expect("validated before spawning");
                     let mut bolt = bolt_factory(idx as u32);
                     // Every task got an inbox above; a missing receiver
                     // would mean a task list mismatch — skip rather than
@@ -756,7 +859,10 @@ pub fn run_topology(topology: Topology, operators: Operators, config: LiveConfig
             thread_panics += 1;
         }
     }
-    // All producers done: close the fabric endpoints so dispatchers exit.
+    // All producers done: flush anything still buffered in the transport
+    // (and stop the ring flusher), then close the fabric endpoints so
+    // dispatchers exit.
+    instance.shutdown();
     for w in 0..routing.placement.workers() {
         fabric.deregister(EndpointId(w));
     }
@@ -782,6 +888,21 @@ pub fn run_topology(topology: Topology, operators: Operators, config: LiveConfig
         relay_forwards: stats.relay_forwards.load(Ordering::Relaxed),
         dropped_frames: stats.dropped_frames.load(Ordering::Relaxed),
         thread_panics,
+        send_errors: fabric.send_errors(),
+        batches_flushed: fabric.flushed_batches(),
+        mean_batch_size: {
+            let batches = fabric.flushed_batches();
+            if batches == 0 {
+                0.0
+            } else {
+                fabric.flushed_items() as f64 / batches as f64
+            }
+        },
+        outcome: if thread_panics > 0 {
+            RunOutcome::Degraded { thread_panics }
+        } else {
+            RunOutcome::Clean
+        },
         delivery_ns: {
             let mut samples = stats.delivery_ns.lock();
             std::mem::take(&mut *samples)
@@ -968,6 +1089,7 @@ mod tests {
                 zero_copy,
                 multicast_d_star: None,
                 dedicated_senders: false,
+                fabric: FabricKind::PerSend,
             },
         )
     }
@@ -1027,6 +1149,7 @@ mod tests {
                 zero_copy: true,
                 multicast_d_star: Some(2),
                 dedicated_senders: false,
+                fabric: FabricKind::PerSend,
             },
         );
         let direct = run(CommMode::WorkerOriented, true, 8, 16);
@@ -1052,6 +1175,7 @@ mod tests {
                 zero_copy: true,
                 multicast_d_star: Some(2),
                 dedicated_senders: false,
+                fabric: FabricKind::PerSend,
             },
         );
         assert_eq!(r.relay_forwards, 100 * 5);
@@ -1071,6 +1195,7 @@ mod tests {
                 zero_copy: true,
                 multicast_d_star: None,
                 dedicated_senders: true,
+                fabric: FabricKind::PerSend,
             },
         );
         let inline = run(CommMode::WorkerOriented, true, 4, 8);
@@ -1091,6 +1216,7 @@ mod tests {
                 zero_copy: true,
                 multicast_d_star: Some(2),
                 dedicated_senders: true,
+                fabric: FabricKind::PerSend,
             },
         );
         assert_eq!(r.executed[1], 100 * 16);
@@ -1133,6 +1259,7 @@ mod tests {
                 zero_copy: false,
                 multicast_d_star: Some(2),
                 dedicated_senders: false,
+                fabric: FabricKind::PerSend,
             },
         );
     }
@@ -1167,10 +1294,119 @@ mod tests {
                 zero_copy: true,
                 multicast_d_star: None,
                 dedicated_senders: false,
+                fabric: FabricKind::PerSend,
             },
         );
         assert!(r.thread_panics >= 1, "panics = {}", r.thread_panics);
         assert_eq!(r.spout_emitted, 10);
+        assert_eq!(
+            r.outcome,
+            RunOutcome::Degraded {
+                thread_panics: r.thread_panics
+            }
+        );
+        assert!(!r.outcome.is_clean());
+    }
+
+    #[test]
+    fn missing_spout_is_a_config_error_not_a_panic() {
+        let (t, _ops) = counting_topology(2, 4);
+        let ops = Operators::new()
+            .bolt("double", |_| {
+                Box::new(FnBolt::new(|_t: &Tuple, _out: &mut dyn Emitter| {}))
+            })
+            .bolt("sink", |_| {
+                Box::new(FnBolt::new(|_t: &Tuple, _out: &mut dyn Emitter| {}))
+            });
+        let r = run_topology(t, ops, LiveConfig::default());
+        assert_eq!(
+            r.outcome,
+            RunOutcome::ConfigError(BuildError::MissingSpout("src".into()))
+        );
+        // Nothing ran: the report is all zeros with one slot per component.
+        assert_eq!(r.executed, vec![0, 0, 0]);
+        assert_eq!(r.spout_emitted, 0);
+        assert_eq!(r.fabric_messages, 0);
+        assert_eq!(r.thread_panics, 0);
+        // The reason round-trips through Display for operators' logs.
+        if let RunOutcome::ConfigError(e) = &r.outcome {
+            assert!(e.to_string().contains("src"));
+        }
+    }
+
+    #[test]
+    fn missing_bolt_is_a_config_error_not_a_panic() {
+        let (t, _ops) = counting_topology(2, 4);
+        let ops = Operators::new().spout("src", |_| {
+            Box::new(IterSpout::new(
+                (0..10i64).map(|i| Tuple::with_id(i as u64, vec![Value::I64(i)])),
+            ))
+        });
+        let r = run_topology(t, ops, LiveConfig::default());
+        assert!(matches!(
+            &r.outcome,
+            RunOutcome::ConfigError(BuildError::MissingBolt(name)) if name == "double" || name == "sink"
+        ));
+        assert_eq!(r.spout_emitted, 0, "no spout thread may have started");
+    }
+
+    #[test]
+    fn clean_run_reports_clean_outcome() {
+        let r = run(CommMode::WorkerOriented, true, 4, 8);
+        assert_eq!(r.outcome, RunOutcome::Clean);
+        assert!(r.outcome.is_clean());
+        assert_eq!(r.send_errors, 0);
+        assert_eq!(r.batches_flushed, 0, "per-send path never batches");
+        assert_eq!(r.mean_batch_size, 0.0);
+    }
+
+    #[test]
+    fn ring_fabric_matches_per_send_results_and_batches() {
+        let (t, ops) = counting_topology(4, 8);
+        let ring = run_topology(
+            t,
+            ops,
+            LiveConfig {
+                machines: 4,
+                comm_mode: CommMode::WorkerOriented,
+                zero_copy: true,
+                multicast_d_star: None,
+                dedicated_senders: false,
+                fabric: FabricKind::Ring(whale_net::RingConfig::default()),
+            },
+        );
+        let direct = run(CommMode::WorkerOriented, true, 4, 8);
+        // Same data-plane results through the batched path...
+        assert_eq!(ring.executed, direct.executed);
+        assert_eq!(ring.spout_emitted, direct.spout_emitted);
+        assert_eq!(ring.fabric_messages, direct.fabric_messages);
+        assert_eq!(ring.shared_bytes, direct.shared_bytes);
+        // ...but delivered through MMS/WTL batches, cleanly.
+        assert!(ring.batches_flushed > 0, "ring path must batch");
+        assert!(ring.mean_batch_size >= 1.0);
+        assert_eq!(ring.outcome, RunOutcome::Clean);
+        assert_eq!(ring.send_errors, 0);
+    }
+
+    #[test]
+    fn ring_fabric_with_relay_tree_and_dedicated_senders() {
+        let (t, ops) = counting_topology(8, 16);
+        let r = run_topology(
+            t,
+            ops,
+            LiveConfig {
+                machines: 8,
+                comm_mode: CommMode::WorkerOriented,
+                zero_copy: true,
+                multicast_d_star: Some(2),
+                dedicated_senders: true,
+                fabric: FabricKind::Ring(whale_net::RingConfig::default()),
+            },
+        );
+        assert_eq!(r.executed[1], 100 * 16);
+        assert_eq!(r.relay_forwards, 100 * 5);
+        assert_eq!(r.outcome, RunOutcome::Clean);
+        assert!(r.batches_flushed > 0);
     }
 
     #[test]
@@ -1178,8 +1414,8 @@ mod tests {
         let (t, _ops) = counting_topology(2, 4);
         let cluster = ClusterSpec::new(2, 1, 16);
         let placement = Placement::even(&t, &cluster);
-        let fabric = Arc::new(LiveFabric::new());
-        let rx = fabric.register(EndpointId(0));
+        let fabric = Arc::new(whale_net::LiveFabric::new());
+        let rx = fabric.register(EndpointId(0)).unwrap();
         let routing = Arc::new(Routing {
             topology: t,
             placement,
@@ -1189,8 +1425,9 @@ mod tests {
                 zero_copy: false,
                 multicast_d_star: None,
                 dedicated_senders: false,
+                fabric: FabricKind::PerSend,
             },
-            fabric: Arc::clone(&fabric),
+            fabric: Arc::clone(&fabric) as Arc<dyn FabricPath>,
             inboxes: HashMap::new(),
             stats: Arc::new(RunStats::default()),
             relay_trees: Vec::new(),

@@ -267,6 +267,31 @@ mod tests {
     }
 
     #[test]
+    fn offer_exactly_on_wtl_deadline() {
+        let mut b = Batcher::new(cfg(1_000_000, 1));
+        b.offer(SimTime::from_micros(500), 1, 10);
+        let deadline = b.deadline().unwrap();
+        assert_eq!(deadline, SimTime::from_micros(1_500));
+
+        // An offer landing exactly on the deadline joins the buffer (the
+        // flusher drains posts before firing the timer) and must not move
+        // the deadline — it still tracks the oldest item.
+        assert!(b.offer(deadline, 2, 10).is_none());
+        assert_eq!(b.deadline(), Some(deadline));
+
+        // The timer tick at that same instant flushes both, and the flush
+        // resets the window: an offer at the very same time starts a new
+        // full WTL wait.
+        let batch = b.on_timer(deadline).unwrap();
+        assert_eq!(batch.reason, FlushReason::Timer);
+        assert_eq!(batch.items, vec![1, 2]);
+        assert_eq!(batch.oldest_at, SimTime::from_micros(500));
+        b.offer(deadline, 3, 10);
+        assert_eq!(b.deadline(), Some(deadline + SimDuration::from_millis(1)));
+        assert!(b.on_timer(deadline).is_none());
+    }
+
+    #[test]
     fn default_is_paper_operating_point() {
         let c = BatchConfig::default();
         assert_eq!(c.mms, 256 * 1024);

@@ -10,6 +10,12 @@
 //! - the **RDMA path** shares one immutable buffer by reference
 //!   (`Arc<[u8]>`), the in-process analogue of zero-copy: `n` destinations
 //!   cost one serialization and `n` pointer bumps.
+//!
+//! Two transports implement the common [`FabricPath`] trait:
+//! [`LiveFabric`] (synchronous per-send delivery) and
+//! [`crate::RingFabric`] (descriptors posted to per-endpoint rings,
+//! drained in MMS/WTL batches by a flusher — the paper's stream slicing
+//! on the live path).
 
 use crossbeam::channel::{bounded, unbounded, Receiver, Sender, TrySendError};
 use parking_lot::RwLock;
@@ -64,17 +70,112 @@ pub struct LiveMessage {
 pub enum SendError {
     /// Destination endpoint is not registered.
     UnknownEndpoint,
-    /// Destination queue is full (bounded endpoint, backpressure).
+    /// Destination queue is full (bounded endpoint or full ring,
+    /// backpressure).
     Full,
     /// Destination was dropped.
     Disconnected,
+}
+
+impl std::fmt::Display for SendError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SendError::UnknownEndpoint => write!(f, "destination endpoint is not registered"),
+            SendError::Full => write!(f, "destination queue is full"),
+            SendError::Disconnected => write!(f, "destination was dropped"),
+        }
+    }
+}
+
+impl std::error::Error for SendError {}
+
+/// Errors from endpoint registration.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum RegisterError {
+    /// The id already has a live inbox; replacing it would orphan any
+    /// queued messages. Call `deregister` first to reuse an id.
+    AlreadyRegistered(EndpointId),
+}
+
+impl std::fmt::Display for RegisterError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RegisterError::AlreadyRegistered(id) => {
+                write!(f, "endpoint {} is already registered", id.0)
+            }
+        }
+    }
+}
+
+impl std::error::Error for RegisterError {}
+
+/// Common interface of the live transports, so callers can swap the
+/// synchronous per-send path and the batched ring path freely.
+pub trait FabricPath: Send + Sync {
+    /// Register an endpoint with an unbounded inbox; returns its receiver.
+    fn register(&self, id: EndpointId) -> Result<Receiver<LiveMessage>, RegisterError>;
+
+    /// Register an endpoint with a bounded inbox of `capacity` (models the
+    /// destination's transfer queue; deliveries fail with
+    /// [`SendError::Full`]).
+    fn register_bounded(
+        &self,
+        id: EndpointId,
+        capacity: usize,
+    ) -> Result<Receiver<LiveMessage>, RegisterError>;
+
+    /// Remove an endpoint; subsequent sends fail.
+    fn deregister(&self, id: EndpointId);
+
+    /// TCP-semantics send: the bytes are copied into the message.
+    fn send_copied(&self, from: EndpointId, to: EndpointId, bytes: &[u8])
+        -> Result<(), SendError>;
+
+    /// RDMA-semantics send: the shared buffer is passed by reference.
+    fn send_shared(&self, from: EndpointId, to: EndpointId, buf: Arc<[u8]>)
+        -> Result<(), SendError>;
+
+    /// Force out anything the transport has buffered (no-op when the
+    /// transport delivers synchronously).
+    fn flush(&self);
+
+    /// Messages delivered so far.
+    fn messages(&self) -> u64;
+
+    /// Bytes delivered through the TCP (copied) path so far.
+    fn copied_bytes(&self) -> u64;
+
+    /// Bytes delivered through the RDMA (shared) path so far.
+    fn shared_bytes(&self) -> u64;
+
+    /// Sends that failed (unknown endpoint, backpressure, or a dropped
+    /// receiver). Failed sends never count toward the byte totals.
+    fn send_errors(&self) -> u64;
+
+    /// Batches flushed so far (0 for unbatched transports).
+    fn flushed_batches(&self) -> u64 {
+        0
+    }
+
+    /// Messages delivered through flushed batches (0 for unbatched
+    /// transports).
+    fn flushed_items(&self) -> u64 {
+        0
+    }
+
+    /// Registered endpoint count.
+    fn endpoint_count(&self) -> usize;
+
+    /// Export delivery counters into `reg` under `prefix.*`.
+    fn export_metrics(&self, reg: &mut whale_sim::MetricsRegistry, prefix: &str);
 }
 
 struct EndpointSlot {
     tx: Sender<LiveMessage>,
 }
 
-/// An in-process message fabric connecting registered endpoints.
+/// An in-process message fabric connecting registered endpoints, with
+/// synchronous per-send delivery.
 pub struct LiveFabric {
     endpoints: RwLock<HashMap<EndpointId, EndpointSlot>>,
     /// Total bytes physically copied (TCP semantics accounting).
@@ -82,6 +183,7 @@ pub struct LiveFabric {
     /// Total bytes shared by reference (RDMA semantics accounting).
     shared_bytes: AtomicU64,
     messages: AtomicU64,
+    send_errors: AtomicU64,
 }
 
 impl Default for LiveFabric {
@@ -98,23 +200,36 @@ impl LiveFabric {
             copied_bytes: AtomicU64::new(0),
             shared_bytes: AtomicU64::new(0),
             messages: AtomicU64::new(0),
+            send_errors: AtomicU64::new(0),
         }
     }
 
     /// Register an endpoint with an unbounded inbox; returns its receiver.
-    /// Re-registering an id replaces the previous inbox.
-    pub fn register(&self, id: EndpointId) -> Receiver<LiveMessage> {
+    pub fn register(&self, id: EndpointId) -> Result<Receiver<LiveMessage>, RegisterError> {
         let (tx, rx) = unbounded();
-        self.endpoints.write().insert(id, EndpointSlot { tx });
-        rx
+        self.install(id, tx)?;
+        Ok(rx)
     }
 
     /// Register an endpoint with a bounded inbox of `capacity` (models the
     /// destination's transfer queue; sends fail with [`SendError::Full`]).
-    pub fn register_bounded(&self, id: EndpointId, capacity: usize) -> Receiver<LiveMessage> {
+    pub fn register_bounded(
+        &self,
+        id: EndpointId,
+        capacity: usize,
+    ) -> Result<Receiver<LiveMessage>, RegisterError> {
         let (tx, rx) = bounded(capacity);
-        self.endpoints.write().insert(id, EndpointSlot { tx });
-        rx
+        self.install(id, tx)?;
+        Ok(rx)
+    }
+
+    fn install(&self, id: EndpointId, tx: Sender<LiveMessage>) -> Result<(), RegisterError> {
+        let mut map = self.endpoints.write();
+        if map.contains_key(&id) {
+            return Err(RegisterError::AlreadyRegistered(id));
+        }
+        map.insert(id, EndpointSlot { tx });
+        Ok(())
     }
 
     /// Remove an endpoint; subsequent sends fail.
@@ -123,52 +238,67 @@ impl LiveFabric {
     }
 
     fn send(&self, to: EndpointId, msg: LiveMessage) -> Result<(), SendError> {
-        let map = self.endpoints.read();
-        let slot = map.get(&to).ok_or(SendError::UnknownEndpoint)?;
-        match slot.tx.try_send(msg) {
+        let result = {
+            let map = self.endpoints.read();
+            match map.get(&to) {
+                None => Err(SendError::UnknownEndpoint),
+                Some(slot) => match slot.tx.try_send(msg) {
+                    Ok(()) => Ok(()),
+                    Err(TrySendError::Full(_)) => Err(SendError::Full),
+                    Err(TrySendError::Disconnected(_)) => Err(SendError::Disconnected),
+                },
+            }
+        };
+        match result {
             Ok(()) => {
                 self.messages.fetch_add(1, Ordering::Relaxed);
                 Ok(())
             }
-            Err(TrySendError::Full(_)) => Err(SendError::Full),
-            Err(TrySendError::Disconnected(_)) => Err(SendError::Disconnected),
+            Err(e) => {
+                self.send_errors.fetch_add(1, Ordering::Relaxed);
+                Err(e)
+            }
         }
     }
 
-    /// TCP-semantics send: the bytes are copied into the message.
+    /// TCP-semantics send: the bytes are copied into the message. Bytes
+    /// count toward `copied_bytes` only when delivery succeeds.
     pub fn send_copied(
         &self,
         from: EndpointId,
         to: EndpointId,
         bytes: &[u8],
     ) -> Result<(), SendError> {
-        self.copied_bytes
-            .fetch_add(bytes.len() as u64, Ordering::Relaxed);
+        let len = bytes.len() as u64;
         self.send(
             to,
             LiveMessage {
                 from,
                 payload: Payload::Copied(bytes.to_vec()),
             },
-        )
+        )?;
+        self.copied_bytes.fetch_add(len, Ordering::Relaxed);
+        Ok(())
     }
 
     /// RDMA-semantics send: the shared buffer is passed by reference.
+    /// Bytes count toward `shared_bytes` only when delivery succeeds.
     pub fn send_shared(
         &self,
         from: EndpointId,
         to: EndpointId,
         buf: Arc<[u8]>,
     ) -> Result<(), SendError> {
-        self.shared_bytes
-            .fetch_add(buf.len() as u64, Ordering::Relaxed);
+        let len = buf.len() as u64;
         self.send(
             to,
             LiveMessage {
                 from,
                 payload: Payload::Shared(buf),
             },
-        )
+        )?;
+        self.shared_bytes.fetch_add(len, Ordering::Relaxed);
+        Ok(())
     }
 
     /// Bytes copied through the TCP path so far.
@@ -186,11 +316,17 @@ impl LiveFabric {
         self.messages.load(Ordering::Relaxed)
     }
 
+    /// Sends that failed so far.
+    pub fn send_errors(&self) -> u64 {
+        self.send_errors.load(Ordering::Relaxed)
+    }
+
     /// Export delivery counters into `reg` under `prefix.*`.
     pub fn export_metrics(&self, reg: &mut whale_sim::MetricsRegistry, prefix: &str) {
         reg.set_counter(&format!("{prefix}.messages"), self.messages());
         reg.set_counter(&format!("{prefix}.copied_bytes"), self.copied_bytes());
         reg.set_counter(&format!("{prefix}.shared_bytes"), self.shared_bytes());
+        reg.set_counter(&format!("{prefix}.send_errors"), self.send_errors());
         reg.set_gauge(
             &format!("{prefix}.endpoints"),
             self.endpoints.read().len() as f64,
@@ -203,6 +339,68 @@ impl LiveFabric {
     }
 }
 
+impl FabricPath for LiveFabric {
+    fn register(&self, id: EndpointId) -> Result<Receiver<LiveMessage>, RegisterError> {
+        LiveFabric::register(self, id)
+    }
+
+    fn register_bounded(
+        &self,
+        id: EndpointId,
+        capacity: usize,
+    ) -> Result<Receiver<LiveMessage>, RegisterError> {
+        LiveFabric::register_bounded(self, id, capacity)
+    }
+
+    fn deregister(&self, id: EndpointId) {
+        LiveFabric::deregister(self, id);
+    }
+
+    fn send_copied(
+        &self,
+        from: EndpointId,
+        to: EndpointId,
+        bytes: &[u8],
+    ) -> Result<(), SendError> {
+        LiveFabric::send_copied(self, from, to, bytes)
+    }
+
+    fn send_shared(
+        &self,
+        from: EndpointId,
+        to: EndpointId,
+        buf: Arc<[u8]>,
+    ) -> Result<(), SendError> {
+        LiveFabric::send_shared(self, from, to, buf)
+    }
+
+    fn flush(&self) {}
+
+    fn messages(&self) -> u64 {
+        LiveFabric::messages(self)
+    }
+
+    fn copied_bytes(&self) -> u64 {
+        LiveFabric::copied_bytes(self)
+    }
+
+    fn shared_bytes(&self) -> u64 {
+        LiveFabric::shared_bytes(self)
+    }
+
+    fn send_errors(&self) -> u64 {
+        LiveFabric::send_errors(self)
+    }
+
+    fn endpoint_count(&self) -> usize {
+        LiveFabric::endpoint_count(self)
+    }
+
+    fn export_metrics(&self, reg: &mut whale_sim::MetricsRegistry, prefix: &str) {
+        LiveFabric::export_metrics(self, reg, prefix);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -210,7 +408,7 @@ mod tests {
     #[test]
     fn copied_send_roundtrip() {
         let fabric = LiveFabric::new();
-        let rx = fabric.register(EndpointId(1));
+        let rx = fabric.register(EndpointId(1)).unwrap();
         fabric
             .send_copied(EndpointId(0), EndpointId(1), b"hello")
             .unwrap();
@@ -223,8 +421,8 @@ mod tests {
     #[test]
     fn shared_send_is_zero_copy() {
         let fabric = LiveFabric::new();
-        let rx1 = fabric.register(EndpointId(1));
-        let rx2 = fabric.register(EndpointId(2));
+        let rx1 = fabric.register(EndpointId(1)).unwrap();
+        let rx2 = fabric.register(EndpointId(2)).unwrap();
         let buf: Arc<[u8]> = Arc::from(&b"payload"[..]);
         fabric
             .send_shared(EndpointId(0), EndpointId(1), buf.clone())
@@ -256,7 +454,7 @@ mod tests {
     #[test]
     fn bounded_endpoint_backpressures() {
         let fabric = LiveFabric::new();
-        let _rx = fabric.register_bounded(EndpointId(1), 2);
+        let _rx = fabric.register_bounded(EndpointId(1), 2).unwrap();
         fabric
             .send_copied(EndpointId(0), EndpointId(1), b"a")
             .unwrap();
@@ -272,7 +470,7 @@ mod tests {
     #[test]
     fn deregister_disconnects() {
         let fabric = LiveFabric::new();
-        let _rx = fabric.register(EndpointId(1));
+        let _rx = fabric.register(EndpointId(1)).unwrap();
         fabric.deregister(EndpointId(1));
         let err = fabric
             .send_copied(EndpointId(0), EndpointId(1), b"x")
@@ -284,7 +482,7 @@ mod tests {
     #[test]
     fn dropped_receiver_reports_disconnected() {
         let fabric = LiveFabric::new();
-        let rx = fabric.register(EndpointId(1));
+        let rx = fabric.register(EndpointId(1)).unwrap();
         drop(rx);
         let err = fabric
             .send_copied(EndpointId(0), EndpointId(1), b"x")
@@ -293,9 +491,91 @@ mod tests {
     }
 
     #[test]
+    fn failed_sends_do_not_count_bytes() {
+        let fabric = LiveFabric::new();
+
+        // Unknown endpoint.
+        assert!(fabric
+            .send_copied(EndpointId(0), EndpointId(9), b"xxxx")
+            .is_err());
+        let buf: Arc<[u8]> = Arc::from(&b"yyyy"[..]);
+        assert!(fabric
+            .send_shared(EndpointId(0), EndpointId(9), buf.clone())
+            .is_err());
+
+        // Backpressured bounded endpoint.
+        let _rx = fabric.register_bounded(EndpointId(1), 1).unwrap();
+        fabric
+            .send_copied(EndpointId(0), EndpointId(1), b"a")
+            .unwrap();
+        assert_eq!(
+            fabric
+                .send_copied(EndpointId(0), EndpointId(1), b"bb")
+                .unwrap_err(),
+            SendError::Full
+        );
+
+        // Dropped receiver.
+        let rx2 = fabric.register(EndpointId(2)).unwrap();
+        drop(rx2);
+        assert_eq!(
+            fabric
+                .send_shared(EndpointId(0), EndpointId(2), buf)
+                .unwrap_err(),
+            SendError::Disconnected
+        );
+
+        // Only the one successful 1-byte copied send counted.
+        assert_eq!(fabric.copied_bytes(), 1);
+        assert_eq!(fabric.shared_bytes(), 0);
+        assert_eq!(fabric.messages(), 1);
+        assert_eq!(fabric.send_errors(), 4);
+    }
+
+    #[test]
+    fn reregister_errors_and_preserves_original_inbox() {
+        let fabric = LiveFabric::new();
+        let rx = fabric.register(EndpointId(1)).unwrap();
+        fabric
+            .send_copied(EndpointId(0), EndpointId(1), b"queued")
+            .unwrap();
+
+        // Re-registration must not displace the live inbox.
+        assert_eq!(
+            fabric.register(EndpointId(1)).unwrap_err(),
+            RegisterError::AlreadyRegistered(EndpointId(1))
+        );
+        assert_eq!(
+            fabric.register_bounded(EndpointId(1), 4).unwrap_err(),
+            RegisterError::AlreadyRegistered(EndpointId(1))
+        );
+
+        // The queued message is still there and new sends still land.
+        fabric
+            .send_copied(EndpointId(0), EndpointId(1), b"after")
+            .unwrap();
+        assert_eq!(rx.recv().unwrap().payload.bytes(), b"queued");
+        assert_eq!(rx.recv().unwrap().payload.bytes(), b"after");
+
+        // Deregister frees the id for reuse.
+        fabric.deregister(EndpointId(1));
+        let _rx2 = fabric.register(EndpointId(1)).unwrap();
+    }
+
+    #[test]
+    fn export_metrics_includes_send_errors() {
+        let fabric = LiveFabric::new();
+        let _ = fabric.send_copied(EndpointId(0), EndpointId(9), b"x");
+        let mut reg = whale_sim::MetricsRegistry::new();
+        fabric.export_metrics(&mut reg, "fabric");
+        assert_eq!(reg.counter("fabric.send_errors"), Some(1));
+        assert_eq!(reg.counter("fabric.messages"), Some(0));
+    }
+
+    #[test]
     fn cross_thread_delivery() {
         let fabric = Arc::new(LiveFabric::new());
-        let rx = fabric.register(EndpointId(1));
+        let rx = fabric.register(EndpointId(1)).unwrap();
         let f2 = fabric.clone();
         let handle = std::thread::spawn(move || {
             for i in 0..100u8 {

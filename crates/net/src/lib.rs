@@ -16,12 +16,18 @@ pub mod channel;
 pub mod fabric;
 pub mod memory;
 pub mod nic;
+pub mod ring_fabric;
 pub mod topology;
 pub mod verbs;
 
 pub use batch::{Batch, BatchConfig, Batcher, FlushReason};
 pub use channel::{ChannelMsg, Departure, PushResult, RdmaChannel};
-pub use fabric::{EndpointId, LiveFabric, LiveMessage, Payload, SendError};
+pub use fabric::{
+    EndpointId, FabricPath, LiveFabric, LiveMessage, Payload, RegisterError, SendError,
+};
+pub use ring_fabric::{
+    spawn_flusher, FabricInstance, FabricKind, RingConfig, RingFabric, RingFlusher,
+};
 pub use memory::{MemoryRegionId, MemoryRegistry, RingFull, RingRegion, SlotAddr};
 pub use nic::Nic;
 pub use topology::{ClusterSpec, MachineId, RackId};

@@ -1,0 +1,964 @@
+//! `RingFabric`: a bounded ring-buffer live transport with verbs-style
+//! doorbell semantics.
+//!
+//! Sends *post a descriptor* into a fixed-capacity per-endpoint ring and
+//! ring a doorbell — they never touch the destination inbox directly. A
+//! flusher (a background thread in live mode, or the caller via
+//! [`RingFabric::pump`] in deterministic mode) drains each ring into the
+//! stream-slicing [`Batcher`] and delivers whole MMS/WTL batches, so the
+//! live path exercises the same batching policy the simulator models
+//! (§4, Figs 11–12):
+//!
+//! - a post that would exceed the ring capacity fails with
+//!   [`SendError::Full`] — the bounded transfer queue of the paper's M/D/1
+//!   model, surfaced as backpressure instead of a deadlock;
+//! - batches flush when buffered bytes reach MMS or the oldest descriptor
+//!   has waited WTL (the flusher's monitor tick drives
+//!   [`Batcher::deadline`]);
+//! - per-sender FIFO order is preserved end to end: posts enter the ring
+//!   in order, batches drain in order, deliveries retry in order when the
+//!   destination inbox is bounded and momentarily full.
+//!
+//! Byte counters follow the same rule as [`LiveFabric`]: only bytes that
+//! actually reach an inbox count; failed posts and failed deliveries
+//! increment `send_errors`.
+
+use crate::batch::{BatchConfig, Batcher};
+use crate::fabric::{
+    EndpointId, FabricPath, LiveFabric, LiveMessage, Payload, RegisterError, SendError,
+};
+use crossbeam::channel::{bounded, unbounded, Receiver, Sender, TrySendError};
+use parking_lot::{Mutex, RwLock};
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex as StdMutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+use whale_sim::{MetricsRegistry, SimTime};
+
+/// Configuration of the ring transport.
+#[derive(Clone, Copy, Debug)]
+pub struct RingConfig {
+    /// Per-endpoint descriptor-ring capacity: the maximum number of posted
+    /// but not yet delivered descriptors. Posts beyond it fail with
+    /// [`SendError::Full`].
+    pub ring_capacity: usize,
+    /// The MMS/WTL stream-slicing policy the flusher applies.
+    pub batch: BatchConfig,
+}
+
+impl Default for RingConfig {
+    fn default() -> Self {
+        RingConfig {
+            ring_capacity: 64 * 1024,
+            batch: BatchConfig::default(),
+        }
+    }
+}
+
+/// One endpoint's send state: the descriptor ring, the transfer buffer,
+/// and the inbox it drains into.
+struct EndpointRing {
+    /// Posted, not yet drained descriptors (the send ring proper).
+    ring: VecDeque<LiveMessage>,
+    /// The MMS/WTL transfer buffer the flusher drains the ring into.
+    batcher: Batcher<LiveMessage>,
+    /// Destination inbox.
+    tx: Sender<LiveMessage>,
+    /// Batch items a bounded inbox could not yet accept; retried first on
+    /// the next pump so FIFO order holds.
+    undelivered: VecDeque<LiveMessage>,
+}
+
+impl EndpointRing {
+    /// Descriptors posted but not yet handed to the inbox.
+    fn pending(&self) -> usize {
+        self.ring.len() + self.batcher.len() + self.undelivered.len()
+    }
+}
+
+/// Doorbell: posts set a pending flag and wake the flusher; the flusher
+/// clears the flag before sleeping so a post between pump and wait can
+/// never be missed.
+struct Doorbell {
+    pending: StdMutex<bool>,
+    bell: Condvar,
+}
+
+impl Doorbell {
+    fn new() -> Self {
+        Doorbell {
+            pending: StdMutex::new(false),
+            bell: Condvar::new(),
+        }
+    }
+
+    fn ring(&self) {
+        *self.pending.lock().expect("doorbell lock") = true;
+        self.bell.notify_all();
+    }
+
+    /// Sleep until rung or `timeout`, consuming the pending flag.
+    fn wait(&self, timeout: Duration) {
+        let guard = self.pending.lock().expect("doorbell lock");
+        let (mut guard, _) = self
+            .bell
+            .wait_timeout_while(guard, timeout, |pending| !*pending)
+            .expect("doorbell wait");
+        *guard = false;
+    }
+}
+
+/// The batched ring-buffer transport. See the module docs for semantics.
+pub struct RingFabric {
+    config: RingConfig,
+    endpoints: RwLock<HashMap<EndpointId, Arc<Mutex<EndpointRing>>>>,
+    doorbell: Doorbell,
+    copied_bytes: AtomicU64,
+    shared_bytes: AtomicU64,
+    messages: AtomicU64,
+    send_errors: AtomicU64,
+    /// Descriptors accepted into rings.
+    posted: AtomicU64,
+    flushed_batches: AtomicU64,
+    flushed_items: AtomicU64,
+    /// Live-mode clock origin for mapping wall time onto [`SimTime`].
+    epoch: Instant,
+    stopping: AtomicBool,
+}
+
+impl Default for RingFabric {
+    fn default() -> Self {
+        Self::new(RingConfig::default())
+    }
+}
+
+impl RingFabric {
+    /// New ring fabric with no endpoints. Pair with [`spawn_flusher`] for
+    /// live use, or drive [`RingFabric::pump`] manually with a virtual
+    /// clock for deterministic benchmarks.
+    pub fn new(config: RingConfig) -> Self {
+        assert!(config.ring_capacity > 0, "ring capacity must be positive");
+        RingFabric {
+            config,
+            endpoints: RwLock::new(HashMap::new()),
+            doorbell: Doorbell::new(),
+            copied_bytes: AtomicU64::new(0),
+            shared_bytes: AtomicU64::new(0),
+            messages: AtomicU64::new(0),
+            send_errors: AtomicU64::new(0),
+            posted: AtomicU64::new(0),
+            flushed_batches: AtomicU64::new(0),
+            flushed_items: AtomicU64::new(0),
+            epoch: Instant::now(),
+            stopping: AtomicBool::new(false),
+        }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> RingConfig {
+        self.config
+    }
+
+    /// Wall time since this fabric was created, as a [`SimTime`] (live
+    /// flusher mode only; deterministic callers pass their own clock).
+    pub fn wall_now(&self) -> SimTime {
+        SimTime::from_nanos(self.epoch.elapsed().as_nanos() as u64)
+    }
+
+    fn install(&self, id: EndpointId, tx: Sender<LiveMessage>) -> Result<(), RegisterError> {
+        let mut map = self.endpoints.write();
+        if map.contains_key(&id) {
+            return Err(RegisterError::AlreadyRegistered(id));
+        }
+        map.insert(
+            id,
+            Arc::new(Mutex::new(EndpointRing {
+                ring: VecDeque::new(),
+                batcher: Batcher::new(self.config.batch),
+                tx,
+                undelivered: VecDeque::new(),
+            })),
+        );
+        Ok(())
+    }
+
+    /// Register an endpoint with an unbounded inbox; returns its receiver.
+    pub fn register(&self, id: EndpointId) -> Result<Receiver<LiveMessage>, RegisterError> {
+        let (tx, rx) = unbounded();
+        self.install(id, tx)?;
+        Ok(rx)
+    }
+
+    /// Register an endpoint whose inbox holds at most `capacity` delivered
+    /// messages; full inboxes park flushed batches for later retry rather
+    /// than dropping them.
+    pub fn register_bounded(
+        &self,
+        id: EndpointId,
+        capacity: usize,
+    ) -> Result<Receiver<LiveMessage>, RegisterError> {
+        let (tx, rx) = bounded(capacity);
+        self.install(id, tx)?;
+        Ok(rx)
+    }
+
+    /// Remove an endpoint; pending descriptors are dropped. Flush first if
+    /// they must arrive.
+    pub fn deregister(&self, id: EndpointId) {
+        self.endpoints.write().remove(&id);
+    }
+
+    /// Post a descriptor to `to`'s ring and ring the doorbell.
+    fn post(&self, to: EndpointId, msg: LiveMessage) -> Result<(), SendError> {
+        let slot = self.endpoints.read().get(&to).cloned();
+        let Some(slot) = slot else {
+            self.send_errors.fetch_add(1, Ordering::Relaxed);
+            return Err(SendError::UnknownEndpoint);
+        };
+        {
+            let mut ep = slot.lock();
+            if ep.pending() >= self.config.ring_capacity {
+                drop(ep);
+                self.send_errors.fetch_add(1, Ordering::Relaxed);
+                return Err(SendError::Full);
+            }
+            ep.ring.push_back(msg);
+        }
+        self.posted.fetch_add(1, Ordering::Relaxed);
+        self.doorbell.ring();
+        Ok(())
+    }
+
+    /// TCP-semantics post: the bytes are copied into the descriptor now
+    /// (the copy tax is paid per destination), counted on delivery.
+    pub fn send_copied(
+        &self,
+        from: EndpointId,
+        to: EndpointId,
+        bytes: &[u8],
+    ) -> Result<(), SendError> {
+        self.post(
+            to,
+            LiveMessage {
+                from,
+                payload: Payload::Copied(bytes.to_vec()),
+            },
+        )
+    }
+
+    /// RDMA-semantics post: the shared buffer rides the descriptor by
+    /// reference, counted on delivery.
+    pub fn send_shared(
+        &self,
+        from: EndpointId,
+        to: EndpointId,
+        buf: Arc<[u8]>,
+    ) -> Result<(), SendError> {
+        self.post(
+            to,
+            LiveMessage {
+                from,
+                payload: Payload::Shared(buf),
+            },
+        )
+    }
+
+    /// Snapshot the endpoint slots in id order, so deterministic pumps
+    /// visit rings in a stable order.
+    fn slots(&self) -> Vec<Arc<Mutex<EndpointRing>>> {
+        let map = self.endpoints.read();
+        let mut ids: Vec<(EndpointId, Arc<Mutex<EndpointRing>>)> =
+            map.iter().map(|(id, s)| (*id, Arc::clone(s))).collect();
+        ids.sort_by_key(|(id, _)| *id);
+        ids.into_iter().map(|(_, s)| s).collect()
+    }
+
+    fn note_batch(&self, n_items: usize) {
+        self.flushed_batches.fetch_add(1, Ordering::Relaxed);
+        self.flushed_items.fetch_add(n_items as u64, Ordering::Relaxed);
+    }
+
+    /// Hand parked batch items to the inbox, preserving order. Stops at a
+    /// full bounded inbox (retried next pump); drops and counts errors on
+    /// a disconnected one.
+    fn drain_undelivered(&self, ep: &mut EndpointRing) -> u64 {
+        let mut delivered = 0;
+        while let Some(msg) = ep.undelivered.pop_front() {
+            let len = msg.payload.len() as u64;
+            let shared = matches!(msg.payload, Payload::Shared(_));
+            // Count before the hand-off: the channel's send→recv
+            // synchronization then guarantees that a receiver which has
+            // seen the message also sees the counters (counting after
+            // would let a reader observe the delivery but a stale count).
+            // Failed hand-offs undo the increment below.
+            let bytes_ctr = if shared {
+                &self.shared_bytes
+            } else {
+                &self.copied_bytes
+            };
+            self.messages.fetch_add(1, Ordering::Relaxed);
+            bytes_ctr.fetch_add(len, Ordering::Relaxed);
+            match ep.tx.try_send(msg) {
+                Ok(()) => delivered += 1,
+                Err(TrySendError::Full(msg)) => {
+                    self.messages.fetch_sub(1, Ordering::Relaxed);
+                    bytes_ctr.fetch_sub(len, Ordering::Relaxed);
+                    ep.undelivered.push_front(msg);
+                    break;
+                }
+                Err(TrySendError::Disconnected(_)) => {
+                    self.messages.fetch_sub(1, Ordering::Relaxed);
+                    bytes_ctr.fetch_sub(len, Ordering::Relaxed);
+                    self.send_errors.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+        delivered
+    }
+
+    /// One flusher pass at time `now`: drain every ring into its batcher
+    /// (size-triggered batches flush immediately), fire expired WTL timers,
+    /// and deliver flushed items. Returns the number delivered.
+    pub fn pump(&self, now: SimTime) -> u64 {
+        let mut delivered = 0;
+        for slot in self.slots() {
+            let mut ep = slot.lock();
+            while let Some(msg) = ep.ring.pop_front() {
+                let bytes = msg.payload.len();
+                if let Some(batch) = ep.batcher.offer(now, msg, bytes) {
+                    self.note_batch(batch.items.len());
+                    ep.undelivered.extend(batch.items);
+                }
+            }
+            if let Some(batch) = ep.batcher.on_timer(now) {
+                self.note_batch(batch.items.len());
+                ep.undelivered.extend(batch.items);
+            }
+            delivered += self.drain_undelivered(&mut ep);
+        }
+        delivered
+    }
+
+    /// Force everything out at time `now`: pump, then force-flush every
+    /// batcher regardless of MMS/WTL and deliver (shutdown / end of a
+    /// deterministic run). Returns the number delivered.
+    pub fn flush_at(&self, now: SimTime) -> u64 {
+        let mut delivered = self.pump(now);
+        for slot in self.slots() {
+            let mut ep = slot.lock();
+            if let Some(batch) = ep.batcher.flush() {
+                self.note_batch(batch.items.len());
+                ep.undelivered.extend(batch.items);
+            }
+            delivered += self.drain_undelivered(&mut ep);
+        }
+        delivered
+    }
+
+    /// Earliest WTL deadline across endpoints; `SimTime::ZERO` if any ring
+    /// or retry queue already holds work. `None` when fully idle.
+    pub fn next_deadline(&self) -> Option<SimTime> {
+        let map = self.endpoints.read();
+        map.values()
+            .filter_map(|slot| {
+                let ep = slot.lock();
+                if !ep.ring.is_empty() || !ep.undelivered.is_empty() {
+                    Some(SimTime::ZERO)
+                } else {
+                    ep.batcher.deadline()
+                }
+            })
+            .min()
+    }
+
+    /// Descriptors accepted into rings so far.
+    pub fn posted(&self) -> u64 {
+        self.posted.load(Ordering::Relaxed)
+    }
+
+    /// Messages delivered so far.
+    pub fn messages(&self) -> u64 {
+        self.messages.load(Ordering::Relaxed)
+    }
+
+    /// Bytes delivered through the copied (TCP) path so far.
+    pub fn copied_bytes(&self) -> u64 {
+        self.copied_bytes.load(Ordering::Relaxed)
+    }
+
+    /// Bytes delivered through the shared (RDMA) path so far.
+    pub fn shared_bytes(&self) -> u64 {
+        self.shared_bytes.load(Ordering::Relaxed)
+    }
+
+    /// Failed posts plus failed deliveries so far.
+    pub fn send_errors(&self) -> u64 {
+        self.send_errors.load(Ordering::Relaxed)
+    }
+
+    /// Batches flushed so far.
+    pub fn flushed_batches(&self) -> u64 {
+        self.flushed_batches.load(Ordering::Relaxed)
+    }
+
+    /// Items delivered through flushed batches so far.
+    pub fn flushed_items(&self) -> u64 {
+        self.flushed_items.load(Ordering::Relaxed)
+    }
+
+    /// Mean items per flushed batch (0 if none flushed yet).
+    pub fn mean_batch_size(&self) -> f64 {
+        let batches = self.flushed_batches();
+        if batches == 0 {
+            0.0
+        } else {
+            self.flushed_items() as f64 / batches as f64
+        }
+    }
+
+    /// Registered endpoint count.
+    pub fn endpoint_count(&self) -> usize {
+        self.endpoints.read().len()
+    }
+
+    /// Export delivery and batching counters into `reg` under `prefix.*`.
+    pub fn export_metrics(&self, reg: &mut MetricsRegistry, prefix: &str) {
+        reg.set_counter(&format!("{prefix}.posted"), self.posted());
+        reg.set_counter(&format!("{prefix}.messages"), self.messages());
+        reg.set_counter(&format!("{prefix}.copied_bytes"), self.copied_bytes());
+        reg.set_counter(&format!("{prefix}.shared_bytes"), self.shared_bytes());
+        reg.set_counter(&format!("{prefix}.send_errors"), self.send_errors());
+        reg.set_counter(&format!("{prefix}.flushed_batches"), self.flushed_batches());
+        reg.set_counter(&format!("{prefix}.flushed_items"), self.flushed_items());
+        reg.set_gauge(&format!("{prefix}.mean_batch_size"), self.mean_batch_size());
+        reg.set_gauge(
+            &format!("{prefix}.endpoints"),
+            self.endpoints.read().len() as f64,
+        );
+    }
+}
+
+impl FabricPath for RingFabric {
+    fn register(&self, id: EndpointId) -> Result<Receiver<LiveMessage>, RegisterError> {
+        RingFabric::register(self, id)
+    }
+
+    fn register_bounded(
+        &self,
+        id: EndpointId,
+        capacity: usize,
+    ) -> Result<Receiver<LiveMessage>, RegisterError> {
+        RingFabric::register_bounded(self, id, capacity)
+    }
+
+    fn deregister(&self, id: EndpointId) {
+        RingFabric::deregister(self, id);
+    }
+
+    fn send_copied(
+        &self,
+        from: EndpointId,
+        to: EndpointId,
+        bytes: &[u8],
+    ) -> Result<(), SendError> {
+        RingFabric::send_copied(self, from, to, bytes)
+    }
+
+    fn send_shared(
+        &self,
+        from: EndpointId,
+        to: EndpointId,
+        buf: Arc<[u8]>,
+    ) -> Result<(), SendError> {
+        RingFabric::send_shared(self, from, to, buf)
+    }
+
+    fn flush(&self) {
+        self.flush_at(self.wall_now());
+    }
+
+    fn messages(&self) -> u64 {
+        RingFabric::messages(self)
+    }
+
+    fn copied_bytes(&self) -> u64 {
+        RingFabric::copied_bytes(self)
+    }
+
+    fn shared_bytes(&self) -> u64 {
+        RingFabric::shared_bytes(self)
+    }
+
+    fn send_errors(&self) -> u64 {
+        RingFabric::send_errors(self)
+    }
+
+    fn flushed_batches(&self) -> u64 {
+        RingFabric::flushed_batches(self)
+    }
+
+    fn flushed_items(&self) -> u64 {
+        RingFabric::flushed_items(self)
+    }
+
+    fn endpoint_count(&self) -> usize {
+        RingFabric::endpoint_count(self)
+    }
+
+    fn export_metrics(&self, reg: &mut MetricsRegistry, prefix: &str) {
+        RingFabric::export_metrics(self, reg, prefix);
+    }
+}
+
+/// Handle to a background flusher thread. Stop it (or drop it) to force a
+/// final flush and join the thread.
+pub struct RingFlusher {
+    fabric: Arc<RingFabric>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl RingFlusher {
+    /// Signal the flusher to drain everything and exit, then join it.
+    pub fn stop(mut self) {
+        self.shutdown();
+    }
+
+    fn shutdown(&mut self) {
+        self.fabric.stopping.store(true, Ordering::SeqCst);
+        self.fabric.doorbell.ring();
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for RingFlusher {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Spawn the background flusher: it waits on the doorbell, pumps on every
+/// post, honours WTL deadlines between posts, and force-flushes on stop.
+pub fn spawn_flusher(fabric: Arc<RingFabric>) -> RingFlusher {
+    let worker = Arc::clone(&fabric);
+    let handle = std::thread::Builder::new()
+        .name("ring-flusher".into())
+        .spawn(move || flusher_loop(&worker))
+        .expect("spawn ring flusher");
+    RingFlusher {
+        fabric,
+        handle: Some(handle),
+    }
+}
+
+fn flusher_loop(fabric: &RingFabric) {
+    // Idle heartbeat so a lost wakeup can never stall the fabric for long.
+    const IDLE: Duration = Duration::from_millis(5);
+    // Backoff while a bounded inbox stays full (delivery made no progress).
+    const STALLED: Duration = Duration::from_micros(100);
+    loop {
+        let delivered = fabric.pump(fabric.wall_now());
+        if fabric.stopping.load(Ordering::SeqCst) {
+            fabric.flush_at(fabric.wall_now());
+            return;
+        }
+        let wait = match fabric.next_deadline() {
+            Some(deadline) => {
+                let now = fabric.wall_now();
+                if deadline <= now {
+                    if delivered == 0 {
+                        STALLED
+                    } else {
+                        // More work is already due; pump again immediately.
+                        continue;
+                    }
+                } else {
+                    Duration::from_nanos(deadline.as_nanos() - now.as_nanos())
+                }
+            }
+            None => IDLE,
+        };
+        fabric.doorbell.wait(wait);
+    }
+}
+
+/// Which live transport a runtime should instantiate.
+#[derive(Clone, Copy, Debug, Default)]
+pub enum FabricKind {
+    /// The synchronous per-send channel map ([`LiveFabric`]).
+    #[default]
+    PerSend,
+    /// The batched ring-buffer path ([`RingFabric`]) with a background
+    /// flusher.
+    Ring(RingConfig),
+}
+
+/// A built live transport plus, on the ring path, its flusher thread.
+pub struct FabricInstance {
+    /// The shared transport handle.
+    pub fabric: Arc<dyn FabricPath>,
+    flusher: Option<RingFlusher>,
+}
+
+impl FabricKind {
+    /// Instantiate the transport (and its flusher, for the ring path).
+    pub fn build(self) -> FabricInstance {
+        match self {
+            FabricKind::PerSend => FabricInstance {
+                fabric: Arc::new(LiveFabric::new()),
+                flusher: None,
+            },
+            FabricKind::Ring(config) => {
+                let ring = Arc::new(RingFabric::new(config));
+                let flusher = spawn_flusher(Arc::clone(&ring));
+                FabricInstance {
+                    fabric: ring,
+                    flusher: Some(flusher),
+                }
+            }
+        }
+    }
+}
+
+impl FabricInstance {
+    /// Flush buffered sends and stop the flusher (if any). Call after all
+    /// senders have finished but before deregistering receivers.
+    pub fn shutdown(&mut self) {
+        self.fabric.flush();
+        if let Some(flusher) = self.flusher.take() {
+            flusher.stop();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use whale_sim::SimDuration;
+
+    fn cfg(ring_capacity: usize, mms: usize, wtl_ms: u64) -> RingConfig {
+        RingConfig {
+            ring_capacity,
+            batch: BatchConfig {
+                mms,
+                wtl: SimDuration::from_millis(wtl_ms),
+            },
+        }
+    }
+
+    #[test]
+    fn posts_sit_in_ring_until_pumped() {
+        let fabric = RingFabric::new(cfg(16, 1_000_000, 1));
+        let rx = fabric.register(EndpointId(1)).unwrap();
+        fabric
+            .send_copied(EndpointId(0), EndpointId(1), b"hello")
+            .unwrap();
+        assert!(rx.try_recv().is_err(), "nothing delivered before a flush");
+        assert_eq!(fabric.posted(), 1);
+        assert_eq!(fabric.messages(), 0);
+        assert_eq!(fabric.copied_bytes(), 0, "bytes count on delivery only");
+
+        // Under MMS and before WTL: still buffered after a pump.
+        fabric.pump(SimTime::ZERO);
+        assert!(rx.try_recv().is_err());
+
+        // Past WTL: the timer flushes the batch.
+        let delivered = fabric.pump(SimTime::from_millis(1));
+        assert_eq!(delivered, 1);
+        assert_eq!(rx.recv().unwrap().payload.bytes(), b"hello");
+        assert_eq!(fabric.copied_bytes(), 5);
+        assert_eq!(fabric.flushed_batches(), 1);
+    }
+
+    #[test]
+    fn mms_triggers_size_batches() {
+        let fabric = RingFabric::new(cfg(1024, 100, 1_000));
+        let rx = fabric.register(EndpointId(1)).unwrap();
+        for _ in 0..10 {
+            fabric
+                .send_copied(EndpointId(0), EndpointId(1), &[0u8; 25])
+                .unwrap();
+        }
+        // 10 × 25 B versus MMS 100 B: pumps flush by size alone, no WTL.
+        let delivered = fabric.pump(SimTime::ZERO);
+        assert_eq!(delivered, 8, "two full batches of four 25 B items");
+        assert_eq!(fabric.flushed_batches(), 2);
+        assert!((fabric.mean_batch_size() - 4.0).abs() < 1e-12);
+        // The remainder needs a forced flush (or a WTL tick).
+        assert_eq!(fabric.flush_at(SimTime::ZERO), 2);
+        assert_eq!(std::iter::from_fn(|| rx.try_recv().ok()).count(), 10);
+    }
+
+    #[test]
+    fn full_ring_backpressures_without_deadlock() {
+        let fabric = RingFabric::new(cfg(2, 1_000_000, 1));
+        let _rx = fabric.register(EndpointId(1)).unwrap();
+        fabric
+            .send_copied(EndpointId(0), EndpointId(1), b"a")
+            .unwrap();
+        fabric
+            .send_copied(EndpointId(0), EndpointId(1), b"b")
+            .unwrap();
+        let err = fabric
+            .send_copied(EndpointId(0), EndpointId(1), b"c")
+            .unwrap_err();
+        assert_eq!(err, SendError::Full);
+        assert_eq!(fabric.send_errors(), 1);
+        // Draining the ring frees capacity.
+        fabric.flush_at(SimTime::ZERO);
+        fabric
+            .send_copied(EndpointId(0), EndpointId(1), b"c")
+            .unwrap();
+    }
+
+    #[test]
+    fn unknown_endpoint_and_disconnected_count_errors_not_bytes() {
+        let fabric = RingFabric::new(cfg(16, 1_000_000, 1));
+        assert_eq!(
+            fabric
+                .send_copied(EndpointId(0), EndpointId(9), b"x")
+                .unwrap_err(),
+            SendError::UnknownEndpoint
+        );
+        let rx = fabric.register(EndpointId(1)).unwrap();
+        drop(rx);
+        fabric
+            .send_copied(EndpointId(0), EndpointId(1), b"xx")
+            .unwrap();
+        fabric.flush_at(SimTime::ZERO);
+        assert_eq!(fabric.send_errors(), 2);
+        assert_eq!(fabric.copied_bytes(), 0);
+        assert_eq!(fabric.messages(), 0);
+    }
+
+    #[test]
+    fn bounded_inbox_parks_and_retries_in_order() {
+        let fabric = RingFabric::new(cfg(16, 1_000_000, 1));
+        let rx = fabric.register_bounded(EndpointId(1), 2).unwrap();
+        for b in [b"a", b"b", b"c", b"d"] {
+            fabric.send_copied(EndpointId(0), EndpointId(1), b).unwrap();
+        }
+        // Only two fit the inbox; the rest park, nothing is lost.
+        assert_eq!(fabric.flush_at(SimTime::ZERO), 2);
+        assert_eq!(rx.try_recv().unwrap().payload.bytes(), b"a");
+        assert_eq!(rx.try_recv().unwrap().payload.bytes(), b"b");
+        assert_eq!(fabric.pump(SimTime::ZERO), 2);
+        assert_eq!(rx.try_recv().unwrap().payload.bytes(), b"c");
+        assert_eq!(rx.try_recv().unwrap().payload.bytes(), b"d");
+        assert_eq!(fabric.send_errors(), 0);
+    }
+
+    #[test]
+    fn reregister_errors_until_deregistered() {
+        let fabric = RingFabric::new(RingConfig::default());
+        let _rx = fabric.register(EndpointId(3)).unwrap();
+        assert_eq!(
+            fabric.register(EndpointId(3)).unwrap_err(),
+            RegisterError::AlreadyRegistered(EndpointId(3))
+        );
+        fabric.deregister(EndpointId(3));
+        assert!(fabric.register(EndpointId(3)).is_ok());
+    }
+
+    #[test]
+    fn next_deadline_reflects_pending_work() {
+        let fabric = RingFabric::new(cfg(16, 1_000_000, 2));
+        let _rx = fabric.register(EndpointId(1)).unwrap();
+        assert_eq!(fabric.next_deadline(), None, "idle fabric has no deadline");
+        fabric
+            .send_copied(EndpointId(0), EndpointId(1), b"x")
+            .unwrap();
+        assert_eq!(
+            fabric.next_deadline(),
+            Some(SimTime::ZERO),
+            "undrained ring is immediately due"
+        );
+        fabric.pump(SimTime::from_millis(1));
+        assert_eq!(
+            fabric.next_deadline(),
+            Some(SimTime::from_millis(3)),
+            "buffered item is due at offer time + WTL"
+        );
+        fabric.pump(SimTime::from_millis(3));
+        assert_eq!(fabric.next_deadline(), None);
+    }
+
+    #[test]
+    fn live_flusher_delivers_without_manual_pumps() {
+        let fabric = Arc::new(RingFabric::new(cfg(1024, 1_000_000, 1)));
+        let flusher = spawn_flusher(Arc::clone(&fabric));
+        let rx = fabric.register(EndpointId(1)).unwrap();
+        for i in 0..50u8 {
+            fabric
+                .send_copied(EndpointId(0), EndpointId(1), &[i])
+                .unwrap();
+        }
+        // WTL is 1 ms; the flusher must deliver well within the timeout.
+        let got: Vec<u8> = (0..50)
+            .map(|_| {
+                rx.recv_timeout(Duration::from_secs(5))
+                    .expect("flusher delivers")
+                    .payload
+                    .bytes()[0]
+            })
+            .collect();
+        assert_eq!(got, (0..50).collect::<Vec<u8>>());
+        flusher.stop();
+    }
+
+    #[test]
+    fn flusher_stop_flushes_stragglers() {
+        let fabric = Arc::new(RingFabric::new(cfg(1024, 1_000_000, 10_000)));
+        let flusher = spawn_flusher(Arc::clone(&fabric));
+        let rx = fabric.register(EndpointId(1)).unwrap();
+        // WTL is 10 s: nothing would flush on its own within the test.
+        fabric
+            .send_copied(EndpointId(0), EndpointId(1), b"tail")
+            .unwrap();
+        flusher.stop();
+        assert_eq!(rx.try_recv().unwrap().payload.bytes(), b"tail");
+    }
+
+    #[test]
+    fn multi_producer_stress_keeps_per_sender_order() {
+        const SENDERS: u32 = 8;
+        const PER_SENDER: u32 = 2_000;
+        let fabric = Arc::new(RingFabric::new(cfg(
+            (SENDERS * PER_SENDER) as usize,
+            4 * 1024,
+            1,
+        )));
+        let flusher = spawn_flusher(Arc::clone(&fabric));
+        let rx = fabric.register(EndpointId(0)).unwrap();
+
+        let producers: Vec<_> = (1..=SENDERS)
+            .map(|s| {
+                let f = Arc::clone(&fabric);
+                std::thread::spawn(move || {
+                    for seq in 0..PER_SENDER {
+                        let frame = [s.to_le_bytes(), seq.to_le_bytes()].concat();
+                        // The ring is sized to hold everything, so Full
+                        // can only mean lost capacity accounting.
+                        f.send_copied(EndpointId(s), EndpointId(0), &frame)
+                            .unwrap();
+                    }
+                })
+            })
+            .collect();
+        for p in producers {
+            p.join().unwrap();
+        }
+
+        let mut next_seq = vec![0u32; SENDERS as usize + 1];
+        for _ in 0..SENDERS * PER_SENDER {
+            let msg = rx
+                .recv_timeout(Duration::from_secs(10))
+                .expect("no descriptor lost");
+            let bytes = msg.payload.bytes();
+            let s = u32::from_le_bytes(bytes[0..4].try_into().unwrap());
+            let seq = u32::from_le_bytes(bytes[4..8].try_into().unwrap());
+            assert_eq!(msg.from, EndpointId(s));
+            assert_eq!(seq, next_seq[s as usize], "per-sender FIFO order");
+            next_seq[s as usize] = seq + 1;
+        }
+        assert!(rx.try_recv().is_err(), "no duplicated descriptors");
+        assert_eq!(fabric.messages(), (SENDERS * PER_SENDER) as u64);
+        assert_eq!(fabric.send_errors(), 0);
+        assert!(fabric.mean_batch_size() >= 1.0);
+        flusher.stop();
+    }
+
+    #[test]
+    fn stress_with_tiny_ring_backpressures_cleanly() {
+        const SENDERS: u32 = 4;
+        const PER_SENDER: u32 = 500;
+        let fabric = Arc::new(RingFabric::new(cfg(8, 64, 1)));
+        let flusher = spawn_flusher(Arc::clone(&fabric));
+        let rx = fabric.register(EndpointId(0)).unwrap();
+
+        let producers: Vec<_> = (1..=SENDERS)
+            .map(|s| {
+                let f = Arc::clone(&fabric);
+                std::thread::spawn(move || {
+                    let mut retries = 0u64;
+                    for seq in 0..PER_SENDER {
+                        let frame = [s.to_le_bytes(), seq.to_le_bytes()].concat();
+                        // Backpressure shows up as Full, never a deadlock:
+                        // retry until the flusher frees ring capacity.
+                        loop {
+                            match f.send_copied(EndpointId(s), EndpointId(0), &frame) {
+                                Ok(()) => break,
+                                Err(SendError::Full) => {
+                                    retries += 1;
+                                    std::thread::yield_now();
+                                }
+                                Err(e) => panic!("unexpected send error: {e}"),
+                            }
+                        }
+                    }
+                    retries
+                })
+            })
+            .collect();
+        let _retries: u64 = producers.into_iter().map(|p| p.join().unwrap()).sum();
+
+        let mut next_seq = vec![0u32; SENDERS as usize + 1];
+        for _ in 0..SENDERS * PER_SENDER {
+            let msg = rx
+                .recv_timeout(Duration::from_secs(10))
+                .expect("every accepted post is delivered");
+            let bytes = msg.payload.bytes();
+            let s = u32::from_le_bytes(bytes[0..4].try_into().unwrap());
+            let seq = u32::from_le_bytes(bytes[4..8].try_into().unwrap());
+            assert_eq!(seq, next_seq[s as usize], "per-sender FIFO order");
+            next_seq[s as usize] = seq + 1;
+        }
+        assert!(rx.try_recv().is_err());
+        assert_eq!(fabric.messages(), (SENDERS * PER_SENDER) as u64);
+        flusher.stop();
+    }
+
+    #[test]
+    fn fabric_kind_builds_interchangeable_paths() {
+        for kind in [FabricKind::PerSend, FabricKind::Ring(RingConfig::default())] {
+            let mut instance = kind.build();
+            let rx = instance.fabric.register(EndpointId(1)).unwrap();
+            instance
+                .fabric
+                .send_copied(EndpointId(0), EndpointId(1), b"hi")
+                .unwrap();
+            instance.fabric.flush();
+            assert_eq!(
+                rx.recv_timeout(Duration::from_secs(5))
+                    .unwrap()
+                    .payload
+                    .bytes(),
+                b"hi"
+            );
+            assert_eq!(instance.fabric.messages(), 1);
+            instance.shutdown();
+        }
+    }
+
+    #[test]
+    fn export_metrics_snapshot() {
+        let fabric = RingFabric::new(cfg(16, 64, 1));
+        let rx = fabric.register(EndpointId(1)).unwrap();
+        for _ in 0..4 {
+            fabric
+                .send_copied(EndpointId(0), EndpointId(1), &[0u8; 32])
+                .unwrap();
+        }
+        fabric.flush_at(SimTime::ZERO);
+        drop(rx);
+        let mut reg = MetricsRegistry::new();
+        fabric.export_metrics(&mut reg, "ring");
+        assert_eq!(reg.counter("ring.posted"), Some(4));
+        assert_eq!(reg.counter("ring.messages"), Some(4));
+        assert_eq!(reg.counter("ring.copied_bytes"), Some(128));
+        assert_eq!(reg.counter("ring.flushed_batches"), Some(2));
+        assert!(reg.gauge("ring.mean_batch_size").unwrap() > 1.0);
+    }
+}

@@ -9,7 +9,7 @@
 //! ```
 
 use whale::apps::ride_hailing;
-use whale::dsps::{run_topology, CommMode, LiveConfig};
+use whale::dsps::{run_topology, CommMode, FabricKind, LiveConfig};
 use whale::workloads::DidiConfig;
 
 fn main() {
@@ -54,6 +54,7 @@ fn main() {
                 zero_copy,
                 multicast_d_star: d_star,
                 dedicated_senders: false,
+                fabric: FabricKind::PerSend,
             },
         );
         println!("{name}:");

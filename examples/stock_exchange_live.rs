@@ -8,7 +8,7 @@
 //! ```
 
 use whale::apps::stock_exchange;
-use whale::dsps::{run_topology, CommMode, LiveConfig};
+use whale::dsps::{run_topology, CommMode, FabricKind, LiveConfig};
 use whale::workloads::NasdaqConfig;
 
 fn main() {
@@ -33,6 +33,7 @@ fn main() {
             // Relay broadcast buys through the non-blocking tree (d* = 2).
             multicast_d_star: Some(2),
             dedicated_senders: false,
+            fabric: FabricKind::PerSend,
         },
     );
 

@@ -10,7 +10,7 @@
 
 use std::io::BufReader;
 use whale::apps::ride_hailing;
-use whale::dsps::{run_topology, CommMode, IterSpout, LiveConfig, Operators, Tuple, Value};
+use whale::dsps::{run_topology, CommMode, FabricKind, IterSpout, LiveConfig, Operators, Tuple, Value};
 use whale::workloads::trace;
 use whale::workloads::DidiConfig;
 
@@ -97,6 +97,7 @@ fn main() {
             zero_copy: true,
             multicast_d_star: Some(2),
             dedicated_senders: true,
+            fabric: FabricKind::PerSend,
         },
     );
 

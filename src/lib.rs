@@ -44,8 +44,8 @@ pub mod prelude {
         run, sweep_grid, AppProfile, Drive, EngineConfig, EngineReport, SystemMode,
     };
     pub use whale_dsps::{
-        run_topology, Bolt, CommMode, Emitter, Grouping, LiveConfig, Operators, Schema, Spout,
-        Topology, TopologyBuilder, Tuple, Value,
+        run_topology, Bolt, CommMode, Emitter, FabricKind, Grouping, LiveConfig, Operators,
+        RunOutcome, Schema, Spout, Topology, TopologyBuilder, Tuple, Value,
     };
     pub use whale_multicast::{
         build_binomial, build_nonblocking, build_sequential, recommend, MulticastTree, Node,

@@ -1,126 +1,85 @@
 //! Cross-crate integration: the dynamic-switching protocol (§3.4) running
 //! over the live fabric — a coordinator thread and one agent thread per
-//! destination exchanging real messages, as the deployed system would.
+//! destination exchanging real encoded frames, as the deployed system
+//! would. The same driver runs over both transports: the synchronous
+//! per-send `LiveFabric` and the batched `RingFabric` (stream slicing on
+//! the live path). The converged structures must be identical; only the
+//! delivery schedule differs.
 
 use std::sync::Arc;
-use whale::multicast::{
-    build_nonblocking, AckOutcome, InstanceAgent, Node, ProtocolMsg, SwitchCoordinator,
-};
-use whale::net::{EndpointId, LiveFabric};
-use whale::sim::{SimDuration, SimTime};
+use whale::multicast::{build_nonblocking, run_switch_over_fabric, SwitchDriverReport};
+use whale::net::{FabricKind, FabricPath, LiveFabric, RingConfig};
+use whale::sim::SimDuration;
 
-/// Wire format for protocol messages over the in-process fabric: the
-/// payload is a bincode-free, hand-rolled frame (tag + fields); for this
-/// test we keep it simple and ship the `ProtocolMsg` through a channel of
-/// boxed values attached to fabric signaling frames.
-///
-/// The fabric carries opaque bytes, so we index into a shared message
-/// table: each fabric frame is the 8-byte table index.
-struct MsgTable {
-    slots: parking_lot::Mutex<Vec<ProtocolMsg>>,
-}
-
-impl MsgTable {
-    fn new() -> Self {
-        MsgTable {
-            slots: parking_lot::Mutex::new(Vec::new()),
-        }
-    }
-    fn put(&self, m: ProtocolMsg) -> u64 {
-        let mut slots = self.slots.lock();
-        slots.push(m);
-        (slots.len() - 1) as u64
-    }
-    fn get(&self, i: u64) -> ProtocolMsg {
-        self.slots.lock()[i as usize].clone()
-    }
+fn drive(fabric: Arc<dyn FabricPath>, n: u32, initial_d: u32, new_d: u32) -> SwitchDriverReport {
+    let tree = build_nonblocking(n, initial_d);
+    let report = run_switch_over_fabric(fabric, &tree, new_d).expect("switch must complete");
+    report.new_tree.validate(new_d).expect("planned tree valid");
+    report
 }
 
 #[test]
 fn switch_protocol_converges_over_the_live_fabric() {
-    let n = 20u32;
-    let tree = build_nonblocking(n, 5);
-    let fabric = Arc::new(LiveFabric::new());
-    let table = Arc::new(MsgTable::new());
+    let fabric: Arc<dyn FabricPath> = Arc::new(LiveFabric::new());
+    let report = drive(fabric, 20, 5, 2);
+    assert!(report.moves > 0, "scale-down must move edges");
+    assert!(report.t_switch > SimDuration::ZERO);
+    assert!(report.acks_received >= report.moves as u64);
+}
 
-    // Endpoint 0 = coordinator (source); endpoints 1..=n = agents.
-    let coord_rx = fabric.register(EndpointId(0));
-    let mut agent_rx = Vec::new();
-    for i in 1..=n {
-        agent_rx.push(fabric.register(EndpointId(i)));
-    }
+#[test]
+fn switch_protocol_converges_over_the_ring_fabric() {
+    let mut instance = FabricKind::Ring(RingConfig::default()).build();
+    let report = drive(Arc::clone(&instance.fabric), 20, 5, 2);
+    assert!(report.moves > 0);
+    assert!(report.t_switch > SimDuration::ZERO);
+    // Ring delivery is batched: the flusher must have drained at least one
+    // doorbell-triggered batch to carry the protocol traffic.
+    assert!(instance.fabric.flushed_batches() > 0, "ring path must batch");
+    assert_eq!(instance.fabric.send_errors(), 0);
+    instance.shutdown();
+}
 
-    // Agent threads: apply protocol messages, ACK when owed, forward the
-    // final replica back for verification, exit on an empty frame.
-    let mut agent_handles = Vec::new();
-    for (idx, rx) in agent_rx.into_iter().enumerate() {
-        let fabric = Arc::clone(&fabric);
-        let table = Arc::clone(&table);
-        let tree = tree.clone();
-        agent_handles.push(std::thread::spawn(move || {
-            let me = Node::Dest(idx as u32);
-            let mut agent = InstanceAgent::new(me, tree);
-            while let Ok(msg) = rx.recv() {
-                if msg.payload.is_empty() {
-                    break; // shutdown frame
-                }
-                let i = u64::from_le_bytes(msg.payload.bytes().try_into().unwrap());
-                if let Some(ack) = agent.on_message(table.get(i)) {
-                    let j = table.put(ack);
-                    fabric
-                        .send_copied(EndpointId(idx as u32 + 1), EndpointId(0), &j.to_le_bytes())
-                        .unwrap();
-                }
-            }
-            agent.replica().clone()
-        }));
-    }
+#[test]
+fn both_transports_agree_on_the_switched_structure() {
+    let live: Arc<dyn FabricPath> = Arc::new(LiveFabric::new());
+    let a = drive(live, 30, 6, 2);
+    let mut instance = FabricKind::Ring(RingConfig::default()).build();
+    let b = drive(Arc::clone(&instance.fabric), 30, 6, 2);
+    instance.shutdown();
+    // The plan is deterministic and the transport is invisible to it.
+    assert_eq!(a.new_tree, b.new_tree);
+    assert_eq!(a.moves, b.moves);
+    assert_eq!(a.t_switch, b.t_switch, "ACK clock is virtual");
+}
 
-    // Coordinator: plan the switch, send the outbox, collect ACKs.
-    let (mut coord, outbox) = SwitchCoordinator::start(SimTime::ZERO, &tree, 2);
-    let send_to = |node: Node, m: ProtocolMsg| {
-        let Node::Dest(i) = node else { return };
-        let j = table.put(m);
-        fabric
-            .send_copied(EndpointId(0), EndpointId(i + 1), &j.to_le_bytes())
-            .unwrap();
-    };
-    for (dst, m) in outbox {
-        send_to(dst, m);
-    }
-    // ACK collection with a simulated clock: each ACK "arrives" 10 µs
-    // after the previous one.
-    let mut now = SimTime::ZERO;
-    let mut t_switch = None;
-    while t_switch.is_none() {
-        let msg = coord_rx
-            .recv_timeout(std::time::Duration::from_secs(10))
-            .expect("acks must keep arriving");
-        let i = u64::from_le_bytes(msg.payload.bytes().try_into().unwrap());
-        let ProtocolMsg::Ack { from } = table.get(i) else {
-            panic!("coordinator only receives acks");
-        };
-        now += SimDuration::from_micros(10);
-        if let AckOutcome::Completed { t_switch: t } = coord.on_ack(from, now) {
-            t_switch = Some(t);
-        }
-    }
-    assert!(t_switch.unwrap() > SimDuration::ZERO);
+#[test]
+fn coordinator_metrics_exported_after_the_switch() {
+    let fabric: Arc<dyn FabricPath> = Arc::new(LiveFabric::new());
+    let report = drive(fabric, 16, 4, 2);
+    let m = &report.metrics;
+    assert_eq!(m.gauge("multicast.switch.pending_acks"), Some(0.0));
+    assert_eq!(m.counter("multicast.switch.moves"), Some(report.moves as u64));
+    assert_eq!(
+        m.gauge("multicast.switch.t_switch_secs"),
+        Some(report.t_switch.as_secs_f64())
+    );
+    assert_eq!(
+        m.counter("multicast.switch.frames_sent"),
+        Some(report.frames_sent)
+    );
+    assert_eq!(
+        m.counter("multicast.switch.acks_received"),
+        Some(report.acks_received)
+    );
+}
 
-    // Deferred structure updates, then shutdown frames.
-    for (dst, m) in coord.deferred_notifications() {
-        send_to(dst, m);
-    }
-    for i in 1..=n {
-        fabric
-            .send_copied(EndpointId(0), EndpointId(i), &[])
-            .unwrap();
-    }
-
-    // Every agent's replica converged to the coordinator's tree.
-    for h in agent_handles {
-        let replica = h.join().expect("agent thread panicked");
-        assert_eq!(&replica, coord.new_tree());
-    }
-    coord.new_tree().validate(2).unwrap();
+#[test]
+fn scale_up_also_converges_over_both_transports() {
+    let live: Arc<dyn FabricPath> = Arc::new(LiveFabric::new());
+    let a = drive(live, 24, 2, 5);
+    let mut instance = FabricKind::Ring(RingConfig::default()).build();
+    let b = drive(Arc::clone(&instance.fabric), 24, 2, 5);
+    instance.shutdown();
+    assert_eq!(a.new_tree, b.new_tree);
 }
