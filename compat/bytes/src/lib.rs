@@ -169,6 +169,21 @@ impl BytesMut {
         self.vec.is_empty()
     }
 
+    /// Allocated capacity in bytes.
+    pub fn capacity(&self) -> usize {
+        self.vec.capacity()
+    }
+
+    /// Reserve room for at least `additional` more bytes.
+    pub fn reserve(&mut self, additional: usize) {
+        self.vec.reserve(additional);
+    }
+
+    /// Drop the contents, keeping the allocation for reuse.
+    pub fn clear(&mut self) {
+        self.vec.clear();
+    }
+
     /// Freeze into an immutable shared [`Bytes`].
     pub fn freeze(self) -> Bytes {
         Bytes::from(self.vec)

@@ -1,0 +1,22 @@
+//! E20 — live path: clone-per-dest vs serialize-once zero-copy fan-out.
+//!
+//! Emits `results/live_zero_copy.{csv,json}` plus the top-level
+//! `BENCH_live_path.json` headline report (override the location with
+//! `WHALE_BENCH_DIR`).
+
+use whale_bench::experiments::live_zero_copy as e20;
+
+fn main() {
+    let scale = whale_bench::Scale::from_env();
+    let points = e20::sweep(scale);
+    e20::table_from_points(&points).emit(None);
+
+    let dir = std::env::var_os("WHALE_BENCH_DIR")
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|| std::path::PathBuf::from("."));
+    let _ = std::fs::create_dir_all(&dir);
+    let path = dir.join("BENCH_live_path.json");
+    let json = e20::summary_json(&points).to_json_string();
+    std::fs::write(&path, format!("{json}\n")).expect("write BENCH_live_path.json");
+    println!("headline report → {}", path.display());
+}

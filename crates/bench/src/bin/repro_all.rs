@@ -71,6 +71,10 @@ fn main() {
             Box::new(ex::live_ring::run_experiment),
         ),
         (
+            "E20 Live zero-copy fan-out",
+            Box::new(ex::live_zero_copy::run_experiment),
+        ),
+        (
             "Ablations (beyond the paper)",
             Box::new(|s| {
                 let mut t = ex::ablations::run_dstar_sweep(s);

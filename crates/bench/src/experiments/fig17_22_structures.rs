@@ -9,6 +9,7 @@
 //! latency.
 
 use crate::experiments::common::{config, Dataset, PARALLELISM_SWEEP};
+use crate::report::engine_run_json;
 use crate::{fmt_rate, Scale, Table};
 use whale_core::{run, EngineReport, SystemMode};
 use whale_multicast::Structure;
@@ -44,6 +45,9 @@ fn throughput_latency(dataset: Dataset, ids: (&str, &str), tuples: u64) -> Vec<T
                 s.label().to_string(),
                 fmt_rate(r.throughput),
             ]);
+            // The throughput table's JSON carries the full per-run
+            // metrics snapshot behind both summary tables.
+            tput.attach_run(engine_run_json(ids.0, s.label(), p, dataset.seed(), &r));
             lat.row_strings(vec![
                 p.to_string(),
                 s.label().to_string(),
@@ -86,6 +90,7 @@ pub fn run_multicast_latency(scale: Scale) -> Vec<Table> {
                     s.label().to_string(),
                     format!("{:.1}", r.mean_multicast_latency.as_nanos() as f64 / 1e3),
                 ]);
+                t.attach_run(engine_run_json(id, s.label(), p, dataset.seed(), &r));
             }
         }
         // Summary line at parallelism 480 (the paper quotes -54.4%/-57.8%
@@ -118,6 +123,11 @@ mod tests {
         let tables = run_ride_hailing(Scale::Smoke);
         assert_eq!(tables.len(), 2);
         assert_eq!(tables[0].len(), PARALLELISM_SWEEP.len() * 3);
+        let json = tables[0].to_json().to_json_string();
+        assert!(
+            json.contains("\"runs\""),
+            "throughput table must carry per-run metrics snapshots"
+        );
     }
 
     #[test]

@@ -8,6 +8,7 @@
 //! the simulated capacity knee the same way (see EXPERIMENTS.md).
 
 use crate::experiments::common::{config, Dataset};
+use crate::report::engine_run_json;
 use crate::{Scale, Table};
 use whale_core::{run, AppProfile, Drive, EngineConfig, EngineReport, SystemMode};
 use whale_multicast::Structure;
@@ -56,6 +57,10 @@ pub fn run_experiment(scale: Scale) -> Vec<Table> {
         "throughput over time under a dynamic stream (1 s windows)",
         &["t_s", "input_step", "whale_tput", "sequential_tput"],
     );
+    // Full metrics snapshots of both engine runs ride in the JSON report.
+    let seed = Dataset::Didi.seed();
+    fig23.attach_run(engine_run_json("fig23", "whale-adaptive", 480, seed, &adaptive));
+    fig23.attach_run(engine_run_json("fig23", "sequential", 480, seed, &sequential));
     let rate_at = |t: f64| -> f64 {
         let s = step as f64;
         if t < s {
@@ -134,5 +139,10 @@ mod tests {
         let tables = run_experiment(Scale::Smoke);
         assert_eq!(tables.len(), 3);
         assert!(!tables[2].is_empty(), "controller must switch");
+        let json = tables[0].to_json().to_json_string();
+        assert!(
+            json.contains("\"whale-adaptive\"") && json.contains("\"sequential\""),
+            "fig23 JSON must carry both engine run snapshots"
+        );
     }
 }

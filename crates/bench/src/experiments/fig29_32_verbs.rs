@@ -2,6 +2,7 @@
 //! and Figs 31/32: Whale with DiffVerbs vs RDMA-based Storm end to end.
 
 use crate::experiments::common::{config, Dataset};
+use crate::report::engine_run_json;
 use crate::{fmt_rate, Scale, Table};
 use whale_core::{run, SystemMode};
 use whale_net::VerbPolicy;
@@ -70,8 +71,11 @@ pub fn run_diffverbs(scale: Scale) -> Vec<Table> {
         &["system", "mean_latency_ms"],
     );
 
+    let seed = Dataset::Didi.seed();
     let baseline = run(config(Dataset::Didi, SystemMode::RdmaStorm, p, tuples));
     fig31.row_strings(vec!["RDMA-Storm".into(), fmt_rate(baseline.throughput)]);
+    // Per-system metrics snapshots ride in the throughput table's JSON.
+    fig31.attach_run(engine_run_json("fig31", "RDMA-Storm", p, seed, &baseline));
     fig32.row_strings(vec![
         "RDMA-Storm".into(),
         format!("{:.2}", baseline.mean_latency.as_secs_f64() * 1e3),
@@ -87,6 +91,7 @@ pub fn run_diffverbs(scale: Scale) -> Vec<Table> {
         cfg.verbs = Some(policy);
         let r = run(cfg);
         fig31.row_strings(vec![label.into(), fmt_rate(r.throughput)]);
+        fig31.attach_run(engine_run_json("fig31", label, p, seed, &r));
         fig32.row_strings(vec![
             label.into(),
             format!("{:.2}", r.mean_latency.as_secs_f64() * 1e3),
@@ -119,5 +124,10 @@ mod tests {
     fn diffverbs_beats_two_sided_whale() {
         let tables = run_diffverbs(Scale::Smoke);
         assert_eq!(tables[0].len(), 5);
+        let json = tables[0].to_json().to_json_string();
+        assert!(
+            json.contains("\"runs\"") && json.contains("\"Whale_DiffVerbs\""),
+            "fig31 JSON must carry one run snapshot per system"
+        );
     }
 }

@@ -65,6 +65,7 @@ pub fn measure(scale: Scale, fanout: u32) -> LivePoint {
             mms: 4 * 1024,
             wtl: SimDuration::from_millis(1),
         },
+        ..RingConfig::default()
     };
     let fabric = RingFabric::new(config);
     let receivers: Vec<_> = (0..fanout)

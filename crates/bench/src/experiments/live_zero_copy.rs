@@ -1,0 +1,388 @@
+//! E20 — live path: clone-per-destination vs serialize-once zero-copy
+//! fan-out over the sharded ring.
+//!
+//! Drives a real [`RingFabric`] in deterministic mode (virtual clock,
+//! per-shard pumping exactly as the sharded doorbell-woken flusher would
+//! drain) with a one-to-many workload under both send disciplines:
+//!
+//! * **clone-per-dest** — every destination gets its own freshly
+//!   allocated encode of the frame, posted through the copied (TCP
+//!   semantics) path: `fanout` serializations and `fanout` buffers per
+//!   tuple.
+//! * **shared** — the frame is encoded once into a [`BufferPool`]
+//!   scratch buffer, snapshotted into one shared wire buffer, and posted
+//!   by reference to every destination: one serialization per tuple and
+//!   a pool hit-rate that approaches 1.0 after the first acquire.
+//!
+//! The measured batch sizes, per-shard message loads, and pool counters
+//! then price both disciplines on the paper's cost model. Every run is a
+//! pure function of the config, so reruns emit byte-identical JSON.
+
+use crate::{Scale, Table};
+use bytes::BufMut;
+use whale_dsps::BufferPool;
+use whale_net::{BatchConfig, EndpointId, RingConfig, RingFabric};
+use whale_sim::{CostModel, JsonValue, SimDuration, SimTime, Transport};
+
+/// Tuple payload size, matching the Figs 11/12 and E19 calibration runs.
+const MSG_BYTES: usize = 150;
+
+/// One (fanout, shards) operating point measured under both disciplines.
+#[derive(Clone, PartialEq, Debug)]
+pub struct ZeroCopyPoint {
+    /// Destinations per tuple.
+    pub fanout: u32,
+    /// Flusher shards draining the ring.
+    pub shards: usize,
+    /// Tuples the source emitted (per discipline).
+    pub tuples: u64,
+    /// Messages delivered per discipline (`tuples × fanout`).
+    pub messages: u64,
+    /// Bytes physically copied by the clone-per-dest discipline.
+    pub clone_bytes: u64,
+    /// Bytes passed by reference by the shared discipline.
+    pub shared_bytes: u64,
+    /// Frames serialized by the clone discipline (`tuples × fanout`).
+    pub clone_encodes: u64,
+    /// Frames serialized by the shared discipline (`tuples`).
+    pub shared_encodes: u64,
+    /// Pool hits during the shared run.
+    pub pool_hits: u64,
+    /// Pool misses during the shared run (1 after warmup).
+    pub pool_misses: u64,
+    /// Pool hit rate of the shared run (≈ 1.0 after warmup).
+    pub pool_hit_rate: f64,
+    /// Mean messages per flushed batch (shared run).
+    pub mean_batch: f64,
+    /// Messages on the most loaded flusher shard (drain critical path).
+    pub max_shard_msgs: u64,
+    /// Modeled end-to-end capacity of clone-per-dest (tuples/s).
+    pub clone_tuples_s: f64,
+    /// Modeled end-to-end capacity of shared fan-out (tuples/s).
+    pub shared_tuples_s: f64,
+}
+
+impl ZeroCopyPoint {
+    /// Shared-payload capacity over clone-per-dest capacity.
+    pub fn speedup(&self) -> f64 {
+        self.shared_tuples_s / self.clone_tuples_s
+    }
+}
+
+/// Encode the deterministic frame for `seq` into `out`.
+fn fill_frame(out: &mut impl BufMut, seq: u64) {
+    out.put_u64_le(seq);
+    out.put_slice(&[0u8; MSG_BYTES - 8]);
+}
+
+/// Drain every shard the way its flusher thread would, on the virtual
+/// clock. Equivalent to `pump(now)` but exercises the sharded slot
+/// filtering used by the live drain workers.
+fn pump_all_shards(fabric: &RingFabric, now: SimTime) {
+    for shard in 0..fabric.config().shard_count() {
+        fabric.pump_shard(shard, now);
+    }
+}
+
+/// Run one discipline: emit `tuples` frames to `fanout` destinations,
+/// draining per shard on every tick, and return the fabric for its
+/// counters. `send` posts one frame to all destinations.
+fn drive(
+    config: RingConfig,
+    tuples: u64,
+    fanout: u32,
+    mut send: impl FnMut(&RingFabric, u64),
+) -> RingFabric {
+    let fabric = RingFabric::new(config);
+    let receivers: Vec<_> = (0..fanout)
+        .map(|d| {
+            fabric
+                .register(EndpointId(d + 1))
+                .expect("fresh fabric has free endpoints")
+        })
+        .collect();
+    let rate = 50_000.0; // tuples/s — WTL governs, as in the Fig 12 runs
+    let gap = SimDuration::from_secs_f64(1.0 / rate);
+    let mut now = SimTime::ZERO;
+    for seq in 0..tuples {
+        send(&fabric, seq);
+        pump_all_shards(&fabric, now);
+        now += gap;
+    }
+    for shard in 0..config.shard_count() {
+        fabric.flush_shard_at(shard, now);
+    }
+    let mut delivered = 0u64;
+    for rx in &receivers {
+        delivered += std::iter::from_fn(|| rx.try_recv().ok()).count() as u64;
+    }
+    assert_eq!(
+        delivered,
+        tuples * fanout as u64,
+        "ring delivery must be lossless"
+    );
+    fabric
+}
+
+/// Measure one (fanout, shards) point under both disciplines and price
+/// the result on the cost model.
+pub fn measure(scale: Scale, fanout: u32, shards: usize) -> ZeroCopyPoint {
+    let tuples: u64 = scale.pick3(600, 10_000, 50_000);
+    let config = RingConfig {
+        ring_capacity: 64 * 1024,
+        batch: BatchConfig {
+            mms: 4 * 1024,
+            wtl: SimDuration::from_millis(1),
+        },
+        flusher_shards: shards,
+        ..RingConfig::default()
+    };
+    let source = EndpointId(0);
+
+    // Clone-per-dest: a fresh encode and a physical copy per destination.
+    let clone_fabric = drive(config, tuples, fanout, |fabric, seq| {
+        for d in 0..fanout {
+            let mut frame = Vec::with_capacity(MSG_BYTES);
+            fill_frame(&mut frame, seq);
+            fabric
+                .send_copied(source, EndpointId(d + 1), &frame)
+                .expect("ring sized above the workload");
+        }
+    });
+
+    // Shared: one pooled encode per tuple, one wire buffer shared by
+    // reference across every destination.
+    let pool = BufferPool::default();
+    let shared_fabric = drive(config, tuples, fanout, |fabric, seq| {
+        let mut scratch = pool.acquire();
+        fill_frame(&mut *scratch, seq);
+        let frame = scratch.share();
+        for d in 0..fanout {
+            fabric
+                .send_shared(source, EndpointId(d + 1), std::sync::Arc::clone(&frame))
+                .expect("ring sized above the workload");
+        }
+    });
+    assert_eq!(
+        clone_fabric.copied_bytes(),
+        shared_fabric.shared_bytes(),
+        "both disciplines deliver the same frames"
+    );
+    assert_eq!(shared_fabric.copied_bytes(), 0, "shared run never copies");
+
+    // Drain critical path: each endpoint belongs to exactly one shard, so
+    // the slowest shard drains `tuples × (endpoints it owns)` messages.
+    let max_shard_msgs = (0..config.shard_count())
+        .map(|s| {
+            let owned = (0..fanout)
+                .filter(|d| config.shard_of(EndpointId(d + 1)) == s)
+                .count() as u64;
+            owned * tuples
+        })
+        .max()
+        .unwrap_or(0);
+
+    // Pricing. The sender pays serialization (per destination for the
+    // clone discipline, once plus id-pack-sized reference handoffs for
+    // the shared one) and a ring-region bookkeeping op per posted
+    // message; the flusher shards pay one work-request post per batch
+    // plus wire time per message, and drain in parallel, so the slowest
+    // shard is the drain critical path. Capacity is the slower of the
+    // two stages.
+    let cost = CostModel::default();
+    let ser = cost.serialize(MSG_BYTES).as_secs_f64();
+    let id_pack = cost.id_pack.as_secs_f64();
+    let mr_op = cost.ring_mr_op.as_secs_f64();
+    let post = cost.rdma_post_send.as_secs_f64();
+    let wire = cost.wire_time(Transport::Rdma, MSG_BYTES).as_secs_f64();
+    let mean_batch = shared_fabric.mean_batch_size().max(1.0);
+    let drain_per_msg = mr_op + wire + post / mean_batch;
+    let drain_time = max_shard_msgs as f64 * drain_per_msg;
+    let f = fanout as f64;
+    let sender_clone = tuples as f64 * f * (ser + mr_op);
+    let sender_shared = tuples as f64 * (ser + f * (id_pack + mr_op));
+    ZeroCopyPoint {
+        fanout,
+        shards: config.shard_count(),
+        tuples,
+        messages: shared_fabric.messages(),
+        clone_bytes: clone_fabric.copied_bytes(),
+        shared_bytes: shared_fabric.shared_bytes(),
+        clone_encodes: tuples * fanout as u64,
+        shared_encodes: tuples,
+        pool_hits: pool.hits(),
+        pool_misses: pool.misses(),
+        pool_hit_rate: pool.hit_rate(),
+        mean_batch: shared_fabric.mean_batch_size(),
+        max_shard_msgs,
+        clone_tuples_s: tuples as f64 / sender_clone.max(drain_time),
+        shared_tuples_s: tuples as f64 / sender_shared.max(drain_time),
+    }
+}
+
+/// Fan-outs swept by the experiment.
+pub const FANOUTS: [u32; 7] = [1, 2, 4, 8, 16, 32, 64];
+
+/// Flusher shard counts swept by the experiment.
+pub const SHARDS: [usize; 3] = [1, 2, 4];
+
+/// Measure every (shards, fanout) point of the sweep, in row order.
+pub fn sweep(scale: Scale) -> Vec<ZeroCopyPoint> {
+    let mut points = Vec::with_capacity(FANOUTS.len() * SHARDS.len());
+    for &shards in &SHARDS {
+        for &fanout in &FANOUTS {
+            points.push(measure(scale, fanout, shards));
+        }
+    }
+    points
+}
+
+/// Build the result table from measured points.
+pub fn table_from_points(points: &[ZeroCopyPoint]) -> Table {
+    let mut table = Table::new(
+        "live_zero_copy",
+        "Live path: clone-per-dest vs serialize-once shared fan-out (modeled capacity)",
+        &[
+            "fanout",
+            "shards",
+            "messages",
+            "clone_encodes",
+            "shared_encodes",
+            "pool_hit_rate",
+            "mean_batch",
+            "max_shard_msgs",
+            "clone_tuples_s",
+            "shared_tuples_s",
+            "speedup",
+        ],
+    );
+    for p in points {
+        table.row_strings(vec![
+            p.fanout.to_string(),
+            p.shards.to_string(),
+            p.messages.to_string(),
+            p.clone_encodes.to_string(),
+            p.shared_encodes.to_string(),
+            format!("{:.4}", p.pool_hit_rate),
+            format!("{:.1}", p.mean_batch),
+            p.max_shard_msgs.to_string(),
+            format!("{:.0}", p.clone_tuples_s),
+            format!("{:.0}", p.shared_tuples_s),
+            format!("{:.2}", p.speedup()),
+        ]);
+    }
+    table
+}
+
+/// Headline summary of the live path, written as the top-level
+/// `BENCH_live_path.json`. Schema-stable and byte-identical across
+/// same-scale reruns (every field derives from the deterministic sweep).
+pub fn summary_json(points: &[ZeroCopyPoint]) -> JsonValue {
+    let by = |fanout: u32, shards: usize| {
+        points
+            .iter()
+            .find(|p| p.fanout == fanout && p.shards == shards)
+            .expect("sweep covers the headline points")
+    };
+    let best = points
+        .iter()
+        .max_by(|a, b| a.speedup().total_cmp(&b.speedup()))
+        .expect("sweep is non-empty");
+    let f8 = by(8, 1);
+    let point_json = |p: &ZeroCopyPoint| {
+        JsonValue::Object(vec![
+            ("fanout".into(), JsonValue::UInt(p.fanout as u64)),
+            ("shards".into(), JsonValue::UInt(p.shards as u64)),
+            ("speedup".into(), JsonValue::Float(p.speedup())),
+            ("clone_tuples_s".into(), JsonValue::Float(p.clone_tuples_s)),
+            (
+                "shared_tuples_s".into(),
+                JsonValue::Float(p.shared_tuples_s),
+            ),
+            ("pool_hit_rate".into(), JsonValue::Float(p.pool_hit_rate)),
+        ])
+    };
+    JsonValue::Object(vec![
+        ("schema".into(), JsonValue::str(crate::JSON_SCHEMA)),
+        ("report".into(), JsonValue::str("live_path")),
+        ("experiment".into(), JsonValue::str("live_zero_copy")),
+        ("fanout_8".into(), point_json(f8)),
+        ("best".into(), point_json(best)),
+        (
+            "min_pool_hit_rate".into(),
+            JsonValue::Float(
+                points
+                    .iter()
+                    .map(|p| p.pool_hit_rate)
+                    .fold(f64::INFINITY, f64::min),
+            ),
+        ),
+        (
+            "points".into(),
+            JsonValue::UInt(points.len() as u64),
+        ),
+    ])
+}
+
+/// Run the fan-out × shards sweep.
+pub fn run_experiment(scale: Scale) -> Vec<Table> {
+    vec![table_from_points(&sweep(scale))]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shared_beats_clone_at_fanout_8_and_up() {
+        for fanout in [8u32, 16] {
+            let p = measure(Scale::Smoke, fanout, 1);
+            assert!(
+                p.shared_tuples_s > p.clone_tuples_s,
+                "fanout {fanout}: shared {:.0} ≤ clone {:.0}",
+                p.shared_tuples_s,
+                p.clone_tuples_s
+            );
+            assert!(p.speedup() > 1.5, "fanout {fanout}: {:.2}", p.speedup());
+        }
+    }
+
+    #[test]
+    fn pool_hit_rate_approaches_one_after_warmup() {
+        let p = measure(Scale::Smoke, 4, 2);
+        assert_eq!(p.pool_misses, 1, "only the warmup acquire allocates");
+        assert_eq!(p.pool_hits, p.tuples - 1);
+        assert!(p.pool_hit_rate > 0.99, "hit rate {:.4}", p.pool_hit_rate);
+    }
+
+    #[test]
+    fn sharding_widens_the_drain_critical_path() {
+        let one = measure(Scale::Smoke, 16, 1);
+        let four = measure(Scale::Smoke, 16, 4);
+        assert_eq!(one.max_shard_msgs, one.messages);
+        assert_eq!(four.max_shard_msgs, four.messages / 4);
+        assert!(
+            four.shared_tuples_s >= one.shared_tuples_s,
+            "more drain shards must never price slower"
+        );
+    }
+
+    #[test]
+    fn measurement_is_deterministic() {
+        let a = measure(Scale::Smoke, 8, 2);
+        let b = measure(Scale::Smoke, 8, 2);
+        assert_eq!(a, b, "virtual-clock runs must be reproducible");
+        assert_eq!(a.messages, a.tuples * 8);
+        assert_eq!(a.clone_bytes, a.shared_bytes);
+    }
+
+    #[test]
+    fn sweep_emits_one_row_per_point() {
+        let tables = run_experiment(Scale::Smoke);
+        assert_eq!(tables.len(), 1);
+        assert_eq!(tables[0].len(), FANOUTS.len() * SHARDS.len());
+        let json = tables[0].to_json().to_json_string();
+        assert!(json.contains("\"schema\":\"whale-bench/v1\""), "{json}");
+        assert!(json.contains("\"figure\":\"live_zero_copy\""));
+    }
+}

@@ -13,4 +13,5 @@ pub mod fig25_28_communication;
 pub mod fig29_32_verbs;
 pub mod fig33_34_racks;
 pub mod live_ring;
+pub mod live_zero_copy;
 pub mod table2_datasets;

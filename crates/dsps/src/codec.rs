@@ -117,14 +117,23 @@ fn decode_value(buf: &mut impl Buf) -> Result<Value, DecodeError> {
     }
 }
 
-/// Serialize a tuple (the "data item" of the message formats).
-pub fn encode_tuple(t: &Tuple) -> Bytes {
-    let mut buf = BytesMut::with_capacity(t.payload_bytes());
+/// Serialize a tuple into `buf` (the "data item" of the message formats).
+/// Taking the destination buffer lets callers route every codec
+/// allocation through a [`crate::pool::BufferPool`] scratch buffer.
+pub fn encode_tuple_into(buf: &mut BytesMut, t: &Tuple) {
+    buf.reserve(t.payload_bytes());
     buf.put_u64_le(t.id);
     buf.put_u16_le(t.values.len() as u16);
     for v in &t.values {
-        encode_value(&mut buf, v);
+        encode_value(buf, v);
     }
+}
+
+/// Serialize a tuple into a fresh buffer. Hot paths should prefer
+/// [`encode_tuple_into`] with a pooled buffer.
+pub fn encode_tuple(t: &Tuple) -> Bytes {
+    let mut buf = BytesMut::with_capacity(t.payload_bytes());
+    encode_tuple_into(&mut buf, t);
     buf.freeze()
 }
 
@@ -153,13 +162,25 @@ pub struct InstanceMessage {
 }
 
 impl InstanceMessage {
+    /// Serialize `src | dst | dataItem` into `buf` without materializing
+    /// an owned message — the hot path borrows the shared decoded tuple
+    /// instead of cloning it per destination.
+    pub fn encode_parts_into(src: TaskId, dst: TaskId, tuple: &Tuple, buf: &mut BytesMut) {
+        buf.reserve(8 + tuple.payload_bytes());
+        buf.put_u32_le(src.0);
+        buf.put_u32_le(dst.0);
+        encode_tuple_into(buf, tuple);
+    }
+
+    /// Serialize `src | dst | dataItem` into `buf` (pooled-buffer path).
+    pub fn encode_into(&self, buf: &mut BytesMut) {
+        Self::encode_parts_into(self.src, self.dst, &self.tuple, buf);
+    }
+
     /// Serialize: `src | dst | dataItem`.
     pub fn encode(&self) -> Bytes {
-        let mut buf = BytesMut::with_capacity(8 + self.tuple.payload_bytes());
-        buf.put_u32_le(self.src.0);
-        buf.put_u32_le(self.dst.0);
-        let t = encode_tuple(&self.tuple);
-        buf.put_slice(&t);
+        let mut buf = BytesMut::with_capacity(self.wire_bytes());
+        self.encode_into(&mut buf);
         buf.freeze()
     }
 
@@ -192,30 +213,44 @@ pub struct WorkerMessage {
 }
 
 impl WorkerMessage {
-    /// Serialize: `src | n | dstIds[n] | dataItem`.
-    pub fn encode(&self) -> Bytes {
-        let mut buf =
-            BytesMut::with_capacity(8 + 4 * self.dst_ids.len() + self.tuple.payload_bytes());
+    /// Serialize `src | n | dstIds[n] | dataItem` into `buf`
+    /// (pooled-buffer path).
+    pub fn encode_into(&self, buf: &mut BytesMut) {
+        buf.reserve(self.wire_bytes());
         buf.put_u32_le(self.src.0);
         buf.put_u32_le(self.dst_ids.len() as u32);
         for id in &self.dst_ids {
             buf.put_u32_le(id.0);
         }
-        let t = encode_tuple(&self.tuple);
-        buf.put_slice(&t);
+        encode_tuple_into(buf, &self.tuple);
+    }
+
+    /// Serialize: `src | n | dstIds[n] | dataItem`.
+    pub fn encode(&self) -> Bytes {
+        let mut buf =
+            BytesMut::with_capacity(8 + 4 * self.dst_ids.len() + self.tuple.payload_bytes());
+        self.encode_into(&mut buf);
         buf.freeze()
     }
 
-    /// Serialize around an already-encoded data item (the zero-copy path:
-    /// the data item is serialized once and reused per worker).
-    pub fn encode_with_item(src: TaskId, dst_ids: &[TaskId], item: &Bytes) -> Bytes {
-        let mut buf = BytesMut::with_capacity(8 + 4 * dst_ids.len() + item.len());
+    /// Serialize the worker header around an already-encoded data item
+    /// into `buf` — the serialize-once fan-out path: the data item is
+    /// encoded one time, then only the per-worker header differs.
+    pub fn encode_with_item_into(src: TaskId, dst_ids: &[TaskId], item: &[u8], buf: &mut BytesMut) {
+        buf.reserve(8 + 4 * dst_ids.len() + item.len());
         buf.put_u32_le(src.0);
         buf.put_u32_le(dst_ids.len() as u32);
         for id in dst_ids {
             buf.put_u32_le(id.0);
         }
         buf.put_slice(item);
+    }
+
+    /// Serialize around an already-encoded data item (the zero-copy path:
+    /// the data item is serialized once and reused per worker).
+    pub fn encode_with_item(src: TaskId, dst_ids: &[TaskId], item: &Bytes) -> Bytes {
+        let mut buf = BytesMut::with_capacity(8 + 4 * dst_ids.len() + item.len());
+        Self::encode_with_item_into(src, dst_ids, item, &mut buf);
         buf.freeze()
     }
 
@@ -338,6 +373,68 @@ mod tests {
         .encode();
         let b = WorkerMessage::encode_with_item(TaskId(0), &dsts, &item);
         assert_eq!(a, b);
+    }
+
+    /// Byte-accounting drift guard: `wire_bytes()` is what the cost layer
+    /// and the traffic counters charge, so it must stay exact under every
+    /// encoding — batched, single-item, and empty-destination — and under
+    /// both the direct and the shared-item (serialize-once) paths.
+    #[test]
+    fn wire_bytes_equals_encoded_len_for_all_shapes() {
+        let shapes: Vec<Vec<TaskId>> = vec![
+            (0..16).map(TaskId).collect(), // batched fan-out
+            vec![TaskId(7)],               // single destination
+            vec![],                        // empty destination set
+        ];
+        for dst_ids in shapes {
+            let m = WorkerMessage {
+                src: TaskId(3),
+                dst_ids: dst_ids.clone(),
+                tuple: sample_tuple(),
+            };
+            assert_eq!(
+                m.wire_bytes(),
+                m.encode().len(),
+                "direct encode, {} destinations",
+                dst_ids.len()
+            );
+            let item = encode_tuple(&m.tuple);
+            assert_eq!(
+                m.wire_bytes(),
+                WorkerMessage::encode_with_item(m.src, &m.dst_ids, &item).len(),
+                "shared-item encode, {} destinations",
+                dst_ids.len()
+            );
+        }
+        // The empty tuple bounds the other direction.
+        let empty = WorkerMessage {
+            src: TaskId(0),
+            dst_ids: vec![],
+            tuple: Tuple::new(vec![]),
+        };
+        assert_eq!(empty.wire_bytes(), empty.encode().len());
+        let im = InstanceMessage {
+            src: TaskId(1),
+            dst: TaskId(2),
+            tuple: sample_tuple(),
+        };
+        assert_eq!(im.wire_bytes(), im.encode().len());
+    }
+
+    #[test]
+    fn pooled_encode_into_matches_fresh_encode() {
+        let pool = crate::pool::BufferPool::default();
+        let m = WorkerMessage {
+            src: TaskId(3),
+            dst_ids: vec![TaskId(10), TaskId(11)],
+            tuple: sample_tuple(),
+        };
+        for round in 0..3 {
+            let mut buf = pool.acquire();
+            m.encode_into(&mut buf);
+            assert_eq!(&buf[..], &m.encode()[..], "round {round}");
+        }
+        assert!(pool.hits() >= 2, "encode scratch buffers are reused");
     }
 
     #[test]

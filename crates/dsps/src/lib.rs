@@ -19,6 +19,7 @@ pub mod codec;
 pub mod grouping;
 pub mod messaging;
 pub mod operator;
+pub mod pool;
 pub mod runtime;
 pub mod scheduler;
 pub mod task;
@@ -33,6 +34,7 @@ pub use messaging::{plan, CommMode, Envelope, MessagePlan};
 pub use operator::{
     Bolt, BoltFactory, Emitter, FnBolt, IterSpout, Spout, SpoutFactory, VecEmitter,
 };
+pub use pool::{BufferPool, PoolConfig, PooledBuf};
 pub use runtime::{run_topology, BuildError, LiveConfig, Operators, RunOutcome, RunReport};
 pub use whale_net::{FabricKind, RingConfig};
 pub use scheduler::{Placement, WorkerId};

@@ -1,0 +1,300 @@
+//! `BufferPool`: reusable encode buffers for the hot serialization path.
+//!
+//! Every `encode_*` call used to allocate a fresh `BytesMut`; at high
+//! tuple rates that is one heap allocation per frame — exactly the kind
+//! of per-message cost the paper's serialize-once design eliminates. The
+//! pool keeps released buffers (capacity intact) and hands them back on
+//! the next acquire, the codec-layer analogue of the registered
+//! memory-region reuse in `whale-net::memory`: registration (allocation)
+//! is paid once, then the same region is recycled for every transfer.
+//!
+//! Buffers are [`PooledBuf`] guards: deref to `BytesMut` for encoding,
+//! return to the pool on drop. After warmup the steady state allocates
+//! nothing — the hit-rate gauge exported by
+//! [`BufferPool::export_metrics`] approaches 1.0.
+
+use bytes::BytesMut;
+use parking_lot::Mutex;
+use std::ops::{Deref, DerefMut};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use whale_sim::MetricsRegistry;
+
+/// Sizing policy of a [`BufferPool`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PoolConfig {
+    /// Most released buffers kept for reuse; releases beyond it free the
+    /// buffer instead (bounds idle memory).
+    pub max_pooled: usize,
+    /// Capacity new buffers are allocated with on a pool miss.
+    pub initial_capacity: usize,
+}
+
+impl Default for PoolConfig {
+    fn default() -> Self {
+        PoolConfig {
+            max_pooled: 256,
+            initial_capacity: 1024,
+        }
+    }
+}
+
+struct PoolInner {
+    config: PoolConfig,
+    free: Mutex<Vec<BytesMut>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    released: AtomicU64,
+    discarded: AtomicU64,
+    /// Buffers currently acquired and not yet returned.
+    outstanding: AtomicU64,
+    /// Most buffers ever outstanding at once.
+    high_watermark: AtomicU64,
+}
+
+/// A shared pool of encode buffers. Cloning shares the same pool.
+#[derive(Clone)]
+pub struct BufferPool {
+    inner: Arc<PoolInner>,
+}
+
+impl Default for BufferPool {
+    fn default() -> Self {
+        Self::new(PoolConfig::default())
+    }
+}
+
+impl BufferPool {
+    /// New empty pool.
+    pub fn new(config: PoolConfig) -> Self {
+        BufferPool {
+            inner: Arc::new(PoolInner {
+                config,
+                free: Mutex::new(Vec::new()),
+                hits: AtomicU64::new(0),
+                misses: AtomicU64::new(0),
+                released: AtomicU64::new(0),
+                discarded: AtomicU64::new(0),
+                outstanding: AtomicU64::new(0),
+                high_watermark: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> PoolConfig {
+        self.inner.config
+    }
+
+    /// Take a cleared buffer from the pool (hit) or allocate one (miss).
+    /// The buffer returns to the pool when the guard drops.
+    pub fn acquire(&self) -> PooledBuf {
+        let reused = self.inner.free.lock().pop();
+        let buf = match reused {
+            Some(buf) => {
+                self.inner.hits.fetch_add(1, Ordering::Relaxed);
+                buf
+            }
+            None => {
+                self.inner.misses.fetch_add(1, Ordering::Relaxed);
+                BytesMut::with_capacity(self.inner.config.initial_capacity)
+            }
+        };
+        let out = self.inner.outstanding.fetch_add(1, Ordering::Relaxed) + 1;
+        self.inner.high_watermark.fetch_max(out, Ordering::Relaxed);
+        PooledBuf {
+            buf: Some(buf),
+            pool: Arc::clone(&self.inner),
+        }
+    }
+
+    /// Pool hits (acquires served from a released buffer) so far.
+    pub fn hits(&self) -> u64 {
+        self.inner.hits.load(Ordering::Relaxed)
+    }
+
+    /// Pool misses (acquires that allocated) so far.
+    pub fn misses(&self) -> u64 {
+        self.inner.misses.load(Ordering::Relaxed)
+    }
+
+    /// Buffers returned to the pool so far.
+    pub fn released(&self) -> u64 {
+        self.inner.released.load(Ordering::Relaxed)
+    }
+
+    /// Buffers freed instead of pooled because the pool was full.
+    pub fn discarded(&self) -> u64 {
+        self.inner.discarded.load(Ordering::Relaxed)
+    }
+
+    /// Buffers currently acquired and not yet returned.
+    pub fn outstanding(&self) -> u64 {
+        self.inner.outstanding.load(Ordering::Relaxed)
+    }
+
+    /// Most buffers ever outstanding at once.
+    pub fn high_watermark(&self) -> u64 {
+        self.inner.high_watermark.load(Ordering::Relaxed)
+    }
+
+    /// Released buffers currently available for reuse.
+    pub fn pooled(&self) -> usize {
+        self.inner.free.lock().len()
+    }
+
+    /// Hits over total acquires (0 before the first acquire). Approaches
+    /// 1.0 once the working set is warm — the steady state allocates
+    /// nothing.
+    pub fn hit_rate(&self) -> f64 {
+        let hits = self.hits();
+        let total = hits + self.misses();
+        if total == 0 {
+            0.0
+        } else {
+            hits as f64 / total as f64
+        }
+    }
+
+    /// Export pool counters into `reg` under `prefix.*`.
+    pub fn export_metrics(&self, reg: &mut MetricsRegistry, prefix: &str) {
+        reg.set_counter(&format!("{prefix}.hits"), self.hits());
+        reg.set_counter(&format!("{prefix}.misses"), self.misses());
+        reg.set_counter(&format!("{prefix}.released"), self.released());
+        reg.set_counter(&format!("{prefix}.discarded"), self.discarded());
+        reg.set_gauge(&format!("{prefix}.outstanding"), self.outstanding() as f64);
+        reg.set_gauge(
+            &format!("{prefix}.high_watermark"),
+            self.high_watermark() as f64,
+        );
+        reg.set_gauge(&format!("{prefix}.pooled"), self.pooled() as f64);
+        reg.set_gauge(&format!("{prefix}.hit_rate"), self.hit_rate());
+    }
+}
+
+/// An acquired pool buffer. Dereferences to `BytesMut` for encoding and
+/// returns to the pool (cleared, capacity kept) when dropped.
+pub struct PooledBuf {
+    buf: Option<BytesMut>,
+    pool: Arc<PoolInner>,
+}
+
+impl PooledBuf {
+    /// Copy the encoded contents into a freshly shared wire buffer (the
+    /// transfer the fabric posts by reference); the scratch buffer itself
+    /// stays with the guard and returns to the pool.
+    pub fn share(&self) -> Arc<[u8]> {
+        Arc::from(&self[..])
+    }
+}
+
+impl Deref for PooledBuf {
+    type Target = BytesMut;
+    fn deref(&self) -> &BytesMut {
+        self.buf.as_ref().expect("buffer present until drop")
+    }
+}
+
+impl DerefMut for PooledBuf {
+    fn deref_mut(&mut self) -> &mut BytesMut {
+        self.buf.as_mut().expect("buffer present until drop")
+    }
+}
+
+impl Drop for PooledBuf {
+    fn drop(&mut self) {
+        let mut buf = self.buf.take().expect("dropped once");
+        self.pool.outstanding.fetch_sub(1, Ordering::Relaxed);
+        buf.clear();
+        let mut free = self.pool.free.lock();
+        if free.len() < self.pool.config.max_pooled {
+            free.push(buf);
+            self.pool.released.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.pool.discarded.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::BufMut;
+
+    #[test]
+    fn buffers_returned_after_use_are_reused() {
+        let pool = BufferPool::default();
+        {
+            let mut a = pool.acquire();
+            a.put_slice(b"warmup frame");
+        } // drop returns it
+        assert_eq!(pool.misses(), 1);
+        assert_eq!(pool.pooled(), 1);
+        for _ in 0..10 {
+            let mut b = pool.acquire();
+            assert!(b.is_empty(), "buffers come back cleared");
+            b.put_slice(b"steady state");
+        }
+        assert_eq!(pool.misses(), 1, "steady state allocates nothing");
+        assert_eq!(pool.hits(), 10);
+        assert!(pool.hit_rate() > 0.9);
+        assert_eq!(pool.outstanding(), 0);
+    }
+
+    #[test]
+    fn high_watermark_tracks_concurrent_outstanding() {
+        let pool = BufferPool::default();
+        let a = pool.acquire();
+        let b = pool.acquire();
+        let c = pool.acquire();
+        assert_eq!(pool.outstanding(), 3);
+        drop((a, b, c));
+        assert_eq!(pool.outstanding(), 0);
+        assert_eq!(pool.high_watermark(), 3);
+        // Watermark is a high-water mark, not a gauge.
+        let _d = pool.acquire();
+        assert_eq!(pool.high_watermark(), 3);
+    }
+
+    #[test]
+    fn pool_bounds_idle_buffers() {
+        let pool = BufferPool::new(PoolConfig {
+            max_pooled: 2,
+            initial_capacity: 16,
+        });
+        let all: Vec<_> = (0..5).map(|_| pool.acquire()).collect();
+        drop(all);
+        assert_eq!(pool.pooled(), 2, "releases beyond max_pooled are freed");
+        assert_eq!(pool.released(), 2);
+        assert_eq!(pool.discarded(), 3);
+    }
+
+    #[test]
+    fn share_snapshots_contents_and_keeps_buffer_pooled() {
+        let pool = BufferPool::default();
+        let shared = {
+            let mut b = pool.acquire();
+            b.put_slice(b"frame");
+            b.share()
+        };
+        assert_eq!(&shared[..], b"frame");
+        assert_eq!(pool.pooled(), 1, "scratch buffer returned despite share");
+        let another = Arc::clone(&shared);
+        assert_eq!(&another[..], b"frame", "shared wire buffer outlives guard");
+    }
+
+    #[test]
+    fn export_metrics_snapshot() {
+        let pool = BufferPool::default();
+        drop(pool.acquire());
+        drop(pool.acquire());
+        let mut reg = MetricsRegistry::new();
+        pool.export_metrics(&mut reg, "pool");
+        assert_eq!(reg.counter("pool.misses"), Some(1));
+        assert_eq!(reg.counter("pool.hits"), Some(1));
+        assert_eq!(reg.counter("pool.released"), Some(2));
+        assert_eq!(reg.gauge("pool.outstanding"), Some(0.0));
+        assert_eq!(reg.gauge("pool.high_watermark"), Some(1.0));
+        assert!((reg.gauge("pool.hit_rate").unwrap() - 0.5).abs() < 1e-12);
+    }
+}

@@ -17,6 +17,7 @@ use crate::codec::{self, InstanceMessage, WorkerMessage};
 use crate::grouping::GroupingExec;
 use crate::messaging::{plan, CommMode};
 use crate::operator::{Bolt, BoltFactory, Emitter, Spout, SpoutFactory};
+use crate::pool::BufferPool;
 use crate::scheduler::{Placement, WorkerId};
 use crate::task::{ComponentId, TaskId};
 use crate::topology::{ComponentKind, Grouping, Topology};
@@ -258,6 +259,15 @@ pub struct RunReport {
     pub batches_flushed: u64,
     /// Mean messages per flushed batch (0 on the per-send path).
     pub mean_batch_size: f64,
+    /// Encode-buffer pool acquires served from a reused buffer.
+    pub pool_hits: u64,
+    /// Encode-buffer pool acquires that had to allocate.
+    pub pool_misses: u64,
+    /// Most encode buffers outstanding at once during the run.
+    pub pool_high_watermark: u64,
+    /// Pool hits over total acquires (≈ 1.0 once warm: the steady-state
+    /// hot path allocates nothing).
+    pub pool_hit_rate: f64,
     /// Structured shutdown reason.
     pub outcome: RunOutcome,
     /// Sampled spout-to-execute delivery latencies (ns), unordered.
@@ -303,6 +313,10 @@ impl RunReport {
         reg.set_counter("dsps.fabric.send_errors", self.send_errors);
         reg.set_counter("dsps.fabric.batches_flushed", self.batches_flushed);
         reg.set_gauge("dsps.fabric.mean_batch_size", self.mean_batch_size);
+        reg.set_counter("dsps.pool.hits", self.pool_hits);
+        reg.set_counter("dsps.pool.misses", self.pool_misses);
+        reg.set_gauge("dsps.pool.high_watermark", self.pool_high_watermark as f64);
+        reg.set_gauge("dsps.pool.hit_rate", self.pool_hit_rate);
         reg.set_gauge(
             "dsps.clean",
             if self.outcome.is_clean() { 1.0 } else { 0.0 },
@@ -359,6 +373,9 @@ struct Routing {
     placement: Placement,
     config: LiveConfig,
     fabric: Arc<dyn FabricPath>,
+    /// Encode scratch buffers, reused across frames: the steady-state hot
+    /// path allocates nothing (see [`BufferPool`]).
+    pool: BufferPool,
     /// Inboxes of every task (senders usable only for local delivery).
     inboxes: HashMap<TaskId, Sender<ExecMsg>>,
     stats: Arc<RunStats>,
@@ -405,7 +422,10 @@ impl Routing {
                 let _ = self.inboxes[&t].send(ExecMsg::Data(Arc::clone(tuple)));
             }
         }
-        let item = codec::encode_tuple(tuple);
+        // Serialize the data item once into pooled scratch; every child
+        // frame borrows it.
+        let mut item = self.pool.acquire();
+        codec::encode_tuple_into(&mut item, tuple);
         let tree = &self.relay_trees[src_worker.0 as usize];
         for &child in tree.children(Node::Source) {
             let Node::Dest(node) = child else { continue };
@@ -419,16 +439,16 @@ impl Routing {
         origin: u32,
         comp: ComponentId,
         node: u32,
-        item: &Bytes,
+        item: &[u8],
     ) {
-        let mut framed = BytesMut::with_capacity(13 + item.len());
-        framed.put_u8(TAG_RELAY);
-        framed.put_u32_le(origin);
-        framed.put_u32_le(comp.0);
-        framed.put_u32_le(node);
-        framed.put_slice(item);
         let dst = relay_node_worker(origin, node, self.placement.workers());
-        self.transmit(src, dst, framed.freeze());
+        self.transmit(src, dst, |framed| {
+            framed.put_u8(TAG_RELAY);
+            framed.put_u32_le(origin);
+            framed.put_u32_le(comp.0);
+            framed.put_u32_le(node);
+            framed.put_slice(item);
+        });
     }
 
     /// A relay worker received a broadcast frame: forward to tree
@@ -445,16 +465,16 @@ impl Routing {
         let children: Vec<Node> = tree.children(Node::Dest(node)).to_vec();
         for child in children {
             let Node::Dest(c) = child else { continue };
-            let mut framed = BytesMut::with_capacity(13 + item.len());
-            framed.put_u8(TAG_RELAY);
-            framed.put_u32_le(origin);
-            framed.put_u32_le(comp.0);
-            framed.put_u32_le(c);
-            framed.put_slice(&item);
             let dst = relay_node_worker(origin, c, self.placement.workers());
             // Relay transmission keeps the zero-copy/copied semantics of
             // the run; attribution is the relay worker itself.
-            self.fabric_send(EndpointId(my_worker), EndpointId(dst.0), &framed.freeze());
+            self.send_frame(EndpointId(my_worker), EndpointId(dst.0), |framed| {
+                framed.put_u8(TAG_RELAY);
+                framed.put_u32_le(origin);
+                framed.put_u32_le(comp.0);
+                framed.put_u32_le(c);
+                framed.put_slice(&item);
+            });
             self.stats.relay_forwards.fetch_add(1, Ordering::Relaxed);
         }
         // One deserialization for the whole worker, then local dispatch.
@@ -502,55 +522,66 @@ impl Routing {
             .fetch_add(p.serializations as u64, Ordering::Relaxed);
         match self.config.comm_mode {
             CommMode::InstanceOriented => {
+                // Storm's per-destination serialization, but without a
+                // per-destination deep clone of the tuple: the shared
+                // decoded tuple is borrowed straight into the frame.
                 for env in &p.remote {
                     debug_assert_eq!(env.dst_tasks.len(), 1);
-                    let msg = InstanceMessage {
-                        src,
-                        dst: env.dst_tasks[0],
-                        tuple: (**tuple).clone(),
-                    };
-                    let mut framed = BytesMut::with_capacity(1 + msg.wire_bytes());
-                    framed.put_u8(TAG_INSTANCE);
-                    framed.put_slice(&msg.encode());
-                    self.transmit(src, env.dst_worker, framed.freeze());
+                    let dst = env.dst_tasks[0];
+                    self.transmit(src, env.dst_worker, |framed| {
+                        framed.put_u8(TAG_INSTANCE);
+                        InstanceMessage::encode_parts_into(src, dst, tuple, framed);
+                    });
                 }
             }
             CommMode::WorkerOriented => {
-                // Serialize the data item once; reuse per worker.
-                let item = codec::encode_tuple(tuple);
+                // Serialize the data item once into pooled scratch; each
+                // per-worker frame borrows it and adds only the header.
+                let mut item = self.pool.acquire();
+                codec::encode_tuple_into(&mut item, tuple);
                 for env in &p.remote {
-                    let body = WorkerMessage::encode_with_item(src, &env.dst_tasks, &item);
-                    let mut framed = BytesMut::with_capacity(1 + body.len());
-                    framed.put_u8(TAG_WORKER);
-                    framed.put_slice(&body);
-                    self.transmit(src, env.dst_worker, framed.freeze());
+                    self.transmit(src, env.dst_worker, |framed| {
+                        framed.put_u8(TAG_WORKER);
+                        WorkerMessage::encode_with_item_into(src, &env.dst_tasks, &item, framed);
+                    });
                 }
             }
         }
     }
 
-    fn transmit(&self, src: TaskId, dst_worker: WorkerId, framed: Bytes) {
+    fn transmit(&self, src: TaskId, dst_worker: WorkerId, fill: impl FnOnce(&mut BytesMut)) {
         let from = EndpointId(self.placement.worker_of(src).0);
         let to = EndpointId(dst_worker.0);
-        self.fabric_send(from, to, &framed);
+        self.send_frame(from, to, fill);
     }
 
-    /// Send one framed message, waiting out transient ring backpressure
-    /// (`Full` means posted descriptors outran the flusher, the bounded
-    /// transfer queue of the paper's model — yield and retry). Teardown
-    /// races (unknown or disconnected endpoints) are dropped here; the
-    /// fabric itself counts them in `send_errors`.
-    fn fabric_send(&self, from: EndpointId, to: EndpointId, framed: &Bytes) {
-        loop {
-            let result = if self.config.zero_copy {
-                let buf: Arc<[u8]> = Arc::from(&framed[..]);
-                self.fabric.send_shared(from, to, buf)
-            } else {
-                self.fabric.send_copied(from, to, framed)
-            };
-            match result {
-                Err(SendError::Full) => std::thread::yield_now(),
-                _ => return,
+    /// Encode one framed message into a pooled scratch buffer and send
+    /// it, waiting out transient ring backpressure (`Full` means posted
+    /// descriptors outran the flusher, the bounded transfer queue of the
+    /// paper's model — yield and retry). Zero-copy runs snapshot the
+    /// frame into a single shared wire buffer that every post and retry
+    /// reuses (the batch descriptor borrows it by reference — no
+    /// per-destination clone); copied runs pay the TCP copy tax per post.
+    /// Teardown races (unknown or disconnected endpoints) are dropped
+    /// here; the fabric itself counts them in `send_errors`.
+    fn send_frame(&self, from: EndpointId, to: EndpointId, fill: impl FnOnce(&mut BytesMut)) {
+        let mut scratch = self.pool.acquire();
+        fill(&mut scratch);
+        if self.config.zero_copy {
+            let buf = scratch.share();
+            drop(scratch); // scratch returns to the pool before any retry wait
+            loop {
+                match self.fabric.send_shared(from, to, Arc::clone(&buf)) {
+                    Err(SendError::Full) => std::thread::yield_now(),
+                    _ => return,
+                }
+            }
+        } else {
+            loop {
+                match self.fabric.send_copied(from, to, &scratch) {
+                    Err(SendError::Full) => std::thread::yield_now(),
+                    _ => return,
+                }
             }
         }
     }
@@ -563,14 +594,14 @@ impl Routing {
         node: u32,
         src: TaskId,
     ) {
-        let mut framed = BytesMut::with_capacity(17);
-        framed.put_u8(TAG_RELAY_EOS);
-        framed.put_u32_le(origin);
-        framed.put_u32_le(comp.0);
-        framed.put_u32_le(node);
-        framed.put_u32_le(src.0);
         let dst = relay_node_worker(origin, node, self.placement.workers());
-        self.fabric_send(EndpointId(from_worker), EndpointId(dst.0), &framed.freeze());
+        self.send_frame(EndpointId(from_worker), EndpointId(dst.0), |framed| {
+            framed.put_u8(TAG_RELAY_EOS);
+            framed.put_u32_le(origin);
+            framed.put_u32_le(comp.0);
+            framed.put_u32_le(node);
+            framed.put_u32_le(src.0);
+        });
     }
 
     /// A relay worker received an EOS frame: forward along the tree, then
@@ -626,14 +657,14 @@ impl Routing {
                         let _ = self.inboxes[&t].send(ExecMsg::Eos(src));
                     }
                 } else {
-                    let mut framed = BytesMut::with_capacity(1 + 8 + 4 * tasks.len());
-                    framed.put_u8(TAG_EOS);
-                    framed.put_u32_le(src.0);
-                    framed.put_u32_le(tasks.len() as u32);
-                    for t in &tasks {
-                        framed.put_u32_le(t.0);
-                    }
-                    self.transmit(src, worker, framed.freeze());
+                    self.transmit(src, worker, |framed| {
+                        framed.put_u8(TAG_EOS);
+                        framed.put_u32_le(src.0);
+                        framed.put_u32_le(tasks.len() as u32);
+                        for t in &tasks {
+                            framed.put_u32_le(t.0);
+                        }
+                    });
                 }
             }
         }
@@ -704,6 +735,10 @@ pub fn run_topology(topology: Topology, operators: Operators, config: LiveConfig
                 send_errors: 0,
                 batches_flushed: 0,
                 mean_batch_size: 0.0,
+                pool_hits: 0,
+                pool_misses: 0,
+                pool_high_watermark: 0,
+                pool_hit_rate: 0.0,
                 outcome: RunOutcome::ConfigError(err),
                 delivery_ns: Vec::new(),
             };
@@ -767,6 +802,7 @@ pub fn run_topology(topology: Topology, operators: Operators, config: LiveConfig
         config,
         relay_trees,
         fabric: Arc::clone(&fabric),
+        pool: BufferPool::default(),
         inboxes,
         stats: Arc::clone(&stats),
     });
@@ -898,6 +934,10 @@ pub fn run_topology(topology: Topology, operators: Operators, config: LiveConfig
                 fabric.flushed_items() as f64 / batches as f64
             }
         },
+        pool_hits: routing.pool.hits(),
+        pool_misses: routing.pool.misses(),
+        pool_high_watermark: routing.pool.high_watermark(),
+        pool_hit_rate: routing.pool.hit_rate(),
         outcome: if thread_panics > 0 {
             RunOutcome::Degraded { thread_panics }
         } else {
@@ -1428,6 +1468,7 @@ mod tests {
                 fabric: FabricKind::PerSend,
             },
             fabric: Arc::clone(&fabric) as Arc<dyn FabricPath>,
+            pool: BufferPool::default(),
             inboxes: HashMap::new(),
             stats: Arc::new(RunStats::default()),
             relay_trees: Vec::new(),
@@ -1489,6 +1530,32 @@ mod tests {
         let s = m.summary("dsps.delivery_ns").unwrap();
         assert!(s.count >= 50, "samples = {}", s.count);
         assert!(s.p99 >= s.p50);
+    }
+
+    #[test]
+    fn hot_path_reuses_pooled_encode_buffers() {
+        // 100 broadcast tuples to 8 instances across 4 machines produce
+        // hundreds of frames; the pool must serve almost all of them from
+        // reused buffers and every buffer must be back after the run.
+        for zero_copy in [true, false] {
+            let r = run(CommMode::WorkerOriented, zero_copy, 4, 8);
+            assert!(
+                r.pool_hits > 0,
+                "zero_copy={zero_copy}: buffers returned after use are reused"
+            );
+            assert!(
+                r.pool_hit_rate > 0.9,
+                "zero_copy={zero_copy}: steady state must stop allocating, \
+                 hit rate {:.3} (hits {}, misses {})",
+                r.pool_hit_rate,
+                r.pool_hits,
+                r.pool_misses
+            );
+            assert!(r.pool_high_watermark >= 1);
+            let m = r.metrics();
+            assert_eq!(m.counter("dsps.pool.hits"), Some(r.pool_hits));
+            assert!(m.gauge("dsps.pool.hit_rate").unwrap() > 0.9);
+        }
     }
 
     #[test]

@@ -252,6 +252,12 @@ pub struct SwitchDriverReport {
     /// Protocol frames the coordinator sent (status + control + deferred
     /// + shutdown).
     pub frames_sent: u64,
+    /// Distinct frames the coordinator serialized. Fan-out repeats a
+    /// frame to many destinations, so this is ≤ `frames_sent`: the
+    /// status broadcast is encoded once for all agents, each control
+    /// move once for every party it touches, and the deferred
+    /// `NewStructure` once for all uninvolved instances.
+    pub frames_encoded: u64,
     /// ACK frames the coordinator received.
     pub acks_received: u64,
     /// Coordinator metrics under `multicast.switch.*` (pending ACKs,
@@ -279,6 +285,51 @@ fn push(
             Err(SendError::Full) => std::thread::yield_now(),
             Err(e) => return Err(DriverError::Send(e)),
         }
+    }
+}
+
+/// Send one already-encoded frame by reference, retrying backpressure.
+/// Retries clone the `Arc`, never the bytes.
+fn push_shared(
+    fabric: &dyn FabricPath,
+    from: EndpointId,
+    to: EndpointId,
+    frame: &Arc<[u8]>,
+) -> Result<(), DriverError> {
+    loop {
+        match fabric.send_shared(from, to, Arc::clone(frame)) {
+            Ok(()) => return Ok(()),
+            Err(SendError::Full) => std::thread::yield_now(),
+            Err(e) => return Err(DriverError::Send(e)),
+        }
+    }
+}
+
+/// Serialize-once fan-out cache. The coordinator's send schedule repeats
+/// each frame to consecutive destinations (status broadcast to every
+/// agent, a control move to all parties it touches, the deferred
+/// structure to every uninvolved instance); caching the last encoded
+/// frame turns those N sends into one serialization shared N ways.
+struct FrameCache {
+    last: Option<(ProtocolMsg, Arc<[u8]>)>,
+    encoded: u64,
+}
+
+impl FrameCache {
+    fn new() -> Self {
+        FrameCache { last: None, encoded: 0 }
+    }
+
+    fn frame(&mut self, msg: &ProtocolMsg) -> Arc<[u8]> {
+        if let Some((cached, frame)) = &self.last {
+            if cached == msg {
+                return Arc::clone(frame);
+            }
+        }
+        let frame: Arc<[u8]> = encode_msg(msg).into();
+        self.encoded += 1;
+        self.last = Some((msg.clone(), Arc::clone(&frame)));
+        frame
     }
 }
 
@@ -339,13 +390,15 @@ pub fn run_switch_over_fabric(
         }));
     }
 
-    let run = || -> Result<(SwitchCoordinator, SimDuration, u64, u64), DriverError> {
+    let run = || -> Result<(SwitchCoordinator, SimDuration, u64, u64, u64), DriverError> {
         let (mut coord, outbox) = SwitchCoordinator::start(SimTime::ZERO, tree, new_d);
         let mut frames_sent = 0u64;
+        let mut cache = FrameCache::new();
         let mut send_to = |node: Node, msg: &ProtocolMsg| -> Result<(), DriverError> {
             let Node::Dest(i) = node else { return Ok(()) };
             frames_sent += 1;
-            push(fabric.as_ref(), COORDINATOR, agent_endpoint(i), &encode_msg(msg))
+            let frame = cache.frame(msg);
+            push_shared(fabric.as_ref(), COORDINATOR, agent_endpoint(i), &frame)
         };
         for (dst, msg) in &outbox {
             send_to(*dst, msg)?;
@@ -382,16 +435,18 @@ pub fn run_switch_over_fabric(
             }
         }
 
-        // Phase 4: deferred full-structure updates, then shutdown frames.
+        // Phase 4: deferred full-structure updates, then shutdown frames
+        // (one shared empty frame for every agent).
         for (dst, msg) in coord.deferred_notifications() {
             send_to(dst, &msg)?;
         }
+        let shutdown: Arc<[u8]> = Vec::new().into();
         for i in 0..n {
             frames_sent += 1;
-            push(fabric.as_ref(), COORDINATOR, agent_endpoint(i), &[])?;
+            push_shared(fabric.as_ref(), COORDINATOR, agent_endpoint(i), &shutdown)?;
         }
         fabric.flush();
-        Ok((coord, t_switch, frames_sent, acks_received))
+        Ok((coord, t_switch, frames_sent, cache.encoded, acks_received))
     };
     let result = run();
     if result.is_err() {
@@ -417,7 +472,7 @@ pub fn run_switch_over_fabric(
     for i in 0..n {
         fabric.deregister(agent_endpoint(i));
     }
-    let (coord, t_switch, frames_sent, acks_received) = result?;
+    let (coord, t_switch, frames_sent, frames_encoded, acks_received) = result?;
     if let Some(node) = panicked {
         return Err(DriverError::AgentPanicked(node));
     }
@@ -432,12 +487,14 @@ pub fn run_switch_over_fabric(
     let mut metrics = MetricsRegistry::new();
     coord.export_metrics(&mut metrics, "multicast.switch");
     metrics.set_counter("multicast.switch.frames_sent", frames_sent);
+    metrics.set_counter("multicast.switch.frames_encoded", frames_encoded);
     metrics.set_counter("multicast.switch.acks_received", acks_received);
     Ok(SwitchDriverReport {
         new_tree: coord.new_tree().clone(),
         t_switch,
         moves: coord.plan().moves.len(),
         frames_sent,
+        frames_encoded,
         acks_received,
         metrics,
     })
@@ -527,6 +584,20 @@ mod tests {
         );
         assert_eq!(report.metrics.gauge("multicast.switch.pending_acks"), Some(0.0));
         assert!(report.metrics.gauge("multicast.switch.t_switch_secs").unwrap() > 0.0);
+        // Serialize-once fan-out: the status broadcast alone repeats one
+        // frame to all 12 agents, so far fewer frames are encoded than
+        // sent (shutdown frames are shared too and encode nothing).
+        assert!(report.frames_encoded > 0);
+        assert!(
+            report.frames_encoded + 12 <= report.frames_sent,
+            "encoded {} of {} sent frames",
+            report.frames_encoded,
+            report.frames_sent
+        );
+        assert_eq!(
+            report.metrics.counter("multicast.switch.frames_encoded"),
+            Some(report.frames_encoded)
+        );
         // Endpoints released: the driver can run again on the same fabric.
         let again = run_switch_over_fabric(fabric, &report.new_tree, 4).unwrap();
         again.new_tree.validate(4).unwrap();

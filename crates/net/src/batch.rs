@@ -9,7 +9,7 @@
 use whale_sim::{MetricsRegistry, SimDuration, SimTime};
 
 /// Configuration of the stream-slicing batcher.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct BatchConfig {
     /// Max Memory Size: flush once this many bytes are buffered.
     pub mms: usize,

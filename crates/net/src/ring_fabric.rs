@@ -37,7 +37,7 @@ use std::time::{Duration, Instant};
 use whale_sim::{MetricsRegistry, SimTime};
 
 /// Configuration of the ring transport.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct RingConfig {
     /// Per-endpoint descriptor-ring capacity: the maximum number of posted
     /// but not yet delivered descriptors. Posts beyond it fail with
@@ -45,6 +45,18 @@ pub struct RingConfig {
     pub ring_capacity: usize,
     /// The MMS/WTL stream-slicing policy the flusher applies.
     pub batch: BatchConfig,
+    /// Live drain workers. Endpoints map to shards by
+    /// `EndpointId % flusher_shards`, so an endpoint's ring is always
+    /// drained by the same worker and per-endpoint FIFO order holds.
+    /// Deterministic [`RingFabric::pump`]/[`RingFabric::flush_at`] ignore
+    /// sharding and stay single-threaded. `0` is treated as `1`.
+    pub flusher_shards: usize,
+    /// Idle heartbeat of each flusher shard: the longest a lost doorbell
+    /// wakeup can stall a fully idle fabric.
+    pub idle_heartbeat: Duration,
+    /// Backoff while a bounded inbox stays full and a flusher pass makes
+    /// no delivery progress.
+    pub stall_backoff: Duration,
 }
 
 impl Default for RingConfig {
@@ -52,7 +64,22 @@ impl Default for RingConfig {
         RingConfig {
             ring_capacity: 64 * 1024,
             batch: BatchConfig::default(),
+            flusher_shards: 1,
+            idle_heartbeat: Duration::from_millis(5),
+            stall_backoff: Duration::from_micros(100),
         }
+    }
+}
+
+impl RingConfig {
+    /// Effective shard count (`flusher_shards`, minimum 1).
+    pub fn shard_count(&self) -> usize {
+        self.flusher_shards.max(1)
+    }
+
+    /// Stable endpoint→shard assignment.
+    pub fn shard_of(&self, id: EndpointId) -> usize {
+        id.0 as usize % self.shard_count()
     }
 }
 
@@ -113,7 +140,9 @@ impl Doorbell {
 pub struct RingFabric {
     config: RingConfig,
     endpoints: RwLock<HashMap<EndpointId, Arc<Mutex<EndpointRing>>>>,
-    doorbell: Doorbell,
+    /// One doorbell per flusher shard; posts ring only their endpoint's
+    /// shard so drain workers never wake for another shard's traffic.
+    doorbells: Vec<Doorbell>,
     copied_bytes: AtomicU64,
     shared_bytes: AtomicU64,
     messages: AtomicU64,
@@ -142,7 +171,7 @@ impl RingFabric {
         RingFabric {
             config,
             endpoints: RwLock::new(HashMap::new()),
-            doorbell: Doorbell::new(),
+            doorbells: (0..config.shard_count()).map(|_| Doorbell::new()).collect(),
             copied_bytes: AtomicU64::new(0),
             shared_bytes: AtomicU64::new(0),
             messages: AtomicU64::new(0),
@@ -226,7 +255,7 @@ impl RingFabric {
             ep.ring.push_back(msg);
         }
         self.posted.fetch_add(1, Ordering::Relaxed);
-        self.doorbell.ring();
+        self.doorbells[self.config.shard_of(to)].ring();
         Ok(())
     }
 
@@ -264,12 +293,16 @@ impl RingFabric {
         )
     }
 
-    /// Snapshot the endpoint slots in id order, so deterministic pumps
-    /// visit rings in a stable order.
-    fn slots(&self) -> Vec<Arc<Mutex<EndpointRing>>> {
+    /// Snapshot endpoint slots in id order, so deterministic pumps visit
+    /// rings in a stable order. `shard = None` selects every endpoint;
+    /// `Some(s)` only those assigned to shard `s`.
+    fn slots(&self, shard: Option<usize>) -> Vec<Arc<Mutex<EndpointRing>>> {
         let map = self.endpoints.read();
-        let mut ids: Vec<(EndpointId, Arc<Mutex<EndpointRing>>)> =
-            map.iter().map(|(id, s)| (*id, Arc::clone(s))).collect();
+        let mut ids: Vec<(EndpointId, Arc<Mutex<EndpointRing>>)> = map
+            .iter()
+            .filter(|(id, _)| shard.is_none_or(|s| self.config.shard_of(**id) == s))
+            .map(|(id, s)| (*id, Arc::clone(s)))
+            .collect();
         ids.sort_by_key(|(id, _)| *id);
         ids.into_iter().map(|(_, s)| s).collect()
     }
@@ -320,9 +353,24 @@ impl RingFabric {
     /// One flusher pass at time `now`: drain every ring into its batcher
     /// (size-triggered batches flush immediately), fire expired WTL timers,
     /// and deliver flushed items. Returns the number delivered.
+    ///
+    /// Deterministic mode: single-threaded, visits every endpoint in id
+    /// order regardless of `flusher_shards`, so virtual-clock delivery
+    /// traces are identical across shard counts.
     pub fn pump(&self, now: SimTime) -> u64 {
+        self.pump_slots(&self.slots(None), now)
+    }
+
+    /// [`RingFabric::pump`] restricted to the endpoints of one flusher
+    /// shard — the live drain workers call this so two shards never
+    /// contend on the same endpoint ring.
+    pub fn pump_shard(&self, shard: usize, now: SimTime) -> u64 {
+        self.pump_slots(&self.slots(Some(shard)), now)
+    }
+
+    fn pump_slots(&self, slots: &[Arc<Mutex<EndpointRing>>], now: SimTime) -> u64 {
         let mut delivered = 0;
-        for slot in self.slots() {
+        for slot in slots {
             let mut ep = slot.lock();
             while let Some(msg) = ep.ring.pop_front() {
                 let bytes = msg.payload.len();
@@ -344,8 +392,19 @@ impl RingFabric {
     /// batcher regardless of MMS/WTL and deliver (shutdown / end of a
     /// deterministic run). Returns the number delivered.
     pub fn flush_at(&self, now: SimTime) -> u64 {
-        let mut delivered = self.pump(now);
-        for slot in self.slots() {
+        self.flush_slots_at(None, now)
+    }
+
+    /// [`RingFabric::flush_at`] restricted to one flusher shard's
+    /// endpoints (live shard shutdown).
+    pub fn flush_shard_at(&self, shard: usize, now: SimTime) -> u64 {
+        self.flush_slots_at(Some(shard), now)
+    }
+
+    fn flush_slots_at(&self, shard: Option<usize>, now: SimTime) -> u64 {
+        let slots = self.slots(shard);
+        let mut delivered = self.pump_slots(&slots, now);
+        for slot in &slots {
             let mut ep = slot.lock();
             if let Some(batch) = ep.batcher.flush() {
                 self.note_batch(batch.items.len());
@@ -359,9 +418,20 @@ impl RingFabric {
     /// Earliest WTL deadline across endpoints; `SimTime::ZERO` if any ring
     /// or retry queue already holds work. `None` when fully idle.
     pub fn next_deadline(&self) -> Option<SimTime> {
+        self.next_deadline_for(None)
+    }
+
+    /// [`RingFabric::next_deadline`] restricted to one flusher shard's
+    /// endpoints.
+    pub fn next_deadline_shard(&self, shard: usize) -> Option<SimTime> {
+        self.next_deadline_for(Some(shard))
+    }
+
+    fn next_deadline_for(&self, shard: Option<usize>) -> Option<SimTime> {
         let map = self.endpoints.read();
-        map.values()
-            .filter_map(|slot| {
+        map.iter()
+            .filter(|(id, _)| shard.is_none_or(|s| self.config.shard_of(**id) == s))
+            .filter_map(|(_, slot)| {
                 let ep = slot.lock();
                 if !ep.ring.is_empty() || !ep.undelivered.is_empty() {
                     Some(SimTime::ZERO)
@@ -435,6 +505,10 @@ impl RingFabric {
         reg.set_gauge(
             &format!("{prefix}.endpoints"),
             self.endpoints.read().len() as f64,
+        );
+        reg.set_gauge(
+            &format!("{prefix}.flusher_shards"),
+            self.config.shard_count() as f64,
         );
     }
 }
@@ -511,23 +585,31 @@ impl FabricPath for RingFabric {
     }
 }
 
-/// Handle to a background flusher thread. Stop it (or drop it) to force a
-/// final flush and join the thread.
+/// Handle to the background flusher shards. Stop it (or drop it) to force
+/// a final flush and join every drain worker.
 pub struct RingFlusher {
     fabric: Arc<RingFabric>,
-    handle: Option<JoinHandle<()>>,
+    handles: Vec<JoinHandle<()>>,
 }
 
 impl RingFlusher {
-    /// Signal the flusher to drain everything and exit, then join it.
+    /// Signal every flusher shard to drain everything and exit, then join
+    /// them all.
     pub fn stop(mut self) {
         self.shutdown();
     }
 
+    /// Number of drain workers this flusher runs.
+    pub fn shard_count(&self) -> usize {
+        self.handles.len().max(1)
+    }
+
     fn shutdown(&mut self) {
         self.fabric.stopping.store(true, Ordering::SeqCst);
-        self.fabric.doorbell.ring();
-        if let Some(handle) = self.handle.take() {
+        for bell in &self.fabric.doorbells {
+            bell.ring();
+        }
+        for handle in self.handles.drain(..) {
             let _ = handle.join();
         }
     }
@@ -539,37 +621,41 @@ impl Drop for RingFlusher {
     }
 }
 
-/// Spawn the background flusher: it waits on the doorbell, pumps on every
-/// post, honours WTL deadlines between posts, and force-flushes on stop.
+/// Spawn the background flusher: one drain worker per
+/// [`RingConfig::flusher_shards`], each waiting on its shard's doorbell,
+/// pumping its shard's rings on every post, honouring WTL deadlines
+/// between posts, and force-flushing its shard on stop. An endpoint is
+/// always drained by the same shard, so per-endpoint FIFO order holds.
 pub fn spawn_flusher(fabric: Arc<RingFabric>) -> RingFlusher {
-    let worker = Arc::clone(&fabric);
-    let handle = std::thread::Builder::new()
-        .name("ring-flusher".into())
-        .spawn(move || flusher_loop(&worker))
-        .expect("spawn ring flusher");
-    RingFlusher {
-        fabric,
-        handle: Some(handle),
-    }
+    let handles = (0..fabric.config.shard_count())
+        .map(|shard| {
+            let worker = Arc::clone(&fabric);
+            std::thread::Builder::new()
+                .name(format!("ring-flusher-{shard}"))
+                .spawn(move || flusher_loop(&worker, shard))
+                .expect("spawn ring flusher shard")
+        })
+        .collect();
+    RingFlusher { fabric, handles }
 }
 
-fn flusher_loop(fabric: &RingFabric) {
+fn flusher_loop(fabric: &RingFabric, shard: usize) {
     // Idle heartbeat so a lost wakeup can never stall the fabric for long.
-    const IDLE: Duration = Duration::from_millis(5);
+    let idle = fabric.config.idle_heartbeat;
     // Backoff while a bounded inbox stays full (delivery made no progress).
-    const STALLED: Duration = Duration::from_micros(100);
+    let stalled = fabric.config.stall_backoff;
     loop {
-        let delivered = fabric.pump(fabric.wall_now());
+        let delivered = fabric.pump_shard(shard, fabric.wall_now());
         if fabric.stopping.load(Ordering::SeqCst) {
-            fabric.flush_at(fabric.wall_now());
+            fabric.flush_shard_at(shard, fabric.wall_now());
             return;
         }
-        let wait = match fabric.next_deadline() {
+        let wait = match fabric.next_deadline_shard(shard) {
             Some(deadline) => {
                 let now = fabric.wall_now();
                 if deadline <= now {
                     if delivered == 0 {
-                        STALLED
+                        stalled
                     } else {
                         // More work is already due; pump again immediately.
                         continue;
@@ -578,9 +664,9 @@ fn flusher_loop(fabric: &RingFabric) {
                     Duration::from_nanos(deadline.as_nanos() - now.as_nanos())
                 }
             }
-            None => IDLE,
+            None => idle,
         };
-        fabric.doorbell.wait(wait);
+        fabric.doorbells[shard].wait(wait);
     }
 }
 
@@ -645,6 +731,7 @@ mod tests {
                 mms,
                 wtl: SimDuration::from_millis(wtl_ms),
             },
+            ..RingConfig::default()
         }
     }
 
@@ -940,6 +1027,163 @@ mod tests {
             assert_eq!(instance.fabric.messages(), 1);
             instance.shutdown();
         }
+    }
+
+    #[test]
+    fn config_round_trips_flusher_fields_with_current_defaults() {
+        let d = RingConfig::default();
+        assert_eq!(d.flusher_shards, 1);
+        assert_eq!(d.idle_heartbeat, Duration::from_millis(5));
+        assert_eq!(d.stall_backoff, Duration::from_micros(100));
+
+        let custom = RingConfig {
+            flusher_shards: 4,
+            idle_heartbeat: Duration::from_millis(1),
+            stall_backoff: Duration::from_micros(10),
+            ..RingConfig::default()
+        };
+        // The config must survive the fabric and the flusher unchanged.
+        let fabric = Arc::new(RingFabric::new(custom));
+        assert_eq!(fabric.config(), custom);
+        let flusher = spawn_flusher(Arc::clone(&fabric));
+        assert_eq!(flusher.shard_count(), 4);
+        flusher.stop();
+        // Zero shards degrades to one worker, never zero.
+        assert_eq!(
+            RingConfig {
+                flusher_shards: 0,
+                ..RingConfig::default()
+            }
+            .shard_count(),
+            1
+        );
+    }
+
+    #[test]
+    fn shard_assignment_is_stable_and_covers_all_shards() {
+        let c = RingConfig {
+            flusher_shards: 4,
+            ..RingConfig::default()
+        };
+        for id in 0..64u32 {
+            let shard = c.shard_of(EndpointId(id));
+            assert!(shard < 4);
+            assert_eq!(shard, c.shard_of(EndpointId(id)), "assignment is stable");
+        }
+        let hit: std::collections::HashSet<usize> =
+            (0..8u32).map(|id| c.shard_of(EndpointId(id))).collect();
+        assert_eq!(hit.len(), 4, "8 consecutive ids cover all 4 shards");
+    }
+
+    /// Deterministic-mode regression: the virtual-clock delivery trace
+    /// must be identical before and after sharding, because `pump` /
+    /// `flush_at` stay single-threaded over every endpoint.
+    #[test]
+    fn pump_trace_is_identical_across_shard_counts() {
+        fn trace(shards: usize) -> Vec<Vec<(u32, u8)>> {
+            let fabric = RingFabric::new(RingConfig {
+                flusher_shards: shards,
+                ring_capacity: 1024,
+                batch: BatchConfig {
+                    mms: 64,
+                    wtl: SimDuration::from_millis(1),
+                },
+                ..RingConfig::default()
+            });
+            let rxs: Vec<_> = (0..5u32)
+                .map(|d| fabric.register(EndpointId(d)).unwrap())
+                .collect();
+            let mut now = SimTime::ZERO;
+            for seq in 0..40u8 {
+                for d in 0..5u32 {
+                    fabric
+                        .send_copied(EndpointId(100), EndpointId(d), &[seq; 20])
+                        .unwrap();
+                }
+                fabric.pump(now);
+                now += SimDuration::from_micros(100);
+            }
+            fabric.flush_at(now);
+            rxs.iter()
+                .map(|rx| {
+                    std::iter::from_fn(|| rx.try_recv().ok())
+                        .map(|m| (m.from.0, m.payload.bytes()[0]))
+                        .collect()
+                })
+                .collect()
+        }
+        let unsharded = trace(1);
+        assert_eq!(unsharded, trace(2));
+        assert_eq!(unsharded, trace(4));
+        assert!(unsharded.iter().all(|per_ep| per_ep.len() == 40));
+    }
+
+    #[test]
+    fn multi_shard_stress_keeps_per_endpoint_fifo() {
+        const SENDERS: u32 = 4;
+        const ENDPOINTS: u32 = 6;
+        const PER_PAIR: u32 = 500;
+        let fabric = Arc::new(RingFabric::new(RingConfig {
+            ring_capacity: (SENDERS * PER_PAIR) as usize,
+            batch: BatchConfig {
+                mms: 2 * 1024,
+                wtl: SimDuration::from_millis(1),
+            },
+            flusher_shards: 4,
+            ..RingConfig::default()
+        }));
+        let flusher = spawn_flusher(Arc::clone(&fabric));
+        assert_eq!(flusher.shard_count(), 4);
+        let rxs: Vec<_> = (0..ENDPOINTS)
+            .map(|d| fabric.register(EndpointId(d)).unwrap())
+            .collect();
+
+        let producers: Vec<_> = (1..=SENDERS)
+            .map(|s| {
+                let f = Arc::clone(&fabric);
+                std::thread::spawn(move || {
+                    for seq in 0..PER_PAIR {
+                        for d in 0..ENDPOINTS {
+                            let frame = [(100 + s).to_le_bytes(), seq.to_le_bytes()].concat();
+                            loop {
+                                match f.send_copied(EndpointId(100 + s), EndpointId(d), &frame) {
+                                    Ok(()) => break,
+                                    Err(SendError::Full) => std::thread::yield_now(),
+                                    Err(e) => panic!("unexpected send error: {e}"),
+                                }
+                            }
+                        }
+                    }
+                })
+            })
+            .collect();
+        for p in producers {
+            p.join().unwrap();
+        }
+
+        for rx in &rxs {
+            let mut next_seq = vec![0u32; SENDERS as usize + 1];
+            for _ in 0..SENDERS * PER_PAIR {
+                let msg = rx
+                    .recv_timeout(Duration::from_secs(10))
+                    .expect("every accepted post is delivered");
+                let bytes = msg.payload.bytes();
+                let s = u32::from_le_bytes(bytes[0..4].try_into().unwrap()) - 100;
+                let seq = u32::from_le_bytes(bytes[4..8].try_into().unwrap());
+                assert_eq!(
+                    seq, next_seq[s as usize],
+                    "per-(sender, endpoint) FIFO order under 4 shards"
+                );
+                next_seq[s as usize] = seq + 1;
+            }
+            assert!(rx.try_recv().is_err(), "no duplicated descriptors");
+        }
+        assert_eq!(
+            fabric.messages(),
+            (SENDERS * ENDPOINTS * PER_PAIR) as u64,
+            "lossless across shards"
+        );
+        flusher.stop();
     }
 
     #[test]
