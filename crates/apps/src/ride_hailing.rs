@@ -363,6 +363,7 @@ mod tests {
                 multicast_d_star: None,
                 dedicated_senders: false,
                 fabric: whale_dsps::FabricKind::PerSend,
+                ..whale_dsps::LiveConfig::default()
             },
         );
         // matching executes 200 locations (key-grouped once each) +

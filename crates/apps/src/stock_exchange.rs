@@ -334,6 +334,7 @@ mod tests {
                 multicast_d_star: None,
                 dedicated_senders: false,
                 fabric: whale_dsps::FabricKind::PerSend,
+                ..whale_dsps::LiveConfig::default()
             },
         );
         // Source emitted everything; splits each saw all 2000.

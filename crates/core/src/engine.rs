@@ -305,6 +305,12 @@ struct World {
     multicast: MulticastTracker,
     completions: Vec<(SimTime, SimDuration)>,
     queue_series: TimeSeries,
+    /// Per-monitor-tick snapshots of the progress counters (sourced,
+    /// completed, dropped) — the run's health as a function of time, not
+    /// just its final totals.
+    sourced_series: TimeSeries,
+    completed_series: TimeSeries,
+    dropped_series: TimeSeries,
     load_sum: f64,
     load_samples: u64,
     source_tx_bytes: u64,
@@ -401,6 +407,9 @@ impl World {
             multicast: MulticastTracker::new(),
             completions: Vec::new(),
             queue_series: TimeSeries::new(),
+            sourced_series: TimeSeries::new(),
+            completed_series: TimeSeries::new(),
+            dropped_series: TimeSeries::new(),
             load_sum: 0.0,
             load_samples: 0,
             source_tx_bytes: 0,
@@ -698,6 +707,10 @@ impl World {
         let report = self.monitor.sample(now, self.queue.len());
         if self.cfg.record_series {
             self.queue_series.push(now, self.queue.len() as f64);
+            self.sourced_series.push(now, self.tuples_sourced as f64);
+            self.completed_series
+                .push(now, self.latency.completed_count() as f64);
+            self.dropped_series.push(now, self.dropped as f64);
         }
         self.load_sum += self.queue.len() as f64 / self.queue.capacity() as f64;
         self.load_samples += 1;
@@ -913,6 +926,9 @@ pub fn run(cfg: EngineConfig) -> EngineReport {
         metrics.set_series("engine.queue.depth", &w.queue_series);
         metrics.set_series("engine.throughput_series", &throughput_series);
         metrics.set_series("engine.latency_ms_series", &latency_series);
+        metrics.set_series("engine.sourced_series", &w.sourced_series);
+        metrics.set_series("engine.completed_series", &w.completed_series);
+        metrics.set_series("engine.dropped_series", &w.dropped_series);
     }
     metrics.set_counter("multicast.switches", w.switches.len() as u64);
     if let Some(&(_, d, delay)) = w.switches.last() {
@@ -1099,6 +1115,22 @@ mod tests {
         assert!(r.completed > 300, "completed={}", r.completed);
         assert!(r.mean_load_factor < 0.05);
         assert!(!r.queue_series.is_empty());
+        // Progress counters are snapshotted every monitor tick: the
+        // sourced/completed curves climb to the final totals and the
+        // dropped curve stays flat at zero.
+        let series = |name: &str| -> Vec<(f64, f64)> {
+            match r.metrics.get(name) {
+                Some(whale_sim::MetricValue::Series(pts)) => pts.clone(),
+                other => panic!("{name} must be a series, got {other:?}"),
+            }
+        };
+        let sourced = series("engine.sourced_series");
+        assert!(sourced.len() > 10, "ticks recorded: {}", sourced.len());
+        let climbs = sourced.windows(2).all(|w| w[0].1 <= w[1].1);
+        assert!(climbs, "sourced snapshots must be monotonic");
+        let done = series("engine.completed_series");
+        assert!(done.last().unwrap().1 <= r.completed as f64);
+        assert!(series("engine.dropped_series").iter().all(|&(_, v)| v == 0.0));
     }
 
     #[test]

@@ -101,6 +101,33 @@ impl Acker {
         expired
     }
 
+    /// Like [`Acker::expire`], but only fails trees whose root id
+    /// satisfies `matches` — lets each spout of a shared acker expire
+    /// its own tuples without failing a sibling's.
+    pub fn expire_matching(
+        &mut self,
+        now: SimTime,
+        matches: impl Fn(u64) -> bool,
+    ) -> Vec<u64> {
+        let timeout = self.timeout;
+        let expired: Vec<u64> = self
+            .entries
+            .iter()
+            .filter(|(&id, e)| matches(id) && now.since(e.started) > timeout)
+            .map(|(&id, _)| id)
+            .collect();
+        for id in &expired {
+            self.entries.remove(id);
+            self.failed += 1;
+        }
+        expired
+    }
+
+    /// True while `root_id` is still tracked (neither acked nor failed).
+    pub fn contains(&self, root_id: u64) -> bool {
+        self.entries.contains_key(&root_id)
+    }
+
     /// Trees still pending.
     pub fn pending(&self) -> usize {
         self.entries.len()
@@ -238,6 +265,21 @@ mod tests {
         assert_eq!(a.ack(1, 0xAA), TreeState::Failed);
         // Tree 2 can still complete.
         assert_eq!(a.ack(2, 0xBB), TreeState::Acked);
+    }
+
+    #[test]
+    fn expire_matching_spares_other_owners() {
+        let mut a = Acker::new(SimDuration::from_millis(100));
+        a.init(1, 0xAA, SimTime::ZERO);
+        a.init(2, 0xBB, SimTime::ZERO);
+        let failed = a.expire_matching(SimTime::from_millis(500), |id| id == 1);
+        assert_eq!(failed, vec![1]);
+        assert!(!a.contains(1));
+        assert!(a.contains(2));
+        assert_eq!(a.failed(), 1);
+        // The unmatched tree is still live and completable.
+        assert_eq!(a.ack(2, 0xBB), TreeState::Acked);
+        assert!(!a.contains(2));
     }
 
     #[test]

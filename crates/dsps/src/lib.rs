@@ -35,7 +35,10 @@ pub use operator::{
     Bolt, BoltFactory, Emitter, FnBolt, IterSpout, Spout, SpoutFactory, VecEmitter,
 };
 pub use pool::{BufferPool, PoolConfig, PooledBuf};
-pub use runtime::{run_topology, BuildError, LiveConfig, Operators, RunOutcome, RunReport};
+pub use runtime::{
+    run_topology, AckConfig, BuildError, LiveConfig, Operators, RunOutcome, RunReport,
+    TimelineSample,
+};
 pub use whale_net::{FabricKind, RingConfig};
 pub use scheduler::{Placement, WorkerId};
 pub use task::{ComponentId, TaskId, TaskTable};

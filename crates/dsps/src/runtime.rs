@@ -13,6 +13,7 @@
 //! destination worker (Whale), and `zero_copy` selects RDMA-style shared
 //! buffers vs TCP-style copies on the fabric.
 
+use crate::acker::Acker;
 use crate::codec::{self, InstanceMessage, WorkerMessage};
 use crate::grouping::GroupingExec;
 use crate::messaging::{plan, CommMode};
@@ -25,12 +26,15 @@ use crate::tuple::Tuple;
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::Mutex;
-use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 use whale_multicast::{build_nonblocking, MulticastTree, Node};
-use whale_net::{ClusterSpec, EndpointId, FabricKind, FabricPath, SendError};
+use whale_net::{
+    ClusterSpec, EndpointId, FabricKind, FabricPath, FaultFabric, FaultPlan, SendError, SendPolicy,
+};
+use whale_sim::{SimDuration, SimTime};
 
 /// Message tags on the live fabric.
 const TAG_INSTANCE: u8 = 1;
@@ -43,19 +47,62 @@ const TAG_RELAY: u8 = 4;
 /// cannot overtake in-flight tuples:
 /// `origin_worker | to_component | node_index | src_task`.
 const TAG_RELAY_EOS: u8 = 5;
+/// An acker-tracked worker-oriented frame: `tracked u64 | WorkerMessage`.
+/// Anchors are not carried: each side derives the per-destination anchor
+/// from `(tracked, dst_task)` with [`anchor_for`].
+const TAG_WORKER_TRACKED: u8 = 6;
+/// An acker-tracked instance-oriented frame: `tracked u64 | InstanceMessage`.
+const TAG_INSTANCE_TRACKED: u8 = 7;
+
+/// Tracked ids pack a replay attempt above [`ROOT_BITS`] bits of root id,
+/// so every replay re-registers under a fresh ledger key while sinks
+/// dedup on the stable root.
+const ROOT_BITS: u32 = 48;
+const ROOT_MASK: u64 = (1 << ROOT_BITS) - 1;
+
+/// The root id a tracked id belongs to (stable across replays).
+fn root_of(tracked: u64) -> u64 {
+    tracked & ROOT_MASK
+}
+
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// The XOR-ledger anchor of destination `dst` within tree `tracked` — a
+/// pure function, so the sender arms the ledger and the receiver acks it
+/// without the anchor ever traveling on the wire. Never zero (a zero
+/// anchor would be an XOR no-op).
+fn anchor_for(tracked: u64, dst: TaskId) -> u64 {
+    splitmix64(tracked ^ splitmix64(dst.0 as u64 + 1)).max(1)
+}
+
+/// Acker bookkeeping attached to a tracked tuple delivery.
+#[derive(Clone, Copy, Debug)]
+struct AckTag {
+    /// Ledger key: `attempt << ROOT_BITS | root`.
+    tracked: u64,
+    /// This destination's XOR anchor.
+    anchor: u64,
+}
 
 /// What an executor receives in its incoming queue.
 enum ExecMsg {
-    /// A data tuple (shared: one deserialization per worker).
-    Data(Arc<Tuple>),
+    /// A data tuple (shared: one deserialization per worker), with acker
+    /// bookkeeping when the run tracks deliveries.
+    Data(Arc<Tuple>, Option<AckTag>),
     /// End-of-stream from one upstream task.
     Eos(TaskId),
 }
 
 /// What a task pushes to its dedicated sending thread.
 enum SendMsg {
-    /// An emitted tuple to route and transmit.
-    Data(Tuple),
+    /// An emitted tuple to route and transmit, with its tracked id when
+    /// the run tracks deliveries.
+    Data(Tuple, Option<u64>),
     /// The task has finished: flush and broadcast EOS, then exit.
     Eos,
 }
@@ -68,11 +115,11 @@ enum Outbox {
 }
 
 impl Outbox {
-    fn emit(&mut self, routing: &Routing, src: TaskId, tuple: Tuple) {
+    fn emit(&mut self, routing: &Routing, src: TaskId, tuple: Tuple, tracked: Option<u64>) {
         match self {
-            Outbox::Inline(groupings) => routing.emit(src, groupings, tuple),
+            Outbox::Inline(groupings) => routing.emit(src, groupings, tuple, tracked),
             Outbox::Queued(tx) => {
-                let _ = tx.send(SendMsg::Data(tuple));
+                let _ = tx.send(SendMsg::Data(tuple, tracked));
             }
         }
     }
@@ -95,7 +142,7 @@ fn sender_loop(task: TaskId, comp: ComponentId, rx: Receiver<SendMsg>, routing: 
     let mut groupings = build_groupings(&routing.topology, comp);
     while let Ok(msg) = rx.recv() {
         match msg {
-            SendMsg::Data(t) => routing.emit(task, &mut groupings, t),
+            SendMsg::Data(t, tracked) => routing.emit(task, &mut groupings, t, tracked),
             SendMsg::Eos => {
                 routing.broadcast_eos(task);
                 return;
@@ -145,6 +192,28 @@ pub struct LiveConfig {
     /// per-send delivery, or descriptors posted to per-endpoint rings and
     /// flushed in MMS/WTL batches (the paper's stream slicing, §4).
     pub fabric: FabricKind,
+    /// Bounded retry schedule for backpressured sends. The default parks
+    /// up to 5 s before declaring a frame failed; a run can never
+    /// livelock on a dead flusher.
+    pub send: SendPolicy,
+    /// At-least-once delivery tracking (Storm's XOR acker wired into the
+    /// live path). `None` (the default) runs exactly the untracked wire
+    /// protocol; `Some` tracks every spout emission to its first-hop
+    /// subscribers, replays expired trees, and dedups replays at the
+    /// executors by root id.
+    pub ack: Option<AckConfig>,
+    /// Deterministic fault injection: when set, the run's fabric is
+    /// wrapped in a [`FaultFabric`] driven by this plan, and the injected
+    /// fault counters surface in the [`RunReport`].
+    pub fault: Option<FaultPlan>,
+    /// Liveness backstop: executors give up waiting for traffic (EOS
+    /// included) this long after the run starts, so a lost EOS frame can
+    /// degrade the run but never hang it. `None` waits forever.
+    pub run_deadline: Option<Duration>,
+    /// Snapshot the run's counters at this interval into
+    /// [`RunReport::timeline`], so long runs show *when* things happened
+    /// rather than only end-of-run totals. `None` records no timeline.
+    pub monitor_interval: Option<Duration>,
 }
 
 impl Default for LiveConfig {
@@ -156,6 +225,43 @@ impl Default for LiveConfig {
             multicast_d_star: None,
             dedicated_senders: false,
             fabric: FabricKind::PerSend,
+            send: SendPolicy::default(),
+            ack: None,
+            fault: None,
+            run_deadline: None,
+            monitor_interval: None,
+        }
+    }
+}
+
+/// At-least-once tracking configuration (see [`LiveConfig::ack`]).
+#[derive(Clone, Copy, Debug)]
+pub struct AckConfig {
+    /// How long a tuple tree may stay incomplete before it is failed and
+    /// replayed (Storm's `topology.message.timeout.secs`).
+    pub timeout: Duration,
+    /// Replay attempts per tuple before giving up and counting it in
+    /// [`RunReport::tuples_failed`].
+    pub max_replays: u32,
+    /// Hard bound on the spout's post-emission drain loop; pending
+    /// tuples left at the deadline are failed, never waited on forever.
+    pub drain_deadline: Duration,
+    /// Sleep between drain-loop passes.
+    pub poll_interval: Duration,
+    /// Send each remote EOS frame this many times. The receiver's EOS
+    /// accounting is idempotent, so redundancy costs only bytes and buys
+    /// EOS survival under drop faults.
+    pub eos_redundancy: u32,
+}
+
+impl Default for AckConfig {
+    fn default() -> Self {
+        AckConfig {
+            timeout: Duration::from_millis(250),
+            max_replays: 8,
+            drain_deadline: Duration::from_secs(30),
+            poll_interval: Duration::from_millis(1),
+            eos_redundancy: 1,
         }
     }
 }
@@ -188,11 +294,20 @@ pub enum RunOutcome {
     /// The topology never ran: validation failed before any thread was
     /// spawned, and the report carries all-zero counters.
     ConfigError(BuildError),
-    /// The run completed and tore down in order, but some executor or
-    /// dispatcher threads panicked along the way.
+    /// The run completed and tore down in order, but lost something along
+    /// the way: panicking threads, frames whose bounded send retries
+    /// exhausted, tuples that ran out of replays, or executors that hit
+    /// the run deadline still waiting for traffic. Nothing here is
+    /// silent — every loss is counted.
     Degraded {
         /// Number of threads that panicked.
         thread_panics: u64,
+        /// Frames dropped after the send policy's deadline exhausted.
+        failed_sends: u64,
+        /// Tracked tuples that exhausted their replay budget.
+        failed_tuples: u64,
+        /// Executors that exited on [`LiveConfig::run_deadline`].
+        deadline_exits: u64,
     },
 }
 
@@ -217,10 +332,56 @@ pub struct RunStats {
     /// Malformed, truncated, or unroutable fabric frames dropped by the
     /// dispatchers instead of crashing the worker.
     pub dropped_frames: AtomicU64,
+    /// Backpressure retries performed under the send policy.
+    pub send_retries: AtomicU64,
+    /// Frames dropped after the send policy's deadline exhausted.
+    pub send_failed: AtomicU64,
+    /// Executors that exited on the run deadline instead of EOS.
+    pub deadline_exits: AtomicU64,
     /// Emission instants of sampled tuple ids (delivery-latency probes).
     pub emit_times: Mutex<HashMap<u64, Instant>>,
     /// Spout-to-execute delivery latencies of sampled tuples (ns).
     pub delivery_ns: Mutex<Vec<u64>>,
+}
+
+/// The shared at-least-once machinery of one tracked run.
+struct AckRuntime {
+    config: AckConfig,
+    acker: Mutex<Acker>,
+    /// Wall-clock epoch backing the acker's [`SimTime`] clock.
+    epoch: Instant,
+    /// Next root id (roots stay below `2^ROOT_BITS`).
+    next_root: AtomicU64,
+    /// Roots fully delivered (ledger hit zero, observed by their spout).
+    acked: AtomicU64,
+    /// Roots given up on after the replay budget or drain deadline.
+    failed: AtomicU64,
+    /// Replay emissions performed.
+    replayed: AtomicU64,
+    /// Duplicate deliveries suppressed at executors (same root seen
+    /// again: a replay that raced the original, or a duplicated frame).
+    dedup_dropped: AtomicU64,
+}
+
+impl AckRuntime {
+    fn new(config: AckConfig) -> Self {
+        let timeout = SimDuration::from_nanos((config.timeout.as_nanos() as u64).max(1));
+        AckRuntime {
+            config,
+            acker: Mutex::new(Acker::new(timeout)),
+            epoch: Instant::now(),
+            next_root: AtomicU64::new(1),
+            acked: AtomicU64::new(0),
+            failed: AtomicU64::new(0),
+            replayed: AtomicU64::new(0),
+            dedup_dropped: AtomicU64::new(0),
+        }
+    }
+
+    /// Now on the acker's clock.
+    fn now(&self) -> SimTime {
+        SimTime::from_nanos(self.epoch.elapsed().as_nanos() as u64)
+    }
 }
 
 /// Every `LATENCY_SAMPLE`-th tracked tuple is timed from spout emission to
@@ -268,10 +429,64 @@ pub struct RunReport {
     /// Pool hits over total acquires (≈ 1.0 once warm: the steady-state
     /// hot path allocates nothing).
     pub pool_hit_rate: f64,
+    /// Backpressure retries performed under the send policy.
+    pub send_retries: u64,
+    /// Frames dropped after the send policy's deadline exhausted (these
+    /// degrade the run; teardown races do not).
+    pub send_failed: u64,
+    /// Executors that exited on [`LiveConfig::run_deadline`].
+    pub deadline_exits: u64,
+    /// Tracked tuples fully delivered (ack runs only).
+    pub tuples_acked: u64,
+    /// Tracked tuples given up on after the replay budget (ack runs only).
+    pub tuples_failed: u64,
+    /// Replay emissions performed (ack runs only).
+    pub tuples_replayed: u64,
+    /// Duplicate deliveries suppressed at executors by root-id dedup.
+    pub dedup_dropped: u64,
+    /// Frames silently dropped by injected drop faults.
+    pub fault_drops: u64,
+    /// Frames duplicated by injected faults.
+    pub fault_duplicates: u64,
+    /// Frames parked by injected delay faults.
+    pub fault_delayed: u64,
+    /// Sends rejected by injected `Full` bursts.
+    pub fault_full_injected: u64,
+    /// Frames lost inside injected partition windows.
+    pub fault_partition_drops: u64,
+    /// Sends rejected because an injected crash took the destination.
+    pub fault_crashed_sends: u64,
+    /// Periodic counter snapshots (empty unless
+    /// [`LiveConfig::monitor_interval`] is set).
+    pub timeline: Vec<TimelineSample>,
     /// Structured shutdown reason.
     pub outcome: RunOutcome,
     /// Sampled spout-to-execute delivery latencies (ns), unordered.
     pub delivery_ns: Vec<u64>,
+}
+
+/// One periodic snapshot of a live run's counters (see
+/// [`LiveConfig::monitor_interval`]).
+#[derive(Clone, Copy, Debug)]
+pub struct TimelineSample {
+    /// Wall-clock offset from run start.
+    pub at: Duration,
+    /// Tuples emitted by spouts so far.
+    pub spout_emitted: u64,
+    /// Tuples executed so far (all components).
+    pub executed: u64,
+    /// Fabric messages delivered so far.
+    pub fabric_messages: u64,
+    /// Fabric send errors so far (includes injected faults).
+    pub send_errors: u64,
+    /// Backpressure retries so far.
+    pub send_retries: u64,
+    /// Tracked tuples acked so far (0 on untracked runs).
+    pub acked: u64,
+    /// Tracked tuples failed so far (0 on untracked runs).
+    pub failed: u64,
+    /// Replays performed so far (0 on untracked runs).
+    pub replayed: u64,
 }
 
 impl RunReport {
@@ -317,6 +532,39 @@ impl RunReport {
         reg.set_counter("dsps.pool.misses", self.pool_misses);
         reg.set_gauge("dsps.pool.high_watermark", self.pool_high_watermark as f64);
         reg.set_gauge("dsps.pool.hit_rate", self.pool_hit_rate);
+        reg.set_counter("dsps.send.retries", self.send_retries);
+        reg.set_counter("dsps.send.failed", self.send_failed);
+        reg.set_counter("dsps.deadline_exits", self.deadline_exits);
+        reg.set_counter("dsps.ack.acked", self.tuples_acked);
+        reg.set_counter("dsps.ack.failed", self.tuples_failed);
+        reg.set_counter("dsps.ack.replayed", self.tuples_replayed);
+        reg.set_counter("dsps.ack.dedup_dropped", self.dedup_dropped);
+        reg.set_counter("dsps.fault.drops", self.fault_drops);
+        reg.set_counter("dsps.fault.duplicates", self.fault_duplicates);
+        reg.set_counter("dsps.fault.delayed", self.fault_delayed);
+        reg.set_counter("dsps.fault.full_injected", self.fault_full_injected);
+        reg.set_counter("dsps.fault.partition_drops", self.fault_partition_drops);
+        reg.set_counter("dsps.fault.crashed_sends", self.fault_crashed_sends);
+        if !self.timeline.is_empty() {
+            use whale_sim::TimeSeries;
+            type SampleField = fn(&TimelineSample) -> u64;
+            let mut by_metric: Vec<(&str, SampleField)> = Vec::new();
+            by_metric.push(("dsps.timeline.spout_emitted", |s| s.spout_emitted));
+            by_metric.push(("dsps.timeline.executed", |s| s.executed));
+            by_metric.push(("dsps.timeline.fabric_messages", |s| s.fabric_messages));
+            by_metric.push(("dsps.timeline.send_errors", |s| s.send_errors));
+            by_metric.push(("dsps.timeline.send_retries", |s| s.send_retries));
+            by_metric.push(("dsps.timeline.acked", |s| s.acked));
+            by_metric.push(("dsps.timeline.failed", |s| s.failed));
+            by_metric.push(("dsps.timeline.replayed", |s| s.replayed));
+            for (name, f) in by_metric {
+                let mut ts = TimeSeries::new();
+                for s in &self.timeline {
+                    ts.push(SimTime::from_nanos(s.at.as_nanos() as u64), f(s) as f64);
+                }
+                reg.set_series(name, &ts);
+            }
+        }
         reg.set_gauge(
             "dsps.clean",
             if self.outcome.is_clean() { 1.0 } else { 0.0 },
@@ -379,6 +627,8 @@ struct Routing {
     /// Inboxes of every task (senders usable only for local delivery).
     inboxes: HashMap<TaskId, Sender<ExecMsg>>,
     stats: Arc<RunStats>,
+    /// At-least-once machinery; `None` runs untracked.
+    ack: Option<AckRuntime>,
     /// Per-origin-worker multicast trees over the *other* workers
     /// (node index i = the i-th worker id excluding the origin), built
     /// once when `multicast_d_star` is set.
@@ -396,18 +646,38 @@ fn relay_node_worker(origin: u32, node: u32, n_workers: u32) -> WorkerId {
 impl Routing {
     /// Send one tuple from `src` to routed destinations of every
     /// downstream edge. `groupings` carries the per-task grouping state.
-    fn emit(&self, src: TaskId, groupings: &mut [(ComponentId, GroupingExec)], tuple: Tuple) {
+    /// A `tracked` id pre-registered with the acker is armed here: one
+    /// anchor per destination, XOR'd into the ledger atomically after
+    /// every destination is known (an empty destination set arms to zero
+    /// and acks immediately).
+    fn emit(
+        &self,
+        src: TaskId,
+        groupings: &mut [(ComponentId, GroupingExec)],
+        tuple: Tuple,
+        tracked: Option<u64>,
+    ) {
         let shared = Arc::new(tuple);
+        let mut arm_xor = 0u64;
         for (comp, g) in groupings.iter_mut() {
-            let relayable = self.config.multicast_d_star.is_some()
+            // Tracked tuples always take the direct path: the relay tree
+            // has no per-destination anchors, so it sits outside the
+            // tracking boundary.
+            let relayable = tracked.is_none()
+                && self.config.multicast_d_star.is_some()
                 && self.config.comm_mode == CommMode::WorkerOriented
                 && *g.grouping() == Grouping::All;
             if relayable {
                 self.relay_broadcast(src, &shared, *comp);
             } else {
                 let dsts = g.route(&shared, None);
-                self.send_data(src, &shared, &dsts);
+                arm_xor ^= self.send_data(src, &shared, &dsts, tracked);
             }
+        }
+        if let (Some(tr), Some(ack)) = (tracked, self.ack.as_ref()) {
+            // Arming is order-independent with executor acks: XOR cancels
+            // regardless of which side lands first.
+            ack.acker.lock().ack(tr, arm_xor);
         }
     }
 
@@ -419,7 +689,7 @@ impl Routing {
         // Local instances of the broadcast target on the source's worker.
         for &t in self.placement.tasks_on(src_worker) {
             if self.topology.tasks().component_of(t) == Some(comp) {
-                let _ = self.inboxes[&t].send(ExecMsg::Data(Arc::clone(tuple)));
+                let _ = self.inboxes[&t].send(ExecMsg::Data(Arc::clone(tuple), None));
             }
         }
         // Serialize the data item once into pooled scratch; every child
@@ -490,12 +760,23 @@ impl Routing {
         };
         for &t in self.placement.tasks_on(WorkerId(my_worker)) {
             if self.topology.tasks().component_of(t) == Some(comp) {
-                let _ = self.inboxes[&t].send(ExecMsg::Data(Arc::clone(&tuple)));
+                let _ = self.inboxes[&t].send(ExecMsg::Data(Arc::clone(&tuple), None));
             }
         }
     }
 
-    fn send_data(&self, src: TaskId, tuple: &Arc<Tuple>, dsts: &[TaskId]) {
+    /// Returns the XOR of the anchors assigned to `dsts` when `tracked`
+    /// is set (for ledger arming), 0 otherwise. Anchors are charged for
+    /// every destination — including ones whose frame fails to send — so
+    /// an undelivered destination leaves the ledger non-zero and the
+    /// tuple times out into a replay instead of silently "completing".
+    fn send_data(
+        &self,
+        src: TaskId,
+        tuple: &Arc<Tuple>,
+        dsts: &[TaskId],
+        tracked: Option<u64>,
+    ) -> u64 {
         let item_bytes = tuple.payload_bytes();
         let p = plan(
             self.config.comm_mode,
@@ -504,22 +785,28 @@ impl Routing {
             dsts,
             &self.placement,
         );
+        let mut arm_xor = 0u64;
+        let tag_of = |t: TaskId| {
+            tracked.map(|tr| AckTag {
+                tracked: tr,
+                anchor: anchor_for(tr, t),
+            })
+        };
         // Local deliveries: no serialization beyond what the mode charges.
         for &t in &p.local_tasks {
+            let tag = tag_of(t);
+            if let Some(tag) = tag {
+                arm_xor ^= tag.anchor;
+            }
             // Executor may already have exited after EOS; ignore.
-            let _ = self.inboxes[&t].send(ExecMsg::Data(Arc::clone(tuple)));
-        }
-        if p.remote.is_empty() {
-            // Instance-oriented Storm still serializes for local sends;
-            // account for it so the counters match the cost model.
-            self.stats
-                .serializations
-                .fetch_add(p.serializations as u64, Ordering::Relaxed);
-            return;
+            let _ = self.inboxes[&t].send(ExecMsg::Data(Arc::clone(tuple), tag));
         }
         self.stats
             .serializations
             .fetch_add(p.serializations as u64, Ordering::Relaxed);
+        if p.remote.is_empty() {
+            return arm_xor;
+        }
         match self.config.comm_mode {
             CommMode::InstanceOriented => {
                 // Storm's per-destination serialization, but without a
@@ -528,10 +815,19 @@ impl Routing {
                 for env in &p.remote {
                     debug_assert_eq!(env.dst_tasks.len(), 1);
                     let dst = env.dst_tasks[0];
-                    self.transmit(src, env.dst_worker, |framed| {
-                        framed.put_u8(TAG_INSTANCE);
-                        InstanceMessage::encode_parts_into(src, dst, tuple, framed);
-                    });
+                    if let Some(tr) = tracked {
+                        arm_xor ^= anchor_for(tr, dst);
+                        self.transmit(src, env.dst_worker, |framed| {
+                            framed.put_u8(TAG_INSTANCE_TRACKED);
+                            framed.put_u64_le(tr);
+                            InstanceMessage::encode_parts_into(src, dst, tuple, framed);
+                        });
+                    } else {
+                        self.transmit(src, env.dst_worker, |framed| {
+                            framed.put_u8(TAG_INSTANCE);
+                            InstanceMessage::encode_parts_into(src, dst, tuple, framed);
+                        });
+                    }
                 }
             }
             CommMode::WorkerOriented => {
@@ -540,13 +836,35 @@ impl Routing {
                 let mut item = self.pool.acquire();
                 codec::encode_tuple_into(&mut item, tuple);
                 for env in &p.remote {
-                    self.transmit(src, env.dst_worker, |framed| {
-                        framed.put_u8(TAG_WORKER);
-                        WorkerMessage::encode_with_item_into(src, &env.dst_tasks, &item, framed);
-                    });
+                    if let Some(tr) = tracked {
+                        for &t in &env.dst_tasks {
+                            arm_xor ^= anchor_for(tr, t);
+                        }
+                        self.transmit(src, env.dst_worker, |framed| {
+                            framed.put_u8(TAG_WORKER_TRACKED);
+                            framed.put_u64_le(tr);
+                            WorkerMessage::encode_with_item_into(
+                                src,
+                                &env.dst_tasks,
+                                &item,
+                                framed,
+                            );
+                        });
+                    } else {
+                        self.transmit(src, env.dst_worker, |framed| {
+                            framed.put_u8(TAG_WORKER);
+                            WorkerMessage::encode_with_item_into(
+                                src,
+                                &env.dst_tasks,
+                                &item,
+                                framed,
+                            );
+                        });
+                    }
                 }
             }
         }
+        arm_xor
     }
 
     fn transmit(&self, src: TaskId, dst_worker: WorkerId, fill: impl FnOnce(&mut BytesMut)) {
@@ -556,33 +874,43 @@ impl Routing {
     }
 
     /// Encode one framed message into a pooled scratch buffer and send
-    /// it, waiting out transient ring backpressure (`Full` means posted
-    /// descriptors outran the flusher, the bounded transfer queue of the
-    /// paper's model — yield and retry). Zero-copy runs snapshot the
-    /// frame into a single shared wire buffer that every post and retry
-    /// reuses (the batch descriptor borrows it by reference — no
-    /// per-destination clone); copied runs pay the TCP copy tax per post.
-    /// Teardown races (unknown or disconnected endpoints) are dropped
-    /// here; the fabric itself counts them in `send_errors`.
-    fn send_frame(&self, from: EndpointId, to: EndpointId, fill: impl FnOnce(&mut BytesMut)) {
+    /// it, waiting out transient ring backpressure under the run's
+    /// [`SendPolicy`] (`Full` means posted descriptors outran the
+    /// flusher, the bounded transfer queue of the paper's model — spin,
+    /// yield, then park with exponential backoff up to the policy
+    /// deadline; a dead flusher degrades the run instead of livelocking
+    /// it). Zero-copy runs snapshot the frame into a single shared wire
+    /// buffer that every post and retry reuses (the batch descriptor
+    /// borrows it by reference — no per-destination clone); copied runs
+    /// pay the TCP copy tax per post. Teardown races (unknown or
+    /// disconnected endpoints) are dropped here; the fabric itself counts
+    /// them in `send_errors`. Returns whether the frame was accepted by
+    /// the fabric.
+    fn send_frame(&self, from: EndpointId, to: EndpointId, fill: impl FnOnce(&mut BytesMut)) -> bool {
         let mut scratch = self.pool.acquire();
         fill(&mut scratch);
-        if self.config.zero_copy {
+        let policy = &self.config.send;
+        let result = if self.config.zero_copy {
             let buf = scratch.share();
             drop(scratch); // scratch returns to the pool before any retry wait
-            loop {
-                match self.fabric.send_shared(from, to, Arc::clone(&buf)) {
-                    Err(SendError::Full) => std::thread::yield_now(),
-                    _ => return,
-                }
-            }
+            policy.run(&self.stats.send_retries, || {
+                self.fabric.send_shared(from, to, Arc::clone(&buf))
+            })
         } else {
-            loop {
-                match self.fabric.send_copied(from, to, &scratch) {
-                    Err(SendError::Full) => std::thread::yield_now(),
-                    _ => return,
-                }
+            policy.run(&self.stats.send_retries, || {
+                self.fabric.send_copied(from, to, &scratch)
+            })
+        };
+        match result {
+            Ok(()) => true,
+            Err(SendError::Full) => {
+                // Backpressure never cleared within the policy deadline:
+                // the frame is lost, loudly.
+                self.stats.send_failed.fetch_add(1, Ordering::Relaxed);
+                false
             }
+            // Teardown races: the fabric counts these in send_errors.
+            Err(SendError::UnknownEndpoint | SendError::Disconnected) => false,
         }
     }
 
@@ -657,14 +985,24 @@ impl Routing {
                         let _ = self.inboxes[&t].send(ExecMsg::Eos(src));
                     }
                 } else {
-                    self.transmit(src, worker, |framed| {
-                        framed.put_u8(TAG_EOS);
-                        framed.put_u32_le(src.0);
-                        framed.put_u32_le(tasks.len() as u32);
-                        for t in &tasks {
-                            framed.put_u32_le(t.0);
-                        }
-                    });
+                    // Ack runs may face injected frame drops; EOS frames
+                    // are sent redundantly (receivers count each upstream
+                    // task at most once, so duplicates are harmless).
+                    let copies = self
+                        .config
+                        .ack
+                        .map(|a| a.eos_redundancy.max(1))
+                        .unwrap_or(1);
+                    for _ in 0..copies {
+                        self.transmit(src, worker, |framed| {
+                            framed.put_u8(TAG_EOS);
+                            framed.put_u32_le(src.0);
+                            framed.put_u32_le(tasks.len() as u32);
+                            for t in &tasks {
+                                framed.put_u32_le(t.0);
+                            }
+                        });
+                    }
                 }
             }
         }
@@ -696,7 +1034,50 @@ struct OutboxEmitter<'a> {
 
 impl Emitter for OutboxEmitter<'_> {
     fn emit(&mut self, tuple: Tuple) {
-        self.outbox.emit(self.routing, self.src, tuple);
+        // Bolt emissions are untracked: the acker tracks spout roots to
+        // their first-hop subscribers (delivery tracking, not full tree
+        // tracking — replays re-enter at the spout).
+        self.outbox.emit(self.routing, self.src, tuple, None);
+    }
+}
+
+/// An all-zero report for runs that never spawned a thread (config
+/// errors caught before the fabric was built).
+fn empty_report(outcome: RunOutcome, n_components: usize) -> RunReport {
+    RunReport {
+        elapsed: Duration::ZERO,
+        serializations: 0,
+        executed: vec![0; n_components],
+        spout_emitted: 0,
+        fabric_messages: 0,
+        copied_bytes: 0,
+        shared_bytes: 0,
+        relay_forwards: 0,
+        dropped_frames: 0,
+        thread_panics: 0,
+        send_errors: 0,
+        batches_flushed: 0,
+        mean_batch_size: 0.0,
+        pool_hits: 0,
+        pool_misses: 0,
+        pool_high_watermark: 0,
+        pool_hit_rate: 0.0,
+        send_retries: 0,
+        send_failed: 0,
+        deadline_exits: 0,
+        tuples_acked: 0,
+        tuples_failed: 0,
+        tuples_replayed: 0,
+        dedup_dropped: 0,
+        fault_drops: 0,
+        fault_duplicates: 0,
+        fault_delayed: 0,
+        fault_full_injected: 0,
+        fault_partition_drops: 0,
+        fault_crashed_sends: 0,
+        timeline: Vec::new(),
+        outcome,
+        delivery_ns: Vec::new(),
     }
 }
 
@@ -721,45 +1102,30 @@ pub fn run_topology(topology: Topology, operators: Operators, config: LiveConfig
             _ => None,
         };
         if let Some(err) = err {
-            return RunReport {
-                elapsed: std::time::Duration::ZERO,
-                serializations: 0,
-                executed: vec![0; n_components],
-                spout_emitted: 0,
-                fabric_messages: 0,
-                copied_bytes: 0,
-                shared_bytes: 0,
-                relay_forwards: 0,
-                dropped_frames: 0,
-                thread_panics: 0,
-                send_errors: 0,
-                batches_flushed: 0,
-                mean_batch_size: 0.0,
-                pool_hits: 0,
-                pool_misses: 0,
-                pool_high_watermark: 0,
-                pool_hit_rate: 0.0,
-                outcome: RunOutcome::ConfigError(err),
-                delivery_ns: Vec::new(),
-            };
+            return empty_report(RunOutcome::ConfigError(err), n_components);
         }
     }
 
     let cluster = ClusterSpec::new(config.machines, 1, 16);
     let placement = Placement::even(&topology, &cluster);
     let mut instance = config.fabric.build();
-    let fabric = Arc::clone(&instance.fabric);
+    // Fault injection wraps the concrete transport: every runtime send
+    // and registration goes through the wrapper so the plan sees each
+    // frame in order. The concrete handle is kept for its counters.
+    let fault: Option<Arc<FaultFabric>> = config
+        .fault
+        .clone()
+        .map(|plan| Arc::new(FaultFabric::new(Arc::clone(&instance.fabric), plan)));
+    let fabric: Arc<dyn FabricPath> = match &fault {
+        Some(f) => Arc::clone(f) as Arc<dyn FabricPath>,
+        None => Arc::clone(&instance.fabric),
+    };
 
     let stats = Arc::new(RunStats {
-        serializations: AtomicU64::new(0),
         executed: (0..topology.components().len())
             .map(|_| AtomicU64::new(0))
             .collect(),
-        spout_emitted: AtomicU64::new(0),
-        relay_forwards: AtomicU64::new(0),
-        dropped_frames: AtomicU64::new(0),
-        emit_times: Mutex::new(HashMap::new()),
-        delivery_ns: Mutex::new(Vec::new()),
+        ..RunStats::default()
     });
 
     if config.multicast_d_star.is_some() {
@@ -796,6 +1162,7 @@ pub fn run_topology(topology: Topology, operators: Operators, config: LiveConfig
         );
     }
 
+    let ack_runtime = config.ack.map(AckRuntime::new);
     let routing = Arc::new(Routing {
         topology,
         placement,
@@ -805,10 +1172,54 @@ pub fn run_topology(topology: Topology, operators: Operators, config: LiveConfig
         pool: BufferPool::default(),
         inboxes,
         stats: Arc::clone(&stats),
+        ack: ack_runtime,
     });
 
     let start = std::time::Instant::now();
     let mut handles = Vec::new();
+
+    // Monitor thread: snapshot the run's counters every interval into
+    // the timeline (plus one final post-run sample at teardown).
+    let timeline: Arc<Mutex<Vec<TimelineSample>>> = Arc::new(Mutex::new(Vec::new()));
+    let monitor_stop = Arc::new(AtomicBool::new(false));
+    let monitor_handle = routing.config.monitor_interval.map(|interval| {
+        let routing = Arc::clone(&routing);
+        let stats = Arc::clone(&stats);
+        let fabric = Arc::clone(&fabric);
+        let timeline = Arc::clone(&timeline);
+        let stop = Arc::clone(&monitor_stop);
+        std::thread::spawn(move || {
+            let sample = |at: Duration| TimelineSample {
+                at,
+                spout_emitted: stats.spout_emitted.load(Ordering::Relaxed),
+                executed: stats
+                    .executed
+                    .iter()
+                    .map(|a| a.load(Ordering::Relaxed))
+                    .sum(),
+                fabric_messages: fabric.messages(),
+                send_errors: fabric.send_errors(),
+                send_retries: stats.send_retries.load(Ordering::Relaxed),
+                acked: routing
+                    .ack
+                    .as_ref()
+                    .map_or(0, |a| a.acked.load(Ordering::Relaxed)),
+                failed: routing
+                    .ack
+                    .as_ref()
+                    .map_or(0, |a| a.failed.load(Ordering::Relaxed)),
+                replayed: routing
+                    .ack
+                    .as_ref()
+                    .map_or(0, |a| a.replayed.load(Ordering::Relaxed)),
+            };
+            while !stop.load(Ordering::Relaxed) {
+                std::thread::sleep(interval);
+                timeline.lock().push(sample(start.elapsed()));
+            }
+            timeline.lock().push(sample(start.elapsed()));
+        })
+    });
 
     // Dispatcher threads: one per worker.
     for (w, rx) in worker_rx.into_iter().enumerate() {
@@ -837,16 +1248,9 @@ pub fn run_topology(topology: Topology, operators: Operators, config: LiveConfig
                         .get(&comp.name)
                         .expect("validated before spawning");
                     let mut spout = spout_factory(idx as u32);
-                    let mut outbox = make_outbox(&routing, task, comp.id, &mut work_handles);
+                    let outbox = make_outbox(&routing, task, comp.id, &mut work_handles);
                     work_handles.push(std::thread::spawn(move || {
-                        while let Some(t) = spout.next_tuple() {
-                            stats.spout_emitted.fetch_add(1, Ordering::Relaxed);
-                            if t.id != 0 && t.id % LATENCY_SAMPLE == 0 {
-                                stats.emit_times.lock().insert(t.id, Instant::now());
-                            }
-                            outbox.emit(&routing, task, t);
-                        }
-                        outbox.finish(&routing, task);
+                        spout_loop(&mut *spout, task, outbox, &routing, &stats)
                     }));
                 }
                 ComponentKind::Bolt => {
@@ -895,9 +1299,12 @@ pub fn run_topology(topology: Topology, operators: Operators, config: LiveConfig
             thread_panics += 1;
         }
     }
-    // All producers done: flush anything still buffered in the transport
-    // (and stop the ring flusher), then close the fabric endpoints so
-    // dispatchers exit.
+    // All producers done: release any fault-parked frames, flush
+    // anything still buffered in the transport (and stop the ring
+    // flusher), then close the fabric endpoints so dispatchers exit.
+    if let Some(f) = &fault {
+        f.flush();
+    }
     instance.shutdown();
     for w in 0..routing.placement.workers() {
         fabric.deregister(EndpointId(w));
@@ -907,8 +1314,19 @@ pub fn run_topology(topology: Topology, operators: Operators, config: LiveConfig
             thread_panics += 1;
         }
     }
+    monitor_stop.store(true, Ordering::Relaxed);
+    if let Some(h) = monitor_handle {
+        let _ = h.join();
+    }
 
     let elapsed = start.elapsed();
+    let ack = routing.ack.as_ref();
+    let failed_sends = stats.send_failed.load(Ordering::Relaxed);
+    let failed_tuples = ack.map_or(0, |a| a.failed.load(Ordering::Relaxed));
+    let deadline_exits = stats.deadline_exits.load(Ordering::Relaxed);
+    let degraded =
+        thread_panics > 0 || failed_sends > 0 || failed_tuples > 0 || deadline_exits > 0;
+    let timeline = std::mem::take(&mut *timeline.lock());
     RunReport {
         elapsed,
         serializations: stats.serializations.load(Ordering::Relaxed),
@@ -938,8 +1356,27 @@ pub fn run_topology(topology: Topology, operators: Operators, config: LiveConfig
         pool_misses: routing.pool.misses(),
         pool_high_watermark: routing.pool.high_watermark(),
         pool_hit_rate: routing.pool.hit_rate(),
-        outcome: if thread_panics > 0 {
-            RunOutcome::Degraded { thread_panics }
+        send_retries: stats.send_retries.load(Ordering::Relaxed),
+        send_failed: failed_sends,
+        deadline_exits,
+        tuples_acked: ack.map_or(0, |a| a.acked.load(Ordering::Relaxed)),
+        tuples_failed: failed_tuples,
+        tuples_replayed: ack.map_or(0, |a| a.replayed.load(Ordering::Relaxed)),
+        dedup_dropped: ack.map_or(0, |a| a.dedup_dropped.load(Ordering::Relaxed)),
+        fault_drops: fault.as_ref().map_or(0, |f| f.drops()),
+        fault_duplicates: fault.as_ref().map_or(0, |f| f.duplicates()),
+        fault_delayed: fault.as_ref().map_or(0, |f| f.delayed()),
+        fault_full_injected: fault.as_ref().map_or(0, |f| f.full_injected()),
+        fault_partition_drops: fault.as_ref().map_or(0, |f| f.partition_drops()),
+        fault_crashed_sends: fault.as_ref().map_or(0, |f| f.crashed_sends()),
+        timeline,
+        outcome: if degraded {
+            RunOutcome::Degraded {
+                thread_panics,
+                failed_sends,
+                failed_tuples,
+                deadline_exits,
+            }
         } else {
             RunOutcome::Clean
         },
@@ -947,6 +1384,113 @@ pub fn run_topology(topology: Topology, operators: Operators, config: LiveConfig
             let mut samples = stats.delivery_ns.lock();
             std::mem::take(&mut *samples)
         },
+    }
+}
+
+/// Run one spout to completion: emit every tuple (tracked when the run
+/// acks), then drain outstanding trees — replaying expired ones — before
+/// broadcasting end-of-stream, so replays always precede EOS on every
+/// link.
+fn spout_loop(
+    spout: &mut dyn Spout,
+    task: TaskId,
+    mut outbox: Outbox,
+    routing: &Routing,
+    stats: &RunStats,
+) {
+    // Tracked ids still in flight from this spout: id → (tuple, attempt).
+    let mut pending: HashMap<u64, (Tuple, u32)> = HashMap::new();
+    let mut since_prune = 0u32;
+    while let Some(t) = spout.next_tuple() {
+        stats.spout_emitted.fetch_add(1, Ordering::Relaxed);
+        if t.id != 0 && t.id % LATENCY_SAMPLE == 0 {
+            stats.emit_times.lock().insert(t.id, Instant::now());
+        }
+        match routing.ack.as_ref() {
+            None => outbox.emit(routing, task, t, None),
+            Some(ack) => {
+                let tracked = ack.next_root.fetch_add(1, Ordering::Relaxed) & ROOT_MASK;
+                // Register before emitting: an executor's ack can land
+                // before the routing layer arms the ledger, and XOR
+                // order-independence keeps that race benign — but only
+                // if the entry already exists.
+                ack.acker.lock().init(tracked, 0, ack.now());
+                pending.insert(tracked, (t.clone(), 0));
+                outbox.emit(routing, task, t, Some(tracked));
+                since_prune += 1;
+                if since_prune >= 64 {
+                    since_prune = 0;
+                    prune_completed(ack, &mut pending);
+                }
+            }
+        }
+    }
+    if let Some(ack) = routing.ack.as_ref() {
+        drain_pending(ack, &mut pending, &mut outbox, routing, task);
+    }
+    outbox.finish(routing, task);
+}
+
+/// Drop roots the acker no longer tracks, counting them as acked. Only
+/// acks can remove entries outside the drain loop (expiry is driven by
+/// the owning spout), so anything gone from the acker completed.
+fn prune_completed(ack: &AckRuntime, pending: &mut HashMap<u64, (Tuple, u32)>) {
+    let acker = ack.acker.lock();
+    let before = pending.len();
+    pending.retain(|id, _| acker.contains(*id));
+    ack.acked
+        .fetch_add((before - pending.len()) as u64, Ordering::Relaxed);
+}
+
+/// Post-emission drain: wait for this spout's outstanding trees,
+/// replaying expired ones up to the replay budget, bounded by the drain
+/// deadline — pending tuples left at the deadline are failed, loudly.
+fn drain_pending(
+    ack: &AckRuntime,
+    pending: &mut HashMap<u64, (Tuple, u32)>,
+    outbox: &mut Outbox,
+    routing: &Routing,
+    task: TaskId,
+) {
+    let deadline = Instant::now() + ack.config.drain_deadline;
+    loop {
+        let expired = {
+            let mut acker = ack.acker.lock();
+            acker.expire_matching(ack.now(), |id| pending.contains_key(&id))
+        };
+        for id in expired {
+            let Some((tuple, attempt)) = pending.remove(&id) else {
+                continue;
+            };
+            if attempt >= ack.config.max_replays {
+                ack.failed.fetch_add(1, Ordering::Relaxed);
+                continue;
+            }
+            // Replays re-register under a fresh ledger key (attempt in
+            // the high bits) but keep the stable root for sink dedup.
+            let attempt = attempt + 1;
+            let tracked = ((attempt as u64) << ROOT_BITS) | root_of(id);
+            ack.acker.lock().init(tracked, 0, ack.now());
+            pending.insert(tracked, (tuple.clone(), attempt));
+            ack.replayed.fetch_add(1, Ordering::Relaxed);
+            outbox.emit(routing, task, tuple, Some(tracked));
+        }
+        prune_completed(ack, pending);
+        if pending.is_empty() {
+            return;
+        }
+        if Instant::now() >= deadline {
+            // Force-expire the remainder so late acks are rejected, then
+            // count each as failed exactly once.
+            ack.acker
+                .lock()
+                .expire_matching(SimTime::MAX, |id| pending.contains_key(&id));
+            ack.failed
+                .fetch_add(pending.len() as u64, Ordering::Relaxed);
+            pending.clear();
+            return;
+        }
+        std::thread::sleep(ack.config.poll_interval);
     }
 }
 
@@ -1005,18 +1549,56 @@ fn dispatcher_loop(worker: u32, rx: Receiver<whale_net::LiveMessage>, routing: &
                 routing.on_relay_eos(worker, origin, comp, node, src);
             }
             TAG_INSTANCE => match InstanceMessage::decode(&mut buf) {
-                Ok(decoded) => deliver(decoded.dst, ExecMsg::Data(Arc::new(decoded.tuple))),
+                Ok(decoded) => deliver(decoded.dst, ExecMsg::Data(Arc::new(decoded.tuple), None)),
                 Err(_) => drop_frame(),
             },
             TAG_WORKER => match WorkerMessage::decode(&mut buf) {
                 // One deserialization, fanned out to local executors.
                 Ok(decoded) => {
                     for addressed in codec::dispatch_worker_message(decoded) {
-                        deliver(addressed.dst, ExecMsg::Data(addressed.tuple));
+                        deliver(addressed.dst, ExecMsg::Data(addressed.tuple, None));
                     }
                 }
                 Err(_) => drop_frame(),
             },
+            TAG_INSTANCE_TRACKED => {
+                if buf.remaining() < 8 {
+                    drop_frame();
+                    continue;
+                }
+                let tracked = buf.get_u64_le();
+                match InstanceMessage::decode(&mut buf) {
+                    Ok(decoded) => {
+                        // The anchor is derived, not carried: the same
+                        // pure function the sender armed the ledger with.
+                        let tag = AckTag {
+                            tracked,
+                            anchor: anchor_for(tracked, decoded.dst),
+                        };
+                        deliver(decoded.dst, ExecMsg::Data(Arc::new(decoded.tuple), Some(tag)));
+                    }
+                    Err(_) => drop_frame(),
+                }
+            }
+            TAG_WORKER_TRACKED => {
+                if buf.remaining() < 8 {
+                    drop_frame();
+                    continue;
+                }
+                let tracked = buf.get_u64_le();
+                match WorkerMessage::decode(&mut buf) {
+                    Ok(decoded) => {
+                        for addressed in codec::dispatch_worker_message(decoded) {
+                            let tag = AckTag {
+                                tracked,
+                                anchor: anchor_for(tracked, addressed.dst),
+                            };
+                            deliver(addressed.dst, ExecMsg::Data(addressed.tuple, Some(tag)));
+                        }
+                    }
+                    Err(_) => drop_frame(),
+                }
+            }
             TAG_EOS => {
                 if buf.remaining() < 8 {
                     drop_frame();
@@ -1050,9 +1632,47 @@ fn executor_loop(
     stats: &RunStats,
 ) {
     let mut eos_seen = std::collections::HashSet::new();
-    while let Ok(msg) = rx.recv() {
+    // Tracked ids already XOR'd into the acker (a duplicated frame must
+    // not ack the ledger twice) and roots already executed (replays and
+    // duplicates are acked but not re-executed).
+    let mut acked_tracked: HashSet<u64> = HashSet::new();
+    let mut seen_roots: HashSet<u64> = HashSet::new();
+    let deadline = routing.config.run_deadline.map(|d| Instant::now() + d);
+    loop {
+        let msg = if let Some(dl) = deadline {
+            let remaining = dl.saturating_duration_since(Instant::now());
+            match rx.recv_timeout(remaining) {
+                Ok(m) => m,
+                Err(crossbeam::channel::RecvTimeoutError::Timeout) => {
+                    // Liveness backstop: a lost EOS degrades the run but
+                    // never hangs it. Finish below so downstream still
+                    // receives this executor's EOS and can drain.
+                    stats.deadline_exits.fetch_add(1, Ordering::Relaxed);
+                    break;
+                }
+                Err(crossbeam::channel::RecvTimeoutError::Disconnected) => break,
+            }
+        } else {
+            match rx.recv() {
+                Ok(m) => m,
+                Err(_) => break,
+            }
+        };
         match msg {
-            ExecMsg::Data(t) => {
+            ExecMsg::Data(t, tag) => {
+                let mut fresh = true;
+                if let (Some(tag), Some(ack)) = (tag, routing.ack.as_ref()) {
+                    if acked_tracked.insert(tag.tracked) {
+                        ack.acker.lock().ack(tag.tracked, tag.anchor);
+                    }
+                    fresh = seen_roots.insert(root_of(tag.tracked));
+                    if !fresh {
+                        ack.dedup_dropped.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+                if !fresh {
+                    continue;
+                }
                 stats.executed[comp.0 as usize].fetch_add(1, Ordering::Relaxed);
                 if t.id != 0 && t.id % LATENCY_SAMPLE == 0 {
                     let start = stats.emit_times.lock().get(&t.id).copied();
@@ -1071,18 +1691,18 @@ fn executor_loop(
             ExecMsg::Eos(src) => {
                 eos_seen.insert(src);
                 if eos_seen.len() >= expected_eos {
-                    let mut emitter = OutboxEmitter {
-                        routing,
-                        src: task,
-                        outbox: &mut outbox,
-                    };
-                    bolt.finish(&mut emitter);
-                    outbox.finish(routing, task);
-                    return;
+                    break;
                 }
             }
         }
     }
+    let mut emitter = OutboxEmitter {
+        routing,
+        src: task,
+        outbox: &mut outbox,
+    };
+    bolt.finish(&mut emitter);
+    outbox.finish(routing, task);
 }
 
 #[cfg(test)]
@@ -1130,6 +1750,7 @@ mod tests {
                 multicast_d_star: None,
                 dedicated_senders: false,
                 fabric: FabricKind::PerSend,
+                ..LiveConfig::default()
             },
         )
     }
@@ -1190,6 +1811,7 @@ mod tests {
                 multicast_d_star: Some(2),
                 dedicated_senders: false,
                 fabric: FabricKind::PerSend,
+                ..LiveConfig::default()
             },
         );
         let direct = run(CommMode::WorkerOriented, true, 8, 16);
@@ -1216,6 +1838,7 @@ mod tests {
                 multicast_d_star: Some(2),
                 dedicated_senders: false,
                 fabric: FabricKind::PerSend,
+                ..LiveConfig::default()
             },
         );
         assert_eq!(r.relay_forwards, 100 * 5);
@@ -1236,6 +1859,7 @@ mod tests {
                 multicast_d_star: None,
                 dedicated_senders: true,
                 fabric: FabricKind::PerSend,
+                ..LiveConfig::default()
             },
         );
         let inline = run(CommMode::WorkerOriented, true, 4, 8);
@@ -1257,6 +1881,7 @@ mod tests {
                 multicast_d_star: Some(2),
                 dedicated_senders: true,
                 fabric: FabricKind::PerSend,
+                ..LiveConfig::default()
             },
         );
         assert_eq!(r.executed[1], 100 * 16);
@@ -1300,6 +1925,7 @@ mod tests {
                 multicast_d_star: Some(2),
                 dedicated_senders: false,
                 fabric: FabricKind::PerSend,
+                ..LiveConfig::default()
             },
         );
     }
@@ -1335,6 +1961,7 @@ mod tests {
                 multicast_d_star: None,
                 dedicated_senders: false,
                 fabric: FabricKind::PerSend,
+                ..LiveConfig::default()
             },
         );
         assert!(r.thread_panics >= 1, "panics = {}", r.thread_panics);
@@ -1342,7 +1969,10 @@ mod tests {
         assert_eq!(
             r.outcome,
             RunOutcome::Degraded {
-                thread_panics: r.thread_panics
+                thread_panics: r.thread_panics,
+                failed_sends: 0,
+                failed_tuples: 0,
+                deadline_exits: 0,
             }
         );
         assert!(!r.outcome.is_clean());
@@ -1413,6 +2043,7 @@ mod tests {
                 multicast_d_star: None,
                 dedicated_senders: false,
                 fabric: FabricKind::Ring(whale_net::RingConfig::default()),
+                ..LiveConfig::default()
             },
         );
         let direct = run(CommMode::WorkerOriented, true, 4, 8);
@@ -1441,6 +2072,7 @@ mod tests {
                 multicast_d_star: Some(2),
                 dedicated_senders: true,
                 fabric: FabricKind::Ring(whale_net::RingConfig::default()),
+                ..LiveConfig::default()
             },
         );
         assert_eq!(r.executed[1], 100 * 16);
@@ -1466,11 +2098,13 @@ mod tests {
                 multicast_d_star: None,
                 dedicated_senders: false,
                 fabric: FabricKind::PerSend,
+                ..LiveConfig::default()
             },
             fabric: Arc::clone(&fabric) as Arc<dyn FabricPath>,
             pool: BufferPool::default(),
             inboxes: HashMap::new(),
             stats: Arc::new(RunStats::default()),
+            ack: None,
             relay_trees: Vec::new(),
         });
         let r2 = Arc::clone(&routing);
@@ -1566,5 +2200,196 @@ mod tests {
                 assert_eq!(r.executed[1] as u32, 100 * p, "machines={machines} p={p}");
             }
         }
+    }
+
+    /// spout → sink directly: the acker tracks spout emissions to their
+    /// first-hop subscribers, so a one-edge topology makes the delivery
+    /// accounting exact.
+    fn ack_topology(n: i64, fanout: u32) -> (Topology, Operators) {
+        let mut b = crate::topology::TopologyBuilder::new();
+        b.spout("src", 1, Schema::new(vec!["n"]))
+            .bolt("sink", fanout, Schema::new(vec!["n"]))
+            .connect("src", "sink", Grouping::All);
+        let t = b.build().unwrap();
+        let ops = Operators::new()
+            .spout("src", move |_| {
+                Box::new(IterSpout::new(
+                    (0..n).map(|i| Tuple::with_id(i as u64, vec![Value::I64(i)])),
+                ))
+            })
+            .bolt("sink", |_| {
+                Box::new(FnBolt::new(|_t: &Tuple, _out: &mut dyn Emitter| {}))
+            });
+        (t, ops)
+    }
+
+    #[test]
+    fn tracked_clean_run_acks_every_tuple() {
+        let (t, ops) = ack_topology(200, 4);
+        let r = run_topology(
+            t,
+            ops,
+            LiveConfig {
+                machines: 4,
+                ack: Some(AckConfig::default()),
+                ..LiveConfig::default()
+            },
+        );
+        assert_eq!(r.outcome, RunOutcome::Clean);
+        assert_eq!(r.spout_emitted, 200);
+        assert_eq!(r.tuples_acked, 200);
+        assert_eq!(r.tuples_failed, 0);
+        assert_eq!(r.tuples_replayed, 0);
+        // Every instance executed every root exactly once.
+        assert_eq!(r.executed[1], 200 * 4);
+    }
+
+    #[test]
+    fn tracked_run_replays_through_injected_drops_without_silent_loss() {
+        for fabric in [
+            FabricKind::PerSend,
+            FabricKind::Ring(whale_net::RingConfig::default()),
+        ] {
+            let (t, ops) = ack_topology(150, 2);
+            let r = run_topology(
+                t,
+                ops,
+                LiveConfig {
+                    machines: 4,
+                    fabric,
+                    ack: Some(AckConfig {
+                        timeout: Duration::from_millis(50),
+                        max_replays: 20,
+                        drain_deadline: Duration::from_secs(20),
+                        eos_redundancy: 4,
+                        ..AckConfig::default()
+                    }),
+                    fault: Some(FaultPlan::uniform_drops(7, 0.2)),
+                    run_deadline: Some(Duration::from_secs(5)),
+                    ..LiveConfig::default()
+                },
+            );
+            // At-least-once accounting: every emission ends acked or
+            // failed — never silently lost.
+            assert_eq!(
+                r.tuples_acked + r.tuples_failed,
+                r.spout_emitted,
+                "fabric run must account for every tuple"
+            );
+            assert!(r.fault_drops > 0, "the plan must actually drop frames");
+            assert!(r.tuples_replayed > 0, "drops must trigger replays");
+            // An acked root reached every subscriber; dedup keeps each
+            // execution unique per instance.
+            assert!(r.executed[1] >= r.tuples_acked);
+            assert!(r.executed[1] <= 2 * r.spout_emitted);
+        }
+    }
+
+    #[test]
+    fn exhausted_send_deadline_degrades_instead_of_livelocking() {
+        // Every remote send is stuck Full forever: the policy deadline
+        // must fail frames loudly and the run deadline must reap the
+        // starved executors — the run terminates on its own.
+        let (t, ops) = ack_topology(20, 2);
+        let plan = FaultPlan {
+            seed: 1,
+            default_link: whale_net::LinkFaults {
+                full_burst: 1.0,
+                full_burst_len: u32::MAX,
+                ..whale_net::LinkFaults::default()
+            },
+            ..FaultPlan::default()
+        };
+        let started = Instant::now();
+        let r = run_topology(
+            t,
+            ops,
+            LiveConfig {
+                machines: 2,
+                send: SendPolicy {
+                    spin: 4,
+                    yields: 4,
+                    park_initial: Duration::from_micros(50),
+                    park_max: Duration::from_micros(200),
+                    deadline: Duration::from_millis(5),
+                },
+                fault: Some(plan),
+                run_deadline: Some(Duration::from_millis(500)),
+                ..LiveConfig::default()
+            },
+        );
+        assert!(r.send_failed > 0, "stuck sends must fail loudly");
+        assert!(r.send_retries > 0);
+        assert!(r.deadline_exits > 0, "starved executors must be reaped");
+        assert!(matches!(r.outcome, RunOutcome::Degraded { .. }));
+        assert!(
+            started.elapsed() < Duration::from_secs(30),
+            "bounded backoff must terminate promptly"
+        );
+        let m = r.metrics();
+        assert_eq!(m.counter("dsps.send.failed"), Some(r.send_failed));
+        assert_eq!(m.counter("dsps.send.retries"), Some(r.send_retries));
+    }
+
+    #[test]
+    fn monitor_interval_records_timeline() {
+        let (t, ops) = counting_topology(4, 8);
+        let r = run_topology(
+            t,
+            ops,
+            LiveConfig {
+                machines: 4,
+                monitor_interval: Some(Duration::from_millis(1)),
+                ..LiveConfig::default()
+            },
+        );
+        assert!(!r.timeline.is_empty(), "the final sample always lands");
+        let last = r.timeline.last().unwrap();
+        assert_eq!(last.spout_emitted, 100);
+        assert!(last.executed > 0);
+        // Samples are orderable and the series export is wired through.
+        for w in r.timeline.windows(2) {
+            assert!(w[0].at <= w[1].at);
+        }
+        let m = r.metrics();
+        assert!(m.get("dsps.timeline.spout_emitted").is_some());
+        assert!(m.get("dsps.timeline.executed").is_some());
+    }
+
+    #[test]
+    fn tracked_run_with_crashed_endpoint_accounts_for_every_tuple() {
+        // Crash worker 1 after its first 10 addressed frames: tuples
+        // that can no longer reach it exhaust their replay budget and
+        // are failed — counted, not lost.
+        let (t, ops) = ack_topology(60, 2);
+        let plan = FaultPlan {
+            seed: 11,
+            crashes: vec![whale_net::EndpointCrash {
+                endpoint: EndpointId(1),
+                at_frame: 10,
+            }],
+            ..FaultPlan::default()
+        };
+        let r = run_topology(
+            t,
+            ops,
+            LiveConfig {
+                machines: 2,
+                ack: Some(AckConfig {
+                    timeout: Duration::from_millis(30),
+                    max_replays: 3,
+                    drain_deadline: Duration::from_secs(10),
+                    eos_redundancy: 2,
+                    ..AckConfig::default()
+                }),
+                fault: Some(plan),
+                run_deadline: Some(Duration::from_secs(5)),
+                ..LiveConfig::default()
+            },
+        );
+        assert_eq!(r.tuples_acked + r.tuples_failed, r.spout_emitted);
+        assert!(r.fault_crashed_sends > 0, "the crash must reject sends");
+        assert!(r.tuples_failed > 0, "unreachable tuples must fail loudly");
+        assert!(matches!(r.outcome, RunOutcome::Degraded { .. }));
     }
 }

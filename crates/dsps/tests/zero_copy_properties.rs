@@ -21,7 +21,7 @@ fn tuple_from(arity: usize, seed: u64) -> Tuple {
                 1 => Value::F64((x % 1_000) as f64 / 7.0),
                 2 => Value::Str(Arc::from(format!("v{x}").as_str())),
                 3 => Value::Bytes(Arc::from(x.to_le_bytes().as_slice())),
-                _ => Value::Bool(x % 2 == 0),
+                _ => Value::Bool(x.is_multiple_of(2)),
             }
         })
         .collect();

@@ -20,15 +20,17 @@
 use crate::protocol::{AckOutcome, CoordinatorState, InstanceAgent, ProtocolMsg, SwitchCoordinator};
 use crate::switching::{ControlMessage, StatusMessage};
 use crate::tree::{MulticastTree, Node};
+use std::sync::atomic::AtomicU64;
 use std::sync::Arc;
 use whale_sim::{MetricsRegistry, SimDuration, SimTime};
-use whale_net::{EndpointId, FabricPath, RegisterError, SendError};
+use whale_net::{EndpointId, FabricPath, RegisterError, SendError, SendPolicy};
 
 /// Frame tags of the wire codec.
 const TAG_STATUS: u8 = 1;
 const TAG_CONTROL: u8 = 2;
 const TAG_NEW_STRUCTURE: u8 = 3;
 const TAG_ACK: u8 = 4;
+const TAG_ACK_STRUCTURE: u8 = 5;
 
 /// Errors from decoding a protocol frame.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -150,6 +152,12 @@ pub fn encode_msg(msg: &ProtocolMsg) -> Vec<u8> {
             out.extend_from_slice(&encode_node(*from).to_le_bytes());
             out
         }
+        ProtocolMsg::AckStructure { from } => {
+            let mut out = Vec::with_capacity(5);
+            out.push(TAG_ACK_STRUCTURE);
+            out.extend_from_slice(&encode_node(*from).to_le_bytes());
+            out
+        }
     }
 }
 
@@ -197,6 +205,9 @@ pub fn decode_msg(bytes: &[u8]) -> Result<ProtocolMsg, CodecError> {
             ProtocolMsg::NewStructure(tree)
         }
         TAG_ACK => ProtocolMsg::Ack {
+            from: decode_node(r.u32()?),
+        },
+        TAG_ACK_STRUCTURE => ProtocolMsg::AckStructure {
             from: decode_node(r.u32()?),
         },
         t => return Err(CodecError::UnknownTag(t)),
@@ -249,8 +260,9 @@ pub struct SwitchDriverReport {
     pub t_switch: SimDuration,
     /// Edges changed by the plan.
     pub moves: usize,
-    /// Protocol frames the coordinator sent (status + control + deferred
-    /// + shutdown).
+    /// Protocol frames the coordinator sent (status, control, deferred
+    /// and shutdown, plus any ACK-timeout re-send rounds on lossy
+    /// transports).
     pub frames_sent: u64,
     /// Distinct frames the coordinator serialized. Fan-out repeats a
     /// frame to many destinations, so this is ≤ `frames_sent`: the
@@ -272,37 +284,38 @@ fn agent_endpoint(i: u32) -> EndpointId {
     EndpointId(i + 1)
 }
 
-/// Send one frame, retrying ring backpressure until accepted.
+/// Backpressure retries performed by the driver's bounded sends (shared
+/// across switches; purely informational).
+static DRIVER_RETRIES: AtomicU64 = AtomicU64::new(0);
+
+/// Send one frame, waiting out ring backpressure under the default
+/// [`SendPolicy`]. A `Full` that never clears within the policy deadline
+/// is a terminal [`DriverError::Send`] — the driver cannot livelock on a
+/// dead flusher.
 fn push(
     fabric: &dyn FabricPath,
     from: EndpointId,
     to: EndpointId,
     bytes: &[u8],
 ) -> Result<(), DriverError> {
-    loop {
-        match fabric.send_copied(from, to, bytes) {
-            Ok(()) => return Ok(()),
-            Err(SendError::Full) => std::thread::yield_now(),
-            Err(e) => return Err(DriverError::Send(e)),
-        }
-    }
+    SendPolicy::default()
+        .run(&DRIVER_RETRIES, || fabric.send_copied(from, to, bytes))
+        .map_err(DriverError::Send)
 }
 
-/// Send one already-encoded frame by reference, retrying backpressure.
-/// Retries clone the `Arc`, never the bytes.
+/// Send one already-encoded frame by reference, with the same bounded
+/// backoff as [`push`]. Retries clone the `Arc`, never the bytes.
 fn push_shared(
     fabric: &dyn FabricPath,
     from: EndpointId,
     to: EndpointId,
     frame: &Arc<[u8]>,
 ) -> Result<(), DriverError> {
-    loop {
-        match fabric.send_shared(from, to, Arc::clone(frame)) {
-            Ok(()) => return Ok(()),
-            Err(SendError::Full) => std::thread::yield_now(),
-            Err(e) => return Err(DriverError::Send(e)),
-        }
-    }
+    SendPolicy::default()
+        .run(&DRIVER_RETRIES, || {
+            fabric.send_shared(from, to, Arc::clone(frame))
+        })
+        .map_err(DriverError::Send)
 }
 
 /// Serialize-once fan-out cache. The coordinator's send schedule repeats
@@ -406,14 +419,33 @@ pub fn run_switch_over_fabric(
         fabric.flush();
 
         // Phase 3: collect ACKs on the virtual clock until the session
-        // completes. A no-op plan is born complete and owes none.
+        // completes. A no-op plan is born complete and owes none. Lost
+        // control frames or lost ACKs are tolerated: if no ACK lands
+        // within the retry interval, the announcement outbox is re-sent
+        // wholesale (agents apply control messages idempotently and
+        // always re-ACK; the coordinator ignores duplicate ACKs), up to
+        // a bounded number of rounds before giving up with `AckTimeout`.
+        const ACK_RETRY_INTERVAL: std::time::Duration = std::time::Duration::from_millis(250);
+        const MAX_RESEND_ROUNDS: u32 = 8;
+        let mut resend_rounds = 0u32;
         let mut now = SimTime::ZERO;
         let mut t_switch = SimDuration::ZERO;
         let mut acks_received = 0u64;
         while coord.state() == CoordinatorState::AwaitingAcks {
-            let msg = coord_rx
-                .recv_timeout(std::time::Duration::from_secs(10))
-                .map_err(|_| DriverError::AckTimeout)?;
+            let msg = match coord_rx.recv_timeout(ACK_RETRY_INTERVAL) {
+                Ok(m) => m,
+                Err(_) => {
+                    resend_rounds += 1;
+                    if resend_rounds > MAX_RESEND_ROUNDS {
+                        return Err(DriverError::AckTimeout);
+                    }
+                    for (dst, msg) in &outbox {
+                        send_to(*dst, msg)?;
+                    }
+                    fabric.flush();
+                    continue;
+                }
+            };
             let ProtocolMsg::Ack { from } =
                 decode_msg(msg.payload.bytes()).map_err(DriverError::Codec)?
             else {
@@ -435,11 +467,52 @@ pub fn run_switch_over_fabric(
             }
         }
 
-        // Phase 4: deferred full-structure updates, then shutdown frames
-        // (one shared empty frame for every agent).
-        for (dst, msg) in coord.deferred_notifications() {
-            send_to(dst, &msg)?;
+        // Phase 4: deferred full-structure updates. Agents confirm these
+        // with a dedicated `AckStructure` (a late duplicate control ACK
+        // must not pass for one), so a lossy transport gets the same
+        // bounded re-send treatment: each instance is re-notified until
+        // its confirmation lands. The broadcast also reconciles replicas
+        // whose per-move control frames were partially lost — a node
+        // owing several controls ACKs after the first, so control ACKs
+        // alone cannot prove full application.
+        let deferred = coord.deferred_notifications();
+        let mut awaiting: std::collections::HashSet<Node> =
+            deferred.iter().map(|&(dst, _)| dst).collect();
+        for (dst, msg) in &deferred {
+            send_to(*dst, msg)?;
         }
+        fabric.flush();
+        let mut deferred_rounds = 0u32;
+        while !awaiting.is_empty() {
+            match coord_rx.recv_timeout(ACK_RETRY_INTERVAL) {
+                Ok(msg) => {
+                    match decode_msg(msg.payload.bytes()).map_err(DriverError::Codec)? {
+                        ProtocolMsg::AckStructure { from } => {
+                            acks_received += 1;
+                            awaiting.remove(&from);
+                        }
+                        // A duplicated control ACK from phase 3 may still
+                        // be in flight; it confirms nothing here.
+                        ProtocolMsg::Ack { .. } => acks_received += 1,
+                        _ => return Err(DriverError::UnexpectedMessage),
+                    }
+                }
+                Err(_) => {
+                    deferred_rounds += 1;
+                    if deferred_rounds > MAX_RESEND_ROUNDS {
+                        return Err(DriverError::AckTimeout);
+                    }
+                    for (dst, msg) in &deferred {
+                        if awaiting.contains(dst) {
+                            send_to(*dst, msg)?;
+                        }
+                    }
+                    fabric.flush();
+                }
+            }
+        }
+
+        // Phase 5: shutdown frames (one shared empty frame per agent).
         let shutdown: Arc<[u8]> = Vec::new().into();
         for i in 0..n {
             frames_sent += 1;
@@ -458,6 +531,12 @@ pub fn run_switch_over_fabric(
         fabric.flush();
     }
 
+    // Deregister the agent endpoints before joining: closing each inbox
+    // unblocks its agent even if a lossy transport swallowed the shutdown
+    // frame (frames already queued are still drained first).
+    for i in 0..n {
+        fabric.deregister(agent_endpoint(i));
+    }
     // Join every agent before reporting any failure — a poisoned run must
     // not leak threads.
     let mut replicas = Vec::with_capacity(n as usize);
@@ -469,9 +548,6 @@ pub fn run_switch_over_fabric(
         }
     }
     fabric.deregister(COORDINATOR);
-    for i in 0..n {
-        fabric.deregister(agent_endpoint(i));
-    }
     let (coord, t_switch, frames_sent, frames_encoded, acks_received) = result?;
     if let Some(node) = panicked {
         return Err(DriverError::AgentPanicked(node));
@@ -526,6 +602,7 @@ mod tests {
             connect_to: Node::Source,
         }));
         roundtrip(ProtocolMsg::Ack { from: Node::Dest(12) });
+        roundtrip(ProtocolMsg::AckStructure { from: Node::Dest(4) });
         roundtrip(ProtocolMsg::NewStructure(build_nonblocking(17, 3)));
         roundtrip(ProtocolMsg::NewStructure(build_sequential(6)));
         roundtrip(ProtocolMsg::NewStructure(MulticastTree::empty(4)));
@@ -609,8 +686,39 @@ mod tests {
         let fabric: Arc<dyn FabricPath> = Arc::new(LiveFabric::new());
         let report = run_switch_over_fabric(Arc::clone(&fabric), &tree, 3).unwrap();
         assert_eq!(report.moves, 0);
-        assert_eq!(report.acks_received, 0);
+        // No control ACKs, but every agent still confirms the final
+        // structure broadcast.
+        assert_eq!(report.acks_received, 8);
         assert_eq!(&report.new_tree, &tree);
+    }
+
+    #[test]
+    fn driver_tolerates_lost_and_duplicated_protocol_frames() {
+        // A quarter of all frames are dropped and another quarter
+        // duplicated — control messages, ACKs, and even the shutdown
+        // frames. The coordinator's re-send rounds, the agents'
+        // idempotent handlers, and the coordinator-side duplicate-ACK
+        // dedup must still converge every replica.
+        let tree = build_nonblocking(10, 4);
+        let inner: Arc<dyn FabricPath> = Arc::new(LiveFabric::new());
+        let plan = whale_net::FaultPlan {
+            seed: 42,
+            default_link: whale_net::LinkFaults {
+                drop: 0.25,
+                duplicate: 0.25,
+                ..whale_net::LinkFaults::default()
+            },
+            ..whale_net::FaultPlan::default()
+        };
+        let fault = Arc::new(whale_net::FaultFabric::new(inner, plan));
+        let fabric: Arc<dyn FabricPath> = Arc::clone(&fault) as Arc<dyn FabricPath>;
+        let report = run_switch_over_fabric(fabric, &tree, 2).unwrap();
+        report.new_tree.validate(2).unwrap();
+        assert!(report.moves > 0);
+        assert!(fault.drops() > 0, "the plan must actually drop frames");
+        // Lost ACKs surface as extra coordinator receives or re-sends,
+        // never as divergence.
+        assert!(report.acks_received >= report.moves as u64);
     }
 
     #[test]

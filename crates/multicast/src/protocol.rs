@@ -37,6 +37,14 @@ pub enum ProtocolMsg {
         /// The acknowledging instance.
         from: Node,
     },
+    /// Destination → source: the deferred [`ProtocolMsg::NewStructure`]
+    /// was installed. Distinct from [`ProtocolMsg::Ack`] so that a late
+    /// duplicate control ACK on a lossy transport can never be mistaken
+    /// for confirmation of the structure broadcast.
+    AckStructure {
+        /// The acknowledging instance.
+        from: Node,
+    },
 }
 
 /// Coordinator lifecycle.
@@ -249,10 +257,13 @@ impl InstanceAgent {
                 Some(ProtocolMsg::Ack { from: self.me })
             }
             ProtocolMsg::NewStructure(t) => {
+                // Replacing the replica is naturally idempotent, and the
+                // ACK lets a lossy transport re-send the deferred
+                // notification until it is confirmed delivered.
                 self.replica = t;
-                None
+                Some(ProtocolMsg::AckStructure { from: self.me })
             }
-            ProtocolMsg::Ack { .. } => None,
+            ProtocolMsg::Ack { .. } | ProtocolMsg::AckStructure { .. } => None,
         }
     }
 }

@@ -14,8 +14,10 @@
 pub mod batch;
 pub mod channel;
 pub mod fabric;
+pub mod fault;
 pub mod memory;
 pub mod nic;
+pub mod policy;
 pub mod ring_fabric;
 pub mod topology;
 pub mod verbs;
@@ -25,6 +27,8 @@ pub use channel::{ChannelMsg, Departure, PushResult, RdmaChannel};
 pub use fabric::{
     EndpointId, FabricPath, LiveFabric, LiveMessage, Payload, RegisterError, SendError,
 };
+pub use fault::{EndpointCrash, FaultFabric, FaultPlan, LinkFaults, Partition};
+pub use policy::SendPolicy;
 pub use ring_fabric::{
     spawn_flusher, FabricInstance, FabricKind, RingConfig, RingFabric, RingFlusher,
 };

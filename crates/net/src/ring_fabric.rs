@@ -120,18 +120,28 @@ impl Doorbell {
         }
     }
 
+    // Doorbell locks tolerate poison: a panicking flusher shard must
+    // degrade the run, not cascade panics into every sender that rings
+    // the bell afterwards. The flag is a plain bool, so the inner value
+    // is valid even if a holder died mid-critical-section.
     fn ring(&self) {
-        *self.pending.lock().expect("doorbell lock") = true;
+        *self
+            .pending
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner) = true;
         self.bell.notify_all();
     }
 
     /// Sleep until rung or `timeout`, consuming the pending flag.
     fn wait(&self, timeout: Duration) {
-        let guard = self.pending.lock().expect("doorbell lock");
+        let guard = self
+            .pending
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         let (mut guard, _) = self
             .bell
             .wait_timeout_while(guard, timeout, |pending| !*pending)
-            .expect("doorbell wait");
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         *guard = false;
     }
 }

@@ -55,6 +55,7 @@ fn main() {
                 multicast_d_star: d_star,
                 dedicated_senders: false,
                 fabric: FabricKind::PerSend,
+                ..LiveConfig::default()
             },
         );
         println!("{name}:");

@@ -34,6 +34,7 @@ fn main() {
             multicast_d_star: Some(2),
             dedicated_senders: false,
             fabric: FabricKind::PerSend,
+            ..LiveConfig::default()
         },
     );
 

@@ -98,6 +98,7 @@ fn main() {
             multicast_d_star: Some(2),
             dedicated_senders: true,
             fabric: FabricKind::PerSend,
+            ..LiveConfig::default()
         },
     );
 

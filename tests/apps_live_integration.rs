@@ -18,6 +18,7 @@ fn run_ride(comm: CommMode, zero_copy: bool, machines: u32) -> RunReport {
             multicast_d_star: None,
             dedicated_senders: false,
             fabric: FabricKind::PerSend,
+            ..LiveConfig::default()
         },
     )
 }
@@ -33,6 +34,7 @@ fn run_stock(comm: CommMode, zero_copy: bool, machines: u32) -> RunReport {
             multicast_d_star: None,
             dedicated_senders: false,
             fabric: FabricKind::PerSend,
+            ..LiveConfig::default()
         },
     )
 }
@@ -111,6 +113,7 @@ fn ride_hailing_results_identical_over_ring_fabric() {
             multicast_d_star: None,
             dedicated_senders: false,
             fabric: FabricKind::Ring(whale::dsps::RingConfig::default()),
+            ..LiveConfig::default()
         },
     );
     assert_eq!(ring.executed[..3], per_send.executed[..3]);
@@ -133,6 +136,7 @@ fn broadcast_fanout_scales_with_parallelism() {
                 multicast_d_star: None,
                 dedicated_senders: false,
                 fabric: FabricKind::PerSend,
+                ..LiveConfig::default()
             },
         );
         assert_eq!(r.executed[2], 500 + 100 * p as u64, "p={p}");
