@@ -1,0 +1,70 @@
+//! Criterion microbenchmark of per-hop relay forwarding: the old
+//! decode + re-encode-per-child discipline vs the zero-copy forward
+//! (fixed-offset header decode + one shared wire buffer cloned by
+//! reference to every child).
+
+use bytes::{BufMut, BytesMut};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::sync::Arc;
+use whale_dsps::codec::{decode_tuple, encode_tuple_into};
+use whale_dsps::{RelayHeader, Tuple, Value};
+
+/// Wire tag carried by relay data frames (runtime's `TAG_RELAY`).
+const TAG_RELAY: u8 = 4;
+
+/// Build one relay frame: `tag | RelayHeader | item`, with a ~150 B
+/// tuple payload matching the calibration runs.
+fn frame() -> Vec<u8> {
+    let tuple = Tuple::with_id(7, vec![Value::I64(42), Value::Str("x".repeat(120).into())]);
+    let header = RelayHeader {
+        origin: 0,
+        epoch: 3,
+        component: 1,
+        tracked: 0x00AB_CDEF,
+    };
+    let mut buf = BytesMut::new();
+    buf.put_u8(TAG_RELAY);
+    header.encode_into(&mut buf);
+    encode_tuple_into(&mut buf, &tuple);
+    buf.to_vec()
+}
+
+fn bench_forward(c: &mut Criterion) {
+    let wire = frame();
+    for children in [2usize, 4] {
+        // Old discipline: decode the whole frame, then re-encode it from
+        // scratch once per child.
+        c.bench_function(&format!("clone_forward_{children}_children"), |b| {
+            b.iter(|| {
+                let mut buf = &wire[1..];
+                let header = RelayHeader::decode(&mut buf).expect("frame is well-formed");
+                let tuple = decode_tuple(&mut buf).expect("frame is well-formed");
+                for _ in 0..children {
+                    let mut out = BytesMut::with_capacity(wire.len());
+                    out.put_u8(TAG_RELAY);
+                    header.encode_into(&mut out);
+                    encode_tuple_into(&mut out, &tuple);
+                    black_box(out.len());
+                }
+            })
+        });
+
+        // Zero-copy forward: read the header at its fixed offset, then
+        // hand the received wire bytes to every child by reference.
+        c.bench_function(&format!("zero_copy_forward_{children}_children"), |b| {
+            let shared: Arc<[u8]> = Arc::from(&wire[..]);
+            b.iter(|| {
+                let mut buf = &shared[1..];
+                let header = RelayHeader::decode(&mut buf).expect("frame is well-formed");
+                black_box(header.epoch);
+                for _ in 0..children {
+                    black_box(Arc::clone(&shared));
+                }
+            })
+        });
+    }
+}
+
+criterion_group!(benches, bench_forward);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! E22 — live adaptive: runtime tree switching + zero-copy relay
+//! forwarding on a phase-shifted workload.
+//!
+//! Emits `results/live_adaptive.{csv,json}` plus the top-level
+//! `BENCH_adaptive.json` headline report (override the location with
+//! `WHALE_BENCH_DIR`). Pass `--smoke` (or set `WHALE_SCALE=smoke`) for
+//! the minimal CI variant.
+
+use whale_bench::experiments::live_adaptive as e22;
+
+fn main() {
+    let scale = if std::env::args().any(|a| a == "--smoke") {
+        whale_bench::Scale::Smoke
+    } else {
+        whale_bench::Scale::from_env()
+    };
+    let points = e22::model_sweep();
+    for table in e22::run_experiment(scale) {
+        table.emit(None);
+    }
+    let cells = e22::live_cells(scale);
+
+    let dir = std::env::var_os("WHALE_BENCH_DIR")
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|| std::path::PathBuf::from("."));
+    let _ = std::fs::create_dir_all(&dir);
+    let path = dir.join("BENCH_adaptive.json");
+    let json = e22::summary_json(&points, &cells).to_json_string();
+    std::fs::write(&path, format!("{json}\n")).expect("write BENCH_adaptive.json");
+    println!("headline report → {}", path.display());
+}

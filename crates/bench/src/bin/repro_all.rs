@@ -75,6 +75,10 @@ fn main() {
             Box::new(ex::live_zero_copy::run_experiment),
         ),
         (
+            "E22 Adaptive vs static relay trees",
+            Box::new(ex::live_adaptive::run_experiment),
+        ),
+        (
             "Ablations (beyond the paper)",
             Box::new(|s| {
                 let mut t = ex::ablations::run_dstar_sweep(s);

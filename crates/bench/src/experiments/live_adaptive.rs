@@ -1,0 +1,513 @@
+//! E22 — live adaptive: runtime tree switching + zero-copy relay
+//! forwarding on a phase-shifted workload.
+//!
+//! Two layers, one report:
+//!
+//! * **Model sweep** (deterministic): a phase-shifted arrival trace
+//!   (low → high → low λ) priced on the paper's M/D/1 source model.
+//!   Each static out-degree `d` caps throughput at
+//!   `µ(d) = (Q+1-√(Q²+1))/(d·t_e)`; the adaptive structure re-plans
+//!   `d*(λ)` per phase exactly as the live controller would, so it
+//!   tracks the offered load while the worst static tree saturates.
+//!   Per-hop forwarding is priced both ways: decode + re-encode per
+//!   child (clone-forward) vs the fixed-offset header patch + shared
+//!   wire buffer (zero-copy forward).
+//! * **Live acceptance cells**: the real threaded runtime with the XOR
+//!   acker on, relay trees enabled, and a forced mid-run epoch switch —
+//!   clean, 10 %-drop, and clone-forward variants. Every cell asserts
+//!   `tuples_acked + tuples_failed == spout_emitted` with
+//!   `relay_forwards > 0`.
+//!
+//! Thread scheduling perturbs replay/forward *counts*, so the emitted
+//! rows carry only run-invariant fields; `results/live_adaptive.json`
+//! and `BENCH_adaptive.json` are byte-identical across same-seed reruns.
+
+use crate::{Scale, Table};
+use std::time::Duration;
+use whale_dsps::{
+    run_topology, AckConfig, AdaptiveConfig, Emitter, FnBolt, Grouping, IterSpout, LiveConfig,
+    Operators, RunOutcome, Schema, Topology, TopologyBuilder, Tuple, Value,
+};
+use whale_multicast::{build_nonblocking, Node};
+use whale_net::{FabricKind, FaultPlan};
+use whale_sim::cost::mdone;
+use whale_sim::{CostModel, JsonValue};
+
+/// Tuple payload size, matching the E19/E20 calibration runs.
+const MSG_BYTES: usize = 150;
+
+/// Per-destination serialization time fed to `d*` (matches the live
+/// controller's `t_e_default`).
+const T_E: f64 = 20e-6;
+
+/// Transfer-queue capacity Q for the M/D/1 waterline.
+const Q: usize = 1024;
+
+/// Workers in the modeled cluster (relay tree spans `WORKERS - 1`).
+const WORKERS: u32 = 16;
+
+/// Degree ceiling the adaptive planner may pick (≈ binomial source
+/// degree for a 16-worker cluster).
+const MAX_D: u32 = 8;
+
+/// Phase-shifted workload: `(duration_s, lambda_tuples_per_s)`. Low →
+/// high → low, crossing the affordable rate of every large out-degree.
+pub const PHASES: [(f64, f64); 5] = [
+    (2.0, 4_000.0),
+    (2.0, 24_000.0),
+    (2.0, 45_000.0),
+    (2.0, 12_000.0),
+    (2.0, 30_000.0),
+];
+
+/// Static out-degrees the adaptive structure is compared against.
+pub const STATIC_DS: [u32; 4] = [1, 2, 4, 8];
+
+/// One (structure, phase) cell of the model sweep.
+#[derive(Clone, PartialEq, Debug)]
+pub struct ModelPoint {
+    /// `static_d<k>` or `adaptive`.
+    pub structure: String,
+    /// Phase index into [`PHASES`].
+    pub phase: usize,
+    /// Phase duration (s).
+    pub dur_s: f64,
+    /// Offered arrival rate λ (tuples/s).
+    pub lambda: f64,
+    /// Out-degree in force during the phase.
+    pub d: u32,
+    /// Affordable source rate µ(d) (tuples/s).
+    pub mu: f64,
+    /// Delivered rate `min(λ, µ(d))` (tuples/s).
+    pub delivered: f64,
+    /// Relay-tree depth at this out-degree (latency proxy).
+    pub depth: u32,
+}
+
+/// Deepest node of the nonblocking relay tree over `WORKERS - 1`
+/// destinations at out-degree `d`.
+fn tree_depth(d: u32) -> u32 {
+    let tree = build_nonblocking(WORKERS - 1, d);
+    (0..tree.n())
+        .filter_map(|i| tree.depth(Node::Dest(i)))
+        .max()
+        .unwrap_or(0)
+}
+
+/// The out-degree the live controller would plan for arrival rate λ.
+pub fn planned_d(lambda: f64) -> u32 {
+    mdone::d_star(lambda, T_E, Q).clamp(1, MAX_D)
+}
+
+/// Model one structure across every phase. `degree(λ)` picks the
+/// out-degree in force during a phase.
+fn model_structure(name: &str, degree: impl Fn(f64) -> u32) -> Vec<ModelPoint> {
+    PHASES
+        .iter()
+        .enumerate()
+        .map(|(phase, &(dur_s, lambda))| {
+            let d = degree(lambda);
+            let mu = mdone::max_affordable_rate(d, T_E, Q);
+            ModelPoint {
+                structure: name.to_string(),
+                phase,
+                dur_s,
+                lambda,
+                d,
+                mu,
+                delivered: lambda.min(mu),
+                depth: tree_depth(d),
+            }
+        })
+        .collect()
+}
+
+/// The full model sweep: every static degree, then the adaptive plan.
+pub fn model_sweep() -> Vec<ModelPoint> {
+    let mut points = Vec::new();
+    for &d in &STATIC_DS {
+        points.extend(model_structure(&format!("static_d{d}"), |_| d));
+    }
+    points.extend(model_structure("adaptive", planned_d));
+    points
+}
+
+/// End-to-end throughput of one structure: delivered tuples over the
+/// whole trace divided by trace duration.
+pub fn throughput(points: &[ModelPoint], structure: &str) -> f64 {
+    let mine: Vec<_> = points.iter().filter(|p| p.structure == structure).collect();
+    let delivered: f64 = mine.iter().map(|p| p.delivered * p.dur_s).sum();
+    let dur: f64 = mine.iter().map(|p| p.dur_s).sum();
+    delivered / dur
+}
+
+/// Per-hop forwarding price of both disciplines on the cost model:
+/// clone-forward pays a decode and a re-encode of the frame per child,
+/// zero-copy pays a reference handoff. Both pay the ring bookkeeping op.
+/// Returns `(clone_us, zero_copy_us)`.
+pub fn hop_prices() -> (f64, f64) {
+    let cost = CostModel::default();
+    let ser = cost.serialize(MSG_BYTES).as_secs_f64();
+    let id_pack = cost.id_pack.as_secs_f64();
+    let mr_op = cost.ring_mr_op.as_secs_f64();
+    ((2.0 * ser + mr_op) * 1e6, (id_pack + mr_op) * 1e6)
+}
+
+/// One live acceptance cell. Every field is run-invariant: counts that
+/// thread scheduling perturbs (replays, forwards) surface as booleans
+/// asserted inside [`measure_live`].
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct LivePoint {
+    /// Cell label.
+    pub mode: &'static str,
+    /// Shared wire buffers (true) vs per-hop copies (false).
+    pub zero_copy: bool,
+    /// Injected silent-drop probability, in percent.
+    pub drop_pct: u32,
+    /// Worker processes in the run.
+    pub machines: u32,
+    /// Tuples the spout emitted (excludes replays).
+    pub emitted: u64,
+    /// `emitted - acked - failed`; identically zero (at-least-once).
+    pub silent_lost: u64,
+    /// Whether the run switched tree generations mid-stream.
+    pub switched: bool,
+    /// Whether tuples actually rode the relay tree.
+    pub relay_active: bool,
+}
+
+/// All-grouped spout → sink topology with a throttled spout, so forced
+/// switches land while the stream is in flight.
+fn topology(n: i64, fanout: u32, gap: Duration) -> (Topology, Operators) {
+    let mut b = TopologyBuilder::new();
+    b.spout("src", 1, Schema::new(vec!["n"]))
+        .bolt("sink", fanout, Schema::new(vec!["n"]))
+        .connect("src", "sink", Grouping::All);
+    let t = b.build().expect("static topology is valid");
+    let ops = Operators::new()
+        .spout("src", move |_| {
+            Box::new(IterSpout::new((0..n).map(move |i| {
+                if !gap.is_zero() {
+                    std::thread::sleep(gap);
+                }
+                Tuple::with_id(i as u64, vec![Value::I64(i)])
+            })))
+        })
+        .bolt("sink", |_| {
+            Box::new(FnBolt::new(|_t: &Tuple, _out: &mut dyn Emitter| {}))
+        });
+    (t, ops)
+}
+
+/// Run one acked relay cell and verify acceptance: every emitted tuple
+/// ends acked or failed, and the relay tree actually carried them.
+pub fn measure_live(
+    scale: Scale,
+    mode: &'static str,
+    adaptive: Option<AdaptiveConfig>,
+    static_d: Option<u32>,
+    zero_copy: bool,
+    drop_pct: u32,
+) -> LivePoint {
+    let tuples: i64 = scale.pick3(120, 400, 1_500);
+    let machines = 8;
+    let expect_switch = adaptive
+        .as_ref()
+        .is_some_and(|a| !a.forced_switches.is_empty());
+    let seed = 0xADA9_7000 + drop_pct as u64 * 31 + zero_copy as u64 * 7 + mode.len() as u64;
+    let config = LiveConfig {
+        machines,
+        zero_copy,
+        multicast_d_star: static_d,
+        multicast_adaptive: adaptive,
+        fabric: FabricKind::PerSend,
+        ack: Some(AckConfig {
+            timeout: Duration::from_millis(60),
+            max_replays: 20,
+            drain_deadline: Duration::from_secs(20),
+            // Redundant EOS copies ride every relay hop independently, so
+            // a lossy deep tree still terminates promptly.
+            eos_redundancy: 8,
+            ..AckConfig::default()
+        }),
+        fault: (drop_pct > 0)
+            .then(|| FaultPlan::uniform_drops(seed, drop_pct as f64 / 100.0)),
+        run_deadline: Some(Duration::from_secs(10)),
+        ..LiveConfig::default()
+    };
+    // Throttle the spout just enough for a forced switch to land while
+    // frames are in flight.
+    let gap = if expect_switch {
+        Duration::from_micros(100)
+    } else {
+        Duration::ZERO
+    };
+    let (t, ops) = topology(tuples, 16, gap);
+    let r = run_topology(t, ops, config);
+
+    assert_eq!(r.spout_emitted, tuples as u64, "{mode}: spout must finish");
+    assert_eq!(
+        r.tuples_acked + r.tuples_failed,
+        r.spout_emitted,
+        "{mode}: silent loss"
+    );
+    assert!(r.relay_forwards > 0, "{mode}: tuples must ride the relay tree");
+    assert_eq!(r.thread_panics, 0, "{mode}: no thread may panic");
+    if expect_switch {
+        assert!(r.relay_switches >= 1, "{mode}: forced switch must land");
+        assert!(r.relay_epoch >= 1, "{mode}: epoch must advance");
+    }
+    if drop_pct == 0 {
+        assert_eq!(r.tuples_failed, 0, "{mode}: clean cell must ack everything");
+        assert!(matches!(r.outcome, RunOutcome::Clean), "{mode}: {:?}", r.outcome);
+        assert_eq!(r.relay_stale_drops, 0, "{mode}: clean cell drops nothing");
+    } else {
+        assert!(r.fault_drops > 0, "{mode}: plan must actually drop frames");
+    }
+    if zero_copy {
+        assert!(r.shared_bytes > 0, "{mode}: zero-copy cell must share buffers");
+    } else {
+        assert_eq!(r.shared_bytes, 0, "{mode}: clone cell never shares");
+        assert!(r.copied_bytes > 0, "{mode}: clone cell must copy frames");
+    }
+
+    LivePoint {
+        mode,
+        zero_copy,
+        drop_pct,
+        machines,
+        emitted: r.spout_emitted,
+        silent_lost: r.spout_emitted - r.tuples_acked - r.tuples_failed,
+        switched: r.relay_switches >= 1,
+        relay_active: r.relay_forwards > 0,
+    }
+}
+
+/// Adaptive config used by the live cells: start narrow, force a switch
+/// to a shallow tree a third of the way through the stream.
+fn live_adaptive_config(tuples: u64) -> AdaptiveConfig {
+    AdaptiveConfig {
+        initial_d: 2,
+        interval: Duration::from_millis(1),
+        forced_switches: vec![(tuples / 3, 4)],
+        ..AdaptiveConfig::default()
+    }
+}
+
+/// Run every live acceptance cell.
+pub fn live_cells(scale: Scale) -> Vec<LivePoint> {
+    let tuples = scale.pick3(120u64, 400, 1_500);
+    vec![
+        measure_live(
+            scale,
+            "adaptive_clean",
+            Some(live_adaptive_config(tuples)),
+            None,
+            true,
+            0,
+        ),
+        measure_live(
+            scale,
+            "adaptive_drops",
+            Some(live_adaptive_config(tuples)),
+            None,
+            true,
+            10,
+        ),
+        measure_live(scale, "static_clean", None, Some(2), true, 0),
+        measure_live(
+            scale,
+            "clone_forward",
+            Some(live_adaptive_config(tuples)),
+            None,
+            false,
+            0,
+        ),
+    ]
+}
+
+/// Build the model-sweep result table.
+pub fn table_from_points(points: &[ModelPoint]) -> Table {
+    let mut table = Table::new(
+        "live_adaptive",
+        "Adaptive vs static relay trees on a phase-shifted workload (modeled)",
+        &[
+            "structure", "phase", "dur_s", "lambda", "d", "mu", "delivered", "depth",
+        ],
+    );
+    for p in points {
+        table.row_strings(vec![
+            p.structure.clone(),
+            p.phase.to_string(),
+            format!("{:.1}", p.dur_s),
+            format!("{:.0}", p.lambda),
+            p.d.to_string(),
+            format!("{:.1}", p.mu),
+            format!("{:.1}", p.delivered),
+            p.depth.to_string(),
+        ]);
+    }
+    table
+}
+
+/// Headline summary written as the top-level `BENCH_adaptive.json`.
+/// Schema-stable and byte-identical across same-scale reruns.
+pub fn summary_json(points: &[ModelPoint], cells: &[LivePoint]) -> JsonValue {
+    let adaptive_tps = throughput(points, "adaptive");
+    let statics: Vec<f64> = STATIC_DS
+        .iter()
+        .map(|d| throughput(points, &format!("static_d{d}")))
+        .collect();
+    let worst_static = statics.iter().copied().fold(f64::INFINITY, f64::min);
+    let best_static = statics.iter().copied().fold(0.0, f64::max);
+    let (clone_us, zero_us) = hop_prices();
+    let cell_json = |p: &LivePoint| {
+        JsonValue::Object(vec![
+            ("mode".into(), JsonValue::str(p.mode)),
+            ("zero_copy".into(), JsonValue::Bool(p.zero_copy)),
+            ("drop_pct".into(), JsonValue::UInt(p.drop_pct as u64)),
+            ("emitted".into(), JsonValue::UInt(p.emitted)),
+            ("silent_lost".into(), JsonValue::UInt(p.silent_lost)),
+            ("switched".into(), JsonValue::Bool(p.switched)),
+            ("relay_active".into(), JsonValue::Bool(p.relay_active)),
+        ])
+    };
+    JsonValue::Object(vec![
+        ("schema".into(), JsonValue::str(crate::JSON_SCHEMA)),
+        ("report".into(), JsonValue::str("adaptive")),
+        ("experiment".into(), JsonValue::str("live_adaptive")),
+        ("phases".into(), JsonValue::UInt(PHASES.len() as u64)),
+        ("adaptive_tuples_s".into(), JsonValue::Float(adaptive_tps)),
+        ("best_static_tuples_s".into(), JsonValue::Float(best_static)),
+        (
+            "worst_static_tuples_s".into(),
+            JsonValue::Float(worst_static),
+        ),
+        (
+            "adaptive_gain_vs_worst_static".into(),
+            JsonValue::Float(adaptive_tps / worst_static),
+        ),
+        (
+            "clone_forward_us_per_child".into(),
+            JsonValue::Float(clone_us),
+        ),
+        (
+            "zero_copy_forward_us_per_child".into(),
+            JsonValue::Float(zero_us),
+        ),
+        (
+            "forward_speedup_per_hop".into(),
+            JsonValue::Float(clone_us / zero_us),
+        ),
+        (
+            "acceptance_cells".into(),
+            JsonValue::Array(cells.iter().map(cell_json).collect()),
+        ),
+    ])
+}
+
+/// Run the model sweep, assert the acceptance margins, and return the
+/// result table.
+pub fn run_experiment(_scale: Scale) -> Vec<Table> {
+    let points = model_sweep();
+    let adaptive = throughput(&points, "adaptive");
+    let worst = STATIC_DS
+        .iter()
+        .map(|d| throughput(&points, &format!("static_d{d}")))
+        .fold(f64::INFINITY, f64::min);
+    assert!(
+        adaptive >= 1.3 * worst,
+        "adaptive ({adaptive:.0}/s) must beat the worst static tree ({worst:.0}/s) by ≥30%"
+    );
+    let (clone_us, zero_us) = hop_prices();
+    assert!(
+        zero_us < clone_us,
+        "zero-copy hop ({zero_us:.2}µs) must beat decode+re-encode ({clone_us:.2}µs)"
+    );
+    vec![table_from_points(&points)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn adaptive_tracks_the_offered_load() {
+        let points = model_sweep();
+        let offered: f64 = PHASES.iter().map(|&(d, l)| d * l).sum::<f64>()
+            / PHASES.iter().map(|&(d, _)| d).sum::<f64>();
+        let adaptive = throughput(&points, "adaptive");
+        assert!(
+            (adaptive - offered).abs() < 1e-6,
+            "adaptive {adaptive:.1} must deliver the offered {offered:.1}"
+        );
+        let worst = STATIC_DS
+            .iter()
+            .map(|d| throughput(&points, &format!("static_d{d}")))
+            .fold(f64::INFINITY, f64::min);
+        assert!(adaptive >= 1.3 * worst, "{adaptive:.0} vs {worst:.0}");
+    }
+
+    #[test]
+    fn planner_narrows_under_load() {
+        assert!(planned_d(4_000.0) > planned_d(45_000.0));
+        assert_eq!(planned_d(45_000.0), 1);
+        assert_eq!(planned_d(4_000.0), MAX_D);
+    }
+
+    #[test]
+    fn zero_copy_hop_is_cheaper() {
+        let (clone_us, zero_us) = hop_prices();
+        assert!(zero_us < clone_us, "{zero_us:.2} vs {clone_us:.2}");
+        assert!(clone_us / zero_us > 2.0);
+    }
+
+    #[test]
+    fn model_sweep_is_deterministic() {
+        assert_eq!(model_sweep(), model_sweep());
+        let json_a = summary_json(&model_sweep(), &[]).to_json_string();
+        let json_b = summary_json(&model_sweep(), &[]).to_json_string();
+        assert_eq!(json_a, json_b);
+    }
+
+    #[test]
+    fn adaptive_clean_cell_accounts_for_every_tuple() {
+        let p = measure_live(
+            Scale::Smoke,
+            "adaptive_clean",
+            Some(live_adaptive_config(120)),
+            None,
+            true,
+            0,
+        );
+        assert_eq!(p.silent_lost, 0);
+        assert!(p.switched);
+        assert!(p.relay_active);
+    }
+
+    #[test]
+    fn drops_on_the_relay_tree_never_cause_silent_loss() {
+        let p = measure_live(
+            Scale::Smoke,
+            "adaptive_drops",
+            Some(live_adaptive_config(120)),
+            None,
+            true,
+            10,
+        );
+        assert_eq!(p.silent_lost, 0);
+        assert!(p.relay_active);
+    }
+
+    #[test]
+    fn table_and_summary_carry_the_schema() {
+        let tables = run_experiment(Scale::Smoke);
+        assert_eq!(tables.len(), 1);
+        assert_eq!(tables[0].len(), PHASES.len() * (STATIC_DS.len() + 1));
+        let json = tables[0].to_json().to_json_string();
+        assert!(json.contains("\"schema\":\"whale-bench/v1\""), "{json}");
+        assert!(json.contains("\"figure\":\"live_adaptive\""));
+        let summary = summary_json(&model_sweep(), &[]).to_json_string();
+        assert!(summary.contains("adaptive_gain_vs_worst_static"));
+    }
+}

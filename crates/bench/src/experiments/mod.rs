@@ -12,6 +12,7 @@ pub mod fig23_24_dynamic;
 pub mod fig25_28_communication;
 pub mod fig29_32_verbs;
 pub mod fig33_34_racks;
+pub mod live_adaptive;
 pub mod live_chaos;
 pub mod live_ring;
 pub mod live_zero_copy;

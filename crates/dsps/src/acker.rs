@@ -231,6 +231,32 @@ mod tests {
     }
 
     #[test]
+    fn relay_armed_tree_survives_stragglers_after_completion() {
+        // The relay path arms every destination's anchor *before* the
+        // frame departs, so acks crossing several relay hops land on a
+        // fully-armed ledger in whatever order the tree delivers them —
+        // here deepest subtree first. A straggling duplicate ack (a
+        // replayed frame whose executor-side dedup raced completion)
+        // reports `Failed` harmlessly instead of reviving the tree.
+        let mut a = acker();
+        let anchors = [3u64, 5, 9, 17];
+        let armed = anchors.iter().fold(0u64, |x, &v| x ^ v);
+        a.init(1, armed, SimTime::ZERO);
+        for (i, &anchor) in anchors.iter().enumerate().rev() {
+            let state = a.ack(1, anchor);
+            if i == 0 {
+                assert_eq!(state, TreeState::Acked);
+            } else {
+                assert_eq!(state, TreeState::Pending, "i={i}");
+            }
+        }
+        assert_eq!(a.acked(), 1);
+        assert_eq!(a.ack(1, anchors[2]), TreeState::Failed);
+        assert_eq!(a.pending(), 0, "late ack must not re-create the tree");
+        assert_eq!(a.acked(), 1);
+    }
+
+    #[test]
     fn deep_tree_with_intermediate_emits() {
         let mut a = acker();
         let root = 2;

@@ -278,6 +278,56 @@ impl WorkerMessage {
     }
 }
 
+/// The fixed-offset header of a relay frame traveling the multicast tree
+/// (after the 1-byte fabric tag): `origin u32 | epoch u32 | component u32 |
+/// tracked u64`, followed by the encoded data item.
+///
+/// The header is deliberately *child-invariant*: the receiver's tree-node
+/// index is NOT carried. The node→worker mapping skips the origin and is
+/// a bijection, so each relay derives its own node index from its worker
+/// id instead — which means the exact received bytes can be forwarded to
+/// every child as one shared buffer: no decode, no re-encode, no
+/// per-child header patching on the forward path.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct RelayHeader {
+    /// Worker id of the broadcast's source worker (tree root).
+    pub origin: u32,
+    /// Tree-structure epoch the frame was sent on; frames from retired
+    /// epochs are dropped, never delivered.
+    pub epoch: u32,
+    /// Destination component of the broadcast.
+    pub component: u32,
+    /// XOR-acker ledger key (`attempt << 48 | root`), or 0 when the
+    /// broadcast is untracked. Anchors are derived per destination, never
+    /// carried.
+    pub tracked: u64,
+}
+
+impl RelayHeader {
+    /// Encoded size in bytes (excluding the fabric tag byte).
+    pub const WIRE_BYTES: usize = 20;
+
+    /// Serialize into `buf` at its current position.
+    pub fn encode_into(&self, buf: &mut BytesMut) {
+        buf.reserve(Self::WIRE_BYTES);
+        buf.put_u32_le(self.origin);
+        buf.put_u32_le(self.epoch);
+        buf.put_u32_le(self.component);
+        buf.put_u64_le(self.tracked);
+    }
+
+    /// Deserialize from `buf`, consuming exactly [`Self::WIRE_BYTES`].
+    pub fn decode(buf: &mut impl Buf) -> Result<Self, DecodeError> {
+        need(&*buf, Self::WIRE_BYTES)?;
+        Ok(RelayHeader {
+            origin: buf.get_u32_le(),
+            epoch: buf.get_u32_le(),
+            component: buf.get_u32_le(),
+            tracked: buf.get_u64_le(),
+        })
+    }
+}
+
 /// An `AddressedTuple`: what the dispatcher hands each local executor
 /// after deserializing a [`WorkerMessage`] (§4).
 #[derive(Clone, PartialEq, Debug)]
@@ -525,5 +575,34 @@ mod tests {
         let t = Tuple::new(vec![Value::str(""), Value::Bytes(Arc::from(&[][..]))]);
         let mut buf = encode_tuple(&t);
         assert_eq!(decode_tuple(&mut buf).unwrap(), t);
+    }
+
+    #[test]
+    fn relay_header_roundtrip_at_fixed_offsets() {
+        let h = RelayHeader {
+            origin: 3,
+            epoch: 7,
+            component: 2,
+            tracked: (5u64 << 48) | 0xABCD,
+        };
+        let mut buf = BytesMut::new();
+        h.encode_into(&mut buf);
+        assert_eq!(buf.len(), RelayHeader::WIRE_BYTES);
+        // Fixed offsets: origin@0, epoch@4, component@8, tracked@12.
+        assert_eq!(u32::from_le_bytes(buf[0..4].try_into().unwrap()), 3);
+        assert_eq!(u32::from_le_bytes(buf[4..8].try_into().unwrap()), 7);
+        assert_eq!(u32::from_le_bytes(buf[8..12].try_into().unwrap()), 2);
+        let mut rd = buf.freeze();
+        assert_eq!(RelayHeader::decode(&mut rd).unwrap(), h);
+        assert!(!rd.has_remaining());
+    }
+
+    #[test]
+    fn relay_header_truncated_is_an_error() {
+        let mut short = Bytes::copy_from_slice(&[0u8; RelayHeader::WIRE_BYTES - 1]);
+        assert_eq!(
+            RelayHeader::decode(&mut short),
+            Err(DecodeError::Truncated)
+        );
     }
 }

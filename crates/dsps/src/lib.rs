@@ -28,7 +28,7 @@ pub mod tuple;
 
 pub use ack::{LatencyTracker, MulticastTracker};
 pub use acker::{AckBuilder, Acker, TreeState};
-pub use codec::{AddressedTuple, DecodeError, InstanceMessage, WorkerMessage};
+pub use codec::{AddressedTuple, DecodeError, InstanceMessage, RelayHeader, WorkerMessage};
 pub use grouping::GroupingExec;
 pub use messaging::{plan, CommMode, Envelope, MessagePlan};
 pub use operator::{
@@ -36,8 +36,8 @@ pub use operator::{
 };
 pub use pool::{BufferPool, PoolConfig, PooledBuf};
 pub use runtime::{
-    run_topology, AckConfig, BuildError, LiveConfig, Operators, RunOutcome, RunReport,
-    TimelineSample,
+    run_topology, AckConfig, AdaptiveConfig, BuildError, LiveConfig, Operators, RunOutcome,
+    RunReport, TimelineSample,
 };
 pub use whale_net::{FabricKind, RingConfig};
 pub use scheduler::{Placement, WorkerId};

@@ -50,6 +50,10 @@ struct PoolInner {
     outstanding: AtomicU64,
     /// Most buffers ever outstanding at once.
     high_watermark: AtomicU64,
+    /// Wire-buffer snapshots taken via [`PooledBuf::share`].
+    shares: AtomicU64,
+    /// Bytes copied out of scratch buffers by those snapshots.
+    shared_bytes: AtomicU64,
 }
 
 /// A shared pool of encode buffers. Cloning shares the same pool.
@@ -77,6 +81,8 @@ impl BufferPool {
                 discarded: AtomicU64::new(0),
                 outstanding: AtomicU64::new(0),
                 high_watermark: AtomicU64::new(0),
+                shares: AtomicU64::new(0),
+                shared_bytes: AtomicU64::new(0),
             }),
         }
     }
@@ -138,6 +144,20 @@ impl BufferPool {
         self.inner.high_watermark.load(Ordering::Relaxed)
     }
 
+    /// Wire-buffer snapshots taken via [`PooledBuf::share`]. On the
+    /// zero-copy path this is one per *encoded* frame regardless of
+    /// fan-out — relay forwarding clones the snapshot by reference — so
+    /// `shares ≈ frames_encoded` confirms the serialize-once discipline.
+    pub fn shares(&self) -> u64 {
+        self.inner.shares.load(Ordering::Relaxed)
+    }
+
+    /// Bytes copied out of scratch buffers by [`PooledBuf::share`] (the
+    /// one physical copy a zero-copy frame ever pays).
+    pub fn shared_bytes(&self) -> u64 {
+        self.inner.shared_bytes.load(Ordering::Relaxed)
+    }
+
     /// Released buffers currently available for reuse.
     pub fn pooled(&self) -> usize {
         self.inner.free.lock().len()
@@ -169,6 +189,8 @@ impl BufferPool {
         );
         reg.set_gauge(&format!("{prefix}.pooled"), self.pooled() as f64);
         reg.set_gauge(&format!("{prefix}.hit_rate"), self.hit_rate());
+        reg.set_counter(&format!("{prefix}.shares"), self.shares());
+        reg.set_counter(&format!("{prefix}.shared_bytes"), self.shared_bytes());
     }
 }
 
@@ -184,6 +206,10 @@ impl PooledBuf {
     /// transfer the fabric posts by reference); the scratch buffer itself
     /// stays with the guard and returns to the pool.
     pub fn share(&self) -> Arc<[u8]> {
+        self.pool.shares.fetch_add(1, Ordering::Relaxed);
+        self.pool
+            .shared_bytes
+            .fetch_add(self.len() as u64, Ordering::Relaxed);
         Arc::from(&self[..])
     }
 }
@@ -281,6 +307,21 @@ mod tests {
         assert_eq!(pool.pooled(), 1, "scratch buffer returned despite share");
         let another = Arc::clone(&shared);
         assert_eq!(&another[..], b"frame", "shared wire buffer outlives guard");
+        assert_eq!(pool.shares(), 1, "one snapshot per encoded frame");
+        assert_eq!(pool.shared_bytes(), 5);
+    }
+
+    #[test]
+    fn shares_count_snapshots_not_reference_clones() {
+        let pool = BufferPool::default();
+        let mut b = pool.acquire();
+        b.put_slice(b"relayed frame");
+        let wire = b.share();
+        // Relay fan-out hands the same snapshot to every child by
+        // reference; only the snapshot itself is a share.
+        let _children: Vec<_> = (0..4).map(|_| Arc::clone(&wire)).collect();
+        assert_eq!(pool.shares(), 1);
+        assert_eq!(pool.shared_bytes(), 13);
     }
 
     #[test]

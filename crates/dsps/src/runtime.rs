@@ -14,7 +14,7 @@
 //! buffers vs TCP-style copies on the fabric.
 
 use crate::acker::Acker;
-use crate::codec::{self, InstanceMessage, WorkerMessage};
+use crate::codec::{self, InstanceMessage, RelayHeader, WorkerMessage};
 use crate::grouping::GroupingExec;
 use crate::messaging::{plan, CommMode};
 use crate::operator::{Bolt, BoltFactory, Emitter, Spout, SpoutFactory};
@@ -23,16 +23,20 @@ use crate::scheduler::{Placement, WorkerId};
 use crate::task::{ComponentId, TaskId};
 use crate::topology::{ComponentKind, Grouping, Topology};
 use crate::tuple::Tuple;
-use bytes::{Buf, BufMut, Bytes, BytesMut};
+use bytes::{Buf, BufMut, BytesMut};
 use crossbeam::channel::{unbounded, Receiver, Sender};
-use parking_lot::Mutex;
+use parking_lot::{Mutex, RwLock};
 use std::collections::{HashMap, HashSet};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
-use whale_multicast::{build_nonblocking, MulticastTree, Node};
+use whale_multicast::{
+    build_nonblocking, plan_switch, run_switch_over_fabric_at, AdjustController, ControllerConfig,
+    Decision, MulticastTree, Node, WorkloadMonitor,
+};
 use whale_net::{
-    ClusterSpec, EndpointId, FabricKind, FabricPath, FaultFabric, FaultPlan, SendError, SendPolicy,
+    ClusterSpec, EndpointId, FabricKind, FabricPath, FaultFabric, FaultPlan, Payload, SendError,
+    SendPolicy,
 };
 use whale_sim::{SimDuration, SimTime};
 
@@ -184,6 +188,13 @@ pub struct LiveConfig {
     /// source sending to every worker directly. Requires
     /// [`CommMode::WorkerOriented`].
     pub multicast_d_star: Option<u32>,
+    /// Re-plan the relay tree's out-degree at runtime from live workload
+    /// samples (the paper's workload monitor + self-adjusting
+    /// controller), switching between epoch-versioned tree generations
+    /// without stopping the data plane. Implies the relay path; when
+    /// both this and `multicast_d_star` are set, `multicast_d_star`
+    /// seeds the initial degree. Requires [`CommMode::WorkerOriented`].
+    pub multicast_adaptive: Option<AdaptiveConfig>,
     /// Storm's executor architecture (§4): each task has a dedicated
     /// sending thread draining its send queue, so serialization and
     /// transmission happen off the worker thread. `false` = emit inline.
@@ -223,6 +234,7 @@ impl Default for LiveConfig {
             comm_mode: CommMode::WorkerOriented,
             zero_copy: true,
             multicast_d_star: None,
+            multicast_adaptive: None,
             dedicated_senders: false,
             fabric: FabricKind::PerSend,
             send: SendPolicy::default(),
@@ -230,6 +242,50 @@ impl Default for LiveConfig {
             fault: None,
             run_deadline: None,
             monitor_interval: None,
+        }
+    }
+}
+
+/// Runtime tree adaptation (see [`LiveConfig::multicast_adaptive`]).
+#[derive(Clone, Debug)]
+pub struct AdaptiveConfig {
+    /// Out-degree of the initial tree generation.
+    pub initial_d: u32,
+    /// Controller sampling interval (wall clock).
+    pub interval: Duration,
+    /// Transfer-queue capacity Q feeding the controller's waterline and
+    /// the M/D/1 `d*` computation.
+    pub queue_capacity: usize,
+    /// EWMA smoothing factor for the arrival-rate estimate λ.
+    pub alpha: f64,
+    /// Per-hop emit-time estimate t_e (seconds) used until calibrated.
+    pub t_e_default: f64,
+    /// Bounded wait for the previous tree generation to drain before it
+    /// is retired (and before EOS departs on the current tree). Frames a
+    /// fault swallowed never drain; the grace keeps lossy runs moving.
+    pub drain_grace: Duration,
+    /// Drive the paper's coordinator/agent switch protocol over the data
+    /// fabric for every reconfiguration (one representative session —
+    /// all per-origin trees share a shape). Costs protocol round-trips;
+    /// `false` applies the planned moves directly.
+    pub switch_protocol: bool,
+    /// Deterministic forced switches for benchmarks and tests: when
+    /// `spout_emitted` crosses each threshold, switch to the paired
+    /// degree. Non-empty bypasses the λ-driven controller.
+    pub forced_switches: Vec<(u64, u32)>,
+}
+
+impl Default for AdaptiveConfig {
+    fn default() -> Self {
+        AdaptiveConfig {
+            initial_d: 2,
+            interval: Duration::from_millis(2),
+            queue_capacity: 1024,
+            alpha: 0.3,
+            t_e_default: 20e-6,
+            drain_grace: Duration::from_millis(250),
+            switch_protocol: false,
+            forced_switches: Vec::new(),
         }
     }
 }
@@ -323,6 +379,10 @@ impl RunOutcome {
 pub struct RunStats {
     /// Times a data item was serialized.
     pub serializations: AtomicU64,
+    /// Wire frames encoded (each a pool acquire + fill). Redundant EOS
+    /// copies and relay forwards resend existing bytes, so they grow
+    /// fabric messages without growing this.
+    pub frames_encoded: AtomicU64,
     /// Tuples executed, indexed by component id (filled at build).
     pub executed: Vec<AtomicU64>,
     /// Tuples emitted by spouts.
@@ -407,6 +467,28 @@ pub struct RunReport {
     pub shared_bytes: u64,
     /// Relay forwards performed by non-source workers (multicast tree).
     pub relay_forwards: u64,
+    /// Wire frames encoded (pool acquire + fill). Redundant EOS copies
+    /// and relay forwards resend existing bytes without re-encoding.
+    pub frames_encoded: u64,
+    /// Wire bytes sent on the relay path (origin sends + forwards); the
+    /// remainder of the fabric byte totals moved point-to-point.
+    pub relay_bytes: u64,
+    /// Relay frames dropped because their tree generation was retired.
+    pub relay_stale_drops: u64,
+    /// Runtime tree reconfigurations performed.
+    pub relay_switches: u64,
+    /// Per-instance connection moves across all reconfigurations.
+    pub relay_switch_moves: u64,
+    /// Final relay tree generation (0 when no switch happened).
+    pub relay_epoch: u32,
+    /// Final relay out-degree (0 when the relay path was off).
+    pub relay_d_star: u32,
+    /// Received relay frames by tree depth of the receiving node (last
+    /// bucket absorbs deeper hops); empty when the relay path was off.
+    pub relay_depths: Vec<u64>,
+    /// Sampled per-hop relay forward latencies (receipt to last child
+    /// send, ns), unordered.
+    pub relay_forward_ns: Vec<u64>,
     /// Malformed or unroutable fabric frames dropped by dispatchers.
     pub dropped_frames: u64,
     /// Executor or dispatcher threads that panicked; the run still joins
@@ -519,7 +601,31 @@ impl RunReport {
         reg.set_gauge("dsps.elapsed_secs", self.elapsed.as_secs_f64());
         reg.set_counter("dsps.serializations", self.serializations);
         reg.set_counter("dsps.spout_emitted", self.spout_emitted);
+        reg.set_counter("dsps.frames_encoded", self.frames_encoded);
         reg.set_counter("dsps.relay_forwards", self.relay_forwards);
+        // The relay/direct byte split: what traveled the multicast tree
+        // vs point-to-point. (A fault-swallowed relay frame is charged
+        // here but never reached the fabric totals, hence saturating.)
+        let wire = self.copied_bytes + self.shared_bytes;
+        reg.set_counter("dsps.relay.bytes", self.relay_bytes);
+        reg.set_counter("dsps.direct_bytes", wire.saturating_sub(self.relay_bytes));
+        reg.set_counter("dsps.relay.stale_drops", self.relay_stale_drops);
+        reg.set_counter("dsps.relay.switches", self.relay_switches);
+        reg.set_counter("dsps.relay.switch_moves", self.relay_switch_moves);
+        reg.set_gauge("dsps.relay.epoch", self.relay_epoch as f64);
+        reg.set_gauge("dsps.relay.d_star", self.relay_d_star as f64);
+        for (d, &n) in self.relay_depths.iter().enumerate() {
+            if n > 0 {
+                reg.set_counter(&format!("dsps.relay.depth_{d}"), n);
+            }
+        }
+        if !self.relay_forward_ns.is_empty() {
+            let mut h = Histogram::new();
+            for &ns in &self.relay_forward_ns {
+                h.record(ns);
+            }
+            reg.set_summary("dsps.relay.forward_ns", &h);
+        }
         reg.set_counter("dsps.dropped_frames", self.dropped_frames);
         reg.set_counter("dsps.thread_panics", self.thread_panics);
         reg.set_counter("dsps.fabric.messages", self.fabric_messages);
@@ -629,10 +735,9 @@ struct Routing {
     stats: Arc<RunStats>,
     /// At-least-once machinery; `None` runs untracked.
     ack: Option<AckRuntime>,
-    /// Per-origin-worker multicast trees over the *other* workers
-    /// (node index i = the i-th worker id excluding the origin), built
-    /// once when `multicast_d_star` is set.
-    relay_trees: Vec<MulticastTree>,
+    /// Epoch-versioned multicast relay structures; `None` sends
+    /// broadcasts directly.
+    relay: Option<RelayState>,
 }
 
 /// Node index i of origin worker `origin` maps to this worker id.
@@ -641,6 +746,185 @@ fn relay_node_worker(origin: u32, node: u32, n_workers: u32) -> WorkerId {
     let id = if node < origin { node } else { node + 1 };
     debug_assert!(id < n_workers);
     WorkerId(id)
+}
+
+/// Inverse of [`relay_node_worker`]: the node index of `worker` in
+/// `origin`'s tree, or `None` for the origin itself. Because the mapping
+/// is a pure function of `(origin, worker)`, relay frames never carry a
+/// node index — every receiver derives its own — which is what makes one
+/// wire buffer valid for every child.
+fn relay_node_of_worker(origin: u32, worker: u32) -> Option<u32> {
+    match worker.cmp(&origin) {
+        std::cmp::Ordering::Less => Some(worker),
+        std::cmp::Ordering::Equal => None,
+        std::cmp::Ordering::Greater => Some(worker - 1),
+    }
+}
+
+/// In-flight accounting distinguishes this many epoch generations at
+/// once. Only two are ever live (current + draining previous); the extra
+/// slots keep a force-retired generation's leftover counts from
+/// colliding with a fresh epoch until the slot is reused and reset.
+const EPOCH_SLOTS: usize = 4;
+/// Relay-depth histogram buckets (hop distance from the origin; the last
+/// bucket absorbs deeper hops).
+const DEPTH_BUCKETS: usize = 16;
+
+/// One immutable generation of relay structures: every origin worker's
+/// tree over the *other* workers (node index i = the i-th worker id
+/// excluding the origin), all built with the same out-degree.
+struct RelayEpoch {
+    epoch: u32,
+    d_star: u32,
+    trees: Vec<MulticastTree>,
+}
+
+fn build_relay_epoch(epoch: u32, d: u32, workers: u32) -> RelayEpoch {
+    RelayEpoch {
+        epoch,
+        d_star: d,
+        trees: (0..workers)
+            .map(|_| build_nonblocking(workers.saturating_sub(1), d))
+            .collect(),
+    }
+}
+
+/// The live relay plane: the current tree generation behind a swap slot,
+/// the previous generation draining out, and the relay-path counters.
+///
+/// Epoch lifecycle: senders stamp the current epoch into every relay
+/// frame; a switch publishes a new generation and demotes the old one to
+/// `prev`, which keeps accepting its in-flight frames until drained (or
+/// until the bounded grace expires). Frames from any older generation
+/// are dropped and counted in `stale_drops` — on tracked runs the acker
+/// replays them on the current tree, so a switch can delay but never
+/// silently lose a tracked tuple.
+struct RelayState {
+    current: RwLock<Arc<RelayEpoch>>,
+    prev: RwLock<Option<Arc<RelayEpoch>>>,
+    /// Relay frames sent minus received, per epoch slot. A node forwards
+    /// to its children *before* decrementing its own receipt, so a slot
+    /// reading zero means the generation is genuinely drained (frames a
+    /// fault dropped never decrement; the bounded grace covers those).
+    inflight: [AtomicI64; EPOCH_SLOTS],
+    /// Frames dropped because their epoch was already retired.
+    stale_drops: AtomicU64,
+    /// Tree reconfigurations performed.
+    switches: AtomicU64,
+    /// Per-instance connection moves across all reconfigurations.
+    switch_moves: AtomicU64,
+    /// Wire bytes sent on the relay path (origin sends + forwards).
+    relay_bytes: AtomicU64,
+    /// Received relay frames by tree depth of the receiving node.
+    depth_counts: [AtomicU64; DEPTH_BUCKETS],
+    /// Sampled per-hop forward latencies (receipt to last child send).
+    forward_ns: Mutex<Vec<u64>>,
+    /// Forward events so far (drives latency sampling).
+    forward_events: AtomicU64,
+}
+
+impl RelayState {
+    fn new(initial: RelayEpoch) -> Self {
+        RelayState {
+            current: RwLock::new(Arc::new(initial)),
+            prev: RwLock::new(None),
+            inflight: Default::default(),
+            stale_drops: AtomicU64::new(0),
+            switches: AtomicU64::new(0),
+            switch_moves: AtomicU64::new(0),
+            relay_bytes: AtomicU64::new(0),
+            depth_counts: [(); DEPTH_BUCKETS].map(|_| AtomicU64::new(0)),
+            forward_ns: Mutex::new(Vec::new()),
+            forward_events: AtomicU64::new(0),
+        }
+    }
+
+    fn current(&self) -> Arc<RelayEpoch> {
+        Arc::clone(&self.current.read())
+    }
+
+    /// The generation a frame's epoch belongs to: current, draining
+    /// previous, or `None` (retired — the frame is stale).
+    fn lookup(&self, epoch: u32) -> Option<Arc<RelayEpoch>> {
+        let cur = self.current.read();
+        if cur.epoch == epoch {
+            return Some(Arc::clone(&cur));
+        }
+        drop(cur);
+        let prev = self.prev.read();
+        prev.as_ref().filter(|p| p.epoch == epoch).map(Arc::clone)
+    }
+
+    /// Charge one in-flight frame to `epoch` — called *before* the send,
+    /// so the generation can never read drained while an accepted frame
+    /// sits uncounted in a fabric queue. Undo with [`Self::note_received`]
+    /// if the fabric rejects the send.
+    fn note_sent(&self, epoch: u32) {
+        self.inflight[epoch as usize % EPOCH_SLOTS].fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn note_bytes(&self, bytes: usize) {
+        self.relay_bytes.fetch_add(bytes as u64, Ordering::Relaxed);
+    }
+
+    fn note_received(&self, epoch: u32) {
+        self.inflight[epoch as usize % EPOCH_SLOTS].fetch_sub(1, Ordering::Relaxed);
+    }
+
+    fn record_depth(&self, depth: u32) {
+        let bucket = (depth as usize).min(DEPTH_BUCKETS - 1);
+        self.depth_counts[bucket].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Retire the previous generation if it has drained. Returns true
+    /// when no previous generation remains.
+    fn try_retire_prev(&self) -> bool {
+        let mut prev = self.prev.write();
+        match prev.as_ref() {
+            None => true,
+            Some(p) => {
+                let slot = p.epoch as usize % EPOCH_SLOTS;
+                // Drained means no counted frames in flight AND nobody
+                // else holds the generation (senders keep the Arc from
+                // snapshot until after their note_sent; receivers keep
+                // theirs through forwarding) — so a frame between
+                // snapshot and charge can't slip through retirement.
+                if self.inflight[slot].load(Ordering::Relaxed) <= 0 && Arc::strong_count(p) == 1 {
+                    *prev = None;
+                    true
+                } else {
+                    false
+                }
+            }
+        }
+    }
+
+    /// Bounded wait for the previous generation to drain; frames a fault
+    /// swallowed never decrement the slot, so the grace keeps a lossy run
+    /// from wedging the switch (tracked replays recover the loss).
+    fn await_prev_drained(&self, grace: Duration) -> bool {
+        let deadline = Instant::now() + grace;
+        loop {
+            if self.try_retire_prev() {
+                return true;
+            }
+            if Instant::now() >= deadline {
+                return false;
+            }
+            std::thread::sleep(Duration::from_micros(200));
+        }
+    }
+
+    /// Install a new generation: the current one becomes `prev` (any
+    /// unretired `prev` is force-retired — its remaining frames become
+    /// stale), and the slot the new epoch maps to is cleared of leftover
+    /// counts from the long-retired generation that last used it.
+    fn publish(&self, next: Arc<RelayEpoch>) {
+        let mut cur = self.current.write();
+        self.inflight[next.epoch as usize % EPOCH_SLOTS].store(0, Ordering::Relaxed);
+        let old = std::mem::replace(&mut *cur, next);
+        *self.prev.write() = Some(old);
+    }
 }
 
 impl Routing {
@@ -660,15 +944,15 @@ impl Routing {
         let shared = Arc::new(tuple);
         let mut arm_xor = 0u64;
         for (comp, g) in groupings.iter_mut() {
-            // Tracked tuples always take the direct path: the relay tree
-            // has no per-destination anchors, so it sits outside the
-            // tracking boundary.
-            let relayable = tracked.is_none()
-                && self.config.multicast_d_star.is_some()
+            // Tracked tuples ride the relay tree too: the frame carries
+            // the tracked id, every receiver derives its local tasks'
+            // anchors, and executor root-id dedup makes any relay
+            // duplicate harmless.
+            let relayable = self.relay.is_some()
                 && self.config.comm_mode == CommMode::WorkerOriented
                 && *g.grouping() == Grouping::All;
             if relayable {
-                self.relay_broadcast(src, &shared, *comp);
+                arm_xor ^= self.relay_broadcast(src, &shared, *comp, tracked);
             } else {
                 let dsts = g.route(&shared, None);
                 arm_xor ^= self.send_data(src, &shared, &dsts, tracked);
@@ -681,71 +965,155 @@ impl Routing {
         }
     }
 
-    /// Whale's multicast path: serialize once, dispatch locally, and send
-    /// only to the source worker's tree children; relays forward.
-    fn relay_broadcast(&self, src: TaskId, tuple: &Arc<Tuple>, comp: ComponentId) {
+    /// Whale's multicast path: serialize once into a child-invariant
+    /// wire frame (`tag | RelayHeader | item` — no node index, every
+    /// receiver derives its own), dispatch locally, and send the same
+    /// shared buffer to each of the source worker's tree children;
+    /// relays forward the received bytes verbatim. Returns the XOR of
+    /// the anchors armed for the component's tasks when `tracked` is
+    /// set (the whole subscriber set, local and remote, is charged up
+    /// front — an undelivered branch times out into a replay).
+    fn relay_broadcast(
+        &self,
+        src: TaskId,
+        tuple: &Arc<Tuple>,
+        comp: ComponentId,
+        tracked: Option<u64>,
+    ) -> u64 {
+        let relay = self.relay.as_ref().expect("relayable implies relay state");
         self.stats.serializations.fetch_add(1, Ordering::Relaxed);
         let src_worker = self.placement.worker_of(src);
+        let mut arm_xor = 0u64;
+        if let Some(tr) = tracked {
+            for &t in &self.topology.tasks().tasks_of(comp) {
+                arm_xor ^= anchor_for(tr, t);
+            }
+        }
         // Local instances of the broadcast target on the source's worker.
         for &t in self.placement.tasks_on(src_worker) {
             if self.topology.tasks().component_of(t) == Some(comp) {
-                let _ = self.inboxes[&t].send(ExecMsg::Data(Arc::clone(tuple), None));
+                let tag = tracked.map(|tr| AckTag {
+                    tracked: tr,
+                    anchor: anchor_for(tr, t),
+                });
+                let _ = self.inboxes[&t].send(ExecMsg::Data(Arc::clone(tuple), tag));
             }
         }
-        // Serialize the data item once into pooled scratch; every child
-        // frame borrows it.
-        let mut item = self.pool.acquire();
-        codec::encode_tuple_into(&mut item, tuple);
-        let tree = &self.relay_trees[src_worker.0 as usize];
-        for &child in tree.children(Node::Source) {
-            let Node::Dest(node) = child else { continue };
-            self.send_relay_frame(src, src_worker.0, comp, node, &item);
+        // Encode the whole wire frame exactly once into pooled scratch.
+        let epoch = relay.current();
+        let mut scratch = self.pool.acquire();
+        scratch.put_u8(TAG_RELAY);
+        RelayHeader {
+            origin: src_worker.0,
+            epoch: epoch.epoch,
+            component: comp.0,
+            tracked: tracked.unwrap_or(0),
         }
+        .encode_into(&mut scratch);
+        codec::encode_tuple_into(&mut scratch, tuple);
+        self.stats.frames_encoded.fetch_add(1, Ordering::Relaxed);
+        let frame_len = scratch.len();
+        let tree = &epoch.trees[src_worker.0 as usize];
+        let from = EndpointId(src_worker.0);
+        if self.config.zero_copy {
+            // One shared wire buffer serves every child send.
+            let buf = scratch.share();
+            drop(scratch);
+            for &child in tree.children(Node::Source) {
+                let Node::Dest(node) = child else { continue };
+                let dst = relay_node_worker(src_worker.0, node, self.placement.workers());
+                relay.note_sent(epoch.epoch);
+                if self.send_with_policy(|| {
+                    self.fabric.send_shared(from, EndpointId(dst.0), Arc::clone(&buf))
+                }) {
+                    relay.note_bytes(frame_len);
+                } else {
+                    relay.note_received(epoch.epoch);
+                }
+            }
+        } else {
+            for &child in tree.children(Node::Source) {
+                let Node::Dest(node) = child else { continue };
+                let dst = relay_node_worker(src_worker.0, node, self.placement.workers());
+                relay.note_sent(epoch.epoch);
+                if self
+                    .send_with_policy(|| self.fabric.send_copied(from, EndpointId(dst.0), &scratch))
+                {
+                    relay.note_bytes(frame_len);
+                } else {
+                    relay.note_received(epoch.epoch);
+                }
+            }
+        }
+        arm_xor
     }
 
-    fn send_relay_frame(
-        &self,
-        src: TaskId,
-        origin: u32,
-        comp: ComponentId,
-        node: u32,
-        item: &[u8],
-    ) {
-        let dst = relay_node_worker(origin, node, self.placement.workers());
-        self.transmit(src, dst, |framed| {
-            framed.put_u8(TAG_RELAY);
-            framed.put_u32_le(origin);
-            framed.put_u32_le(comp.0);
-            framed.put_u32_le(node);
-            framed.put_slice(item);
-        });
-    }
-
-    /// A relay worker received a broadcast frame: forward to tree
-    /// children, then dispatch to the local instances of the component.
-    fn on_relay_frame(
-        &self,
-        my_worker: u32,
-        origin: u32,
-        comp: ComponentId,
-        node: u32,
-        item: Bytes,
-    ) {
-        let tree = &self.relay_trees[origin as usize];
-        let children: Vec<Node> = tree.children(Node::Dest(node)).to_vec();
-        for child in children {
+    /// A relay worker received a broadcast frame: forward the *received
+    /// wire bytes* to the tree children — no decode, no re-encode, no
+    /// buffer-pool round-trip; a shared payload is refcount-bumped, a
+    /// copied one is copied by the fabric — then decode once, only for
+    /// local delivery.
+    fn on_relay_frame(&self, my_worker: u32, h: RelayHeader, payload: &Payload, item: &[u8]) {
+        let Some(relay) = self.relay.as_ref() else {
+            self.stats.dropped_frames.fetch_add(1, Ordering::Relaxed);
+            return;
+        };
+        let Some(epoch) = relay.lookup(h.epoch) else {
+            // A retired generation: never deliver on it. Tracked runs
+            // replay the tuple on the current tree.
+            relay.stale_drops.fetch_add(1, Ordering::Relaxed);
+            return;
+        };
+        let node = match relay_node_of_worker(h.origin, my_worker) {
+            Some(n) if h.origin < self.placement.workers() => n,
+            _ => {
+                self.stats.dropped_frames.fetch_add(1, Ordering::Relaxed);
+                relay.note_received(h.epoch);
+                return;
+            }
+        };
+        let tree = &epoch.trees[h.origin as usize];
+        if node >= tree.n() {
+            self.stats.dropped_frames.fetch_add(1, Ordering::Relaxed);
+            relay.note_received(h.epoch);
+            return;
+        }
+        if let Some(depth) = tree.depth(Node::Dest(node)) {
+            relay.record_depth(depth);
+        }
+        let t0 = Instant::now();
+        let mut forwarded = 0u64;
+        for &child in tree.children(Node::Dest(node)) {
             let Node::Dest(c) = child else { continue };
-            let dst = relay_node_worker(origin, c, self.placement.workers());
-            // Relay transmission keeps the zero-copy/copied semantics of
-            // the run; attribution is the relay worker itself.
-            self.send_frame(EndpointId(my_worker), EndpointId(dst.0), |framed| {
-                framed.put_u8(TAG_RELAY);
-                framed.put_u32_le(origin);
-                framed.put_u32_le(comp.0);
-                framed.put_u32_le(c);
-                framed.put_slice(&item);
-            });
-            self.stats.relay_forwards.fetch_add(1, Ordering::Relaxed);
+            let dst = relay_node_worker(h.origin, c, self.placement.workers());
+            relay.note_sent(h.epoch);
+            let ok = match payload {
+                Payload::Shared(buf) => self.send_with_policy(|| {
+                    self.fabric
+                        .send_shared(EndpointId(my_worker), EndpointId(dst.0), Arc::clone(buf))
+                }),
+                Payload::Copied(bytes) => self.send_with_policy(|| {
+                    self.fabric
+                        .send_copied(EndpointId(my_worker), EndpointId(dst.0), bytes)
+                }),
+            };
+            if ok {
+                relay.note_bytes(payload.len());
+                forwarded += 1;
+            } else {
+                relay.note_received(h.epoch);
+            }
+        }
+        // Children are charged before this receipt is released, so the
+        // epoch's in-flight count can only read zero once the whole
+        // subtree has drained.
+        relay.note_received(h.epoch);
+        if forwarded > 0 {
+            self.stats.relay_forwards.fetch_add(forwarded, Ordering::Relaxed);
+            if relay.forward_events.fetch_add(1, Ordering::Relaxed) % LATENCY_SAMPLE == 0 {
+                let ns = t0.elapsed().as_nanos() as u64;
+                relay.forward_ns.lock().push(ns);
+            }
         }
         // One deserialization for the whole worker, then local dispatch.
         // A corrupt payload is dropped (and counted) rather than crashing
@@ -758,9 +1126,14 @@ impl Routing {
                 return;
             }
         };
+        let comp = ComponentId(h.component);
         for &t in self.placement.tasks_on(WorkerId(my_worker)) {
             if self.topology.tasks().component_of(t) == Some(comp) {
-                let _ = self.inboxes[&t].send(ExecMsg::Data(Arc::clone(&tuple), None));
+                let tag = (h.tracked != 0).then(|| AckTag {
+                    tracked: h.tracked,
+                    anchor: anchor_for(h.tracked, t),
+                });
+                let _ = self.inboxes[&t].send(ExecMsg::Data(Arc::clone(&tuple), tag));
             }
         }
     }
@@ -889,19 +1262,48 @@ impl Routing {
     fn send_frame(&self, from: EndpointId, to: EndpointId, fill: impl FnOnce(&mut BytesMut)) -> bool {
         let mut scratch = self.pool.acquire();
         fill(&mut scratch);
-        let policy = &self.config.send;
-        let result = if self.config.zero_copy {
+        self.stats.frames_encoded.fetch_add(1, Ordering::Relaxed);
+        if self.config.zero_copy {
             let buf = scratch.share();
             drop(scratch); // scratch returns to the pool before any retry wait
-            policy.run(&self.stats.send_retries, || {
-                self.fabric.send_shared(from, to, Arc::clone(&buf))
-            })
+            self.send_with_policy(|| self.fabric.send_shared(from, to, Arc::clone(&buf)))
         } else {
-            policy.run(&self.stats.send_retries, || {
-                self.fabric.send_copied(from, to, &scratch)
-            })
-        };
-        match result {
+            self.send_with_policy(|| self.fabric.send_copied(from, to, &scratch))
+        }
+    }
+
+    /// Encode one frame and send it `copies` times: redundant copies
+    /// reuse the single encoded buffer, so redundancy costs wire bytes
+    /// but never an extra encode.
+    fn send_frame_copies(
+        &self,
+        from: EndpointId,
+        to: EndpointId,
+        copies: u32,
+        fill: impl FnOnce(&mut BytesMut),
+    ) {
+        let mut scratch = self.pool.acquire();
+        fill(&mut scratch);
+        self.stats.frames_encoded.fetch_add(1, Ordering::Relaxed);
+        if self.config.zero_copy {
+            let buf = scratch.share();
+            drop(scratch);
+            for _ in 0..copies {
+                self.send_with_policy(|| self.fabric.send_shared(from, to, Arc::clone(&buf)));
+            }
+        } else {
+            for _ in 0..copies {
+                self.send_with_policy(|| self.fabric.send_copied(from, to, &scratch));
+            }
+        }
+    }
+
+    /// Run one fabric send under the policy's bounded backoff. `Full`
+    /// past the deadline fails the frame loudly; teardown races (unknown
+    /// or disconnected endpoints) are dropped here — the fabric counts
+    /// them in `send_errors`. Returns whether the fabric accepted.
+    fn send_with_policy(&self, attempt: impl FnMut() -> Result<(), SendError>) -> bool {
+        match self.config.send.run(&self.stats.send_retries, attempt) {
             Ok(()) => true,
             Err(SendError::Full) => {
                 // Backpressure never cleared within the policy deadline:
@@ -909,38 +1311,65 @@ impl Routing {
                 self.stats.send_failed.fetch_add(1, Ordering::Relaxed);
                 false
             }
-            // Teardown races: the fabric counts these in send_errors.
             Err(SendError::UnknownEndpoint | SendError::Disconnected) => false,
         }
     }
 
-    fn send_relay_eos_frame(
-        &self,
-        from_worker: u32,
-        origin: u32,
-        comp: ComponentId,
-        node: u32,
-        src: TaskId,
-    ) {
-        let dst = relay_node_worker(origin, node, self.placement.workers());
-        self.send_frame(EndpointId(from_worker), EndpointId(dst.0), |framed| {
-            framed.put_u8(TAG_RELAY_EOS);
-            framed.put_u32_le(origin);
-            framed.put_u32_le(comp.0);
-            framed.put_u32_le(node);
-            framed.put_u32_le(src.0);
-        });
-    }
-
-    /// A relay worker received an EOS frame: forward along the tree, then
+    /// A relay worker received an EOS frame: forward the received bytes
+    /// along the tree (same child-invariant frame — no re-encode), then
     /// deliver EOS to the local instances of the component.
-    fn on_relay_eos(&self, my_worker: u32, origin: u32, comp: ComponentId, node: u32, src: TaskId) {
-        let tree = &self.relay_trees[origin as usize];
-        let children: Vec<Node> = tree.children(Node::Dest(node)).to_vec();
-        for child in children {
-            let Node::Dest(c) = child else { continue };
-            self.send_relay_eos_frame(my_worker, origin, comp, c, src);
+    fn on_relay_eos(
+        &self,
+        my_worker: u32,
+        origin: u32,
+        epoch_id: u32,
+        comp: ComponentId,
+        src: TaskId,
+        payload: &Payload,
+    ) {
+        let Some(relay) = self.relay.as_ref() else {
+            self.stats.dropped_frames.fetch_add(1, Ordering::Relaxed);
+            return;
+        };
+        let Some(epoch) = relay.lookup(epoch_id) else {
+            relay.stale_drops.fetch_add(1, Ordering::Relaxed);
+            return;
+        };
+        let node = match relay_node_of_worker(origin, my_worker) {
+            Some(n) if origin < self.placement.workers() => n,
+            _ => {
+                self.stats.dropped_frames.fetch_add(1, Ordering::Relaxed);
+                relay.note_received(epoch_id);
+                return;
+            }
+        };
+        let tree = &epoch.trees[origin as usize];
+        if node >= tree.n() {
+            self.stats.dropped_frames.fetch_add(1, Ordering::Relaxed);
+            relay.note_received(epoch_id);
+            return;
         }
+        for &child in tree.children(Node::Dest(node)) {
+            let Node::Dest(c) = child else { continue };
+            let dst = relay_node_worker(origin, c, self.placement.workers());
+            relay.note_sent(epoch_id);
+            let ok = match payload {
+                Payload::Shared(buf) => self.send_with_policy(|| {
+                    self.fabric
+                        .send_shared(EndpointId(my_worker), EndpointId(dst.0), Arc::clone(buf))
+                }),
+                Payload::Copied(bytes) => self.send_with_policy(|| {
+                    self.fabric
+                        .send_copied(EndpointId(my_worker), EndpointId(dst.0), bytes)
+                }),
+            };
+            if ok {
+                relay.note_bytes(payload.len());
+            } else {
+                relay.note_received(epoch_id);
+            }
+        }
+        relay.note_received(epoch_id);
         for &t in self.placement.tasks_on(WorkerId(my_worker)) {
             if self.topology.tasks().component_of(t) == Some(comp) {
                 let _ = self.inboxes[&t].send(ExecMsg::Eos(src));
@@ -956,23 +1385,67 @@ impl Routing {
             .tasks()
             .component_of(src)
             .expect("task belongs to a component");
+        // Ack runs may face injected frame drops; EOS frames are sent
+        // redundantly (receivers count each upstream task at most once,
+        // so duplicates are harmless). Each redundant frame is encoded
+        // once and resent — copies grow wire traffic, not encodes.
+        let copies = self
+            .config
+            .ack
+            .map(|a| a.eos_redundancy.max(1))
+            .unwrap_or(1);
         for edge in self.topology.downstream_edges(comp) {
             // Relay-path streams must carry EOS along the same tree so it
             // stays behind every in-flight tuple (per-hop FIFO channels).
-            let relayed = self.config.multicast_d_star.is_some()
+            let relayed = self.relay.is_some()
                 && self.config.comm_mode == CommMode::WorkerOriented
                 && edge.grouping == Grouping::All;
             if relayed {
+                let relay = self.relay.as_ref().expect("checked above");
                 let src_worker = self.placement.worker_of(src);
                 for &t in self.placement.tasks_on(src_worker) {
                     if self.topology.tasks().component_of(t) == Some(edge.to) {
                         let _ = self.inboxes[&t].send(ExecMsg::Eos(src));
                     }
                 }
-                let tree = &self.relay_trees[src_worker.0 as usize];
+                // EOS departs on the current generation; wait (bounded)
+                // for the previous one to drain first so it cannot beat
+                // still-relaying data from before a switch.
+                if !relay.try_retire_prev() {
+                    relay.await_prev_drained(self.drain_grace());
+                }
+                let epoch = relay.current();
+                // Child-invariant EOS frame, encoded once.
+                let mut scratch = self.pool.acquire();
+                scratch.put_u8(TAG_RELAY_EOS);
+                scratch.put_u32_le(src_worker.0);
+                scratch.put_u32_le(epoch.epoch);
+                scratch.put_u32_le(edge.to.0);
+                scratch.put_u32_le(src.0);
+                self.stats.frames_encoded.fetch_add(1, Ordering::Relaxed);
+                let frame_len = scratch.len();
+                let tree = &epoch.trees[src_worker.0 as usize];
+                let from = EndpointId(src_worker.0);
+                let buf = self.config.zero_copy.then(|| scratch.share());
                 for &child in tree.children(Node::Source) {
                     let Node::Dest(node) = child else { continue };
-                    self.send_relay_eos_frame(src_worker.0, src_worker.0, edge.to, node, src);
+                    let dst = relay_node_worker(src_worker.0, node, self.placement.workers());
+                    for _ in 0..copies {
+                        relay.note_sent(epoch.epoch);
+                        let ok = match &buf {
+                            Some(b) => self.send_with_policy(|| {
+                                self.fabric.send_shared(from, EndpointId(dst.0), Arc::clone(b))
+                            }),
+                            None => self.send_with_policy(|| {
+                                self.fabric.send_copied(from, EndpointId(dst.0), &scratch)
+                            }),
+                        };
+                        if ok {
+                            relay.note_bytes(frame_len);
+                        } else {
+                            relay.note_received(epoch.epoch);
+                        }
+                    }
                 }
                 continue;
             }
@@ -985,27 +1458,27 @@ impl Routing {
                         let _ = self.inboxes[&t].send(ExecMsg::Eos(src));
                     }
                 } else {
-                    // Ack runs may face injected frame drops; EOS frames
-                    // are sent redundantly (receivers count each upstream
-                    // task at most once, so duplicates are harmless).
-                    let copies = self
-                        .config
-                        .ack
-                        .map(|a| a.eos_redundancy.max(1))
-                        .unwrap_or(1);
-                    for _ in 0..copies {
-                        self.transmit(src, worker, |framed| {
-                            framed.put_u8(TAG_EOS);
-                            framed.put_u32_le(src.0);
-                            framed.put_u32_le(tasks.len() as u32);
-                            for t in &tasks {
-                                framed.put_u32_le(t.0);
-                            }
-                        });
-                    }
+                    let from = EndpointId(src_worker.0);
+                    self.send_frame_copies(from, EndpointId(worker.0), copies, |framed| {
+                        framed.put_u8(TAG_EOS);
+                        framed.put_u32_le(src.0);
+                        framed.put_u32_le(tasks.len() as u32);
+                        for t in &tasks {
+                            framed.put_u32_le(t.0);
+                        }
+                    });
                 }
             }
         }
+    }
+
+    /// Bounded drain wait used before EOS departure and switches.
+    fn drain_grace(&self) -> Duration {
+        self.config
+            .multicast_adaptive
+            .as_ref()
+            .map(|a| a.drain_grace)
+            .unwrap_or(Duration::from_millis(250))
     }
 }
 
@@ -1053,6 +1526,15 @@ fn empty_report(outcome: RunOutcome, n_components: usize) -> RunReport {
         copied_bytes: 0,
         shared_bytes: 0,
         relay_forwards: 0,
+        frames_encoded: 0,
+        relay_bytes: 0,
+        relay_stale_drops: 0,
+        relay_switches: 0,
+        relay_switch_moves: 0,
+        relay_epoch: 0,
+        relay_d_star: 0,
+        relay_depths: Vec::new(),
+        relay_forward_ns: Vec::new(),
         dropped_frames: 0,
         thread_panics: 0,
         send_errors: 0,
@@ -1128,19 +1610,24 @@ pub fn run_topology(topology: Topology, operators: Operators, config: LiveConfig
         ..RunStats::default()
     });
 
-    if config.multicast_d_star.is_some() {
+    let relay_enabled = config.multicast_d_star.is_some() || config.multicast_adaptive.is_some();
+    if relay_enabled {
         assert_eq!(
             config.comm_mode,
             CommMode::WorkerOriented,
             "the multicast tree relays worker-oriented messages"
         );
     }
-    let relay_trees: Vec<MulticastTree> = match config.multicast_d_star {
-        Some(d) => (0..placement.workers())
-            .map(|_| build_nonblocking(placement.workers() - 1, d))
-            .collect(),
-        None => Vec::new(),
-    };
+    let relay = relay_enabled.then(|| {
+        let d = config.multicast_d_star.unwrap_or_else(|| {
+            config
+                .multicast_adaptive
+                .as_ref()
+                .expect("relay_enabled implies one of the two")
+                .initial_d
+        });
+        RelayState::new(build_relay_epoch(0, d.max(1), placement.workers()))
+    });
 
     // Inboxes for every task.
     let mut inboxes = HashMap::new();
@@ -1167,7 +1654,7 @@ pub fn run_topology(topology: Topology, operators: Operators, config: LiveConfig
         topology,
         placement,
         config,
-        relay_trees,
+        relay,
         fabric: Arc::clone(&fabric),
         pool: BufferPool::default(),
         inboxes,
@@ -1177,6 +1664,17 @@ pub fn run_topology(topology: Topology, operators: Operators, config: LiveConfig
 
     let start = std::time::Instant::now();
     let mut handles = Vec::new();
+
+    // Adaptive controller thread: samples the live workload, re-plans
+    // d*, and switches tree generations while the data plane runs.
+    let adaptive_stop = Arc::new(AtomicBool::new(false));
+    let adaptive_handle = routing.config.multicast_adaptive.clone().map(|cfg| {
+        let routing = Arc::clone(&routing);
+        let stats = Arc::clone(&stats);
+        let fabric = Arc::clone(&fabric);
+        let stop = Arc::clone(&adaptive_stop);
+        std::thread::spawn(move || adaptive_loop(&cfg, &routing, &stats, &fabric, &stop))
+    });
 
     // Monitor thread: snapshot the run's counters every interval into
     // the timeline (plus one final post-run sample at teardown).
@@ -1299,6 +1797,13 @@ pub fn run_topology(topology: Topology, operators: Operators, config: LiveConfig
             thread_panics += 1;
         }
     }
+    // Producers done: stop reconfiguring before the fabric tears down.
+    adaptive_stop.store(true, Ordering::Relaxed);
+    if let Some(h) = adaptive_handle {
+        if h.join().is_err() {
+            thread_panics += 1;
+        }
+    }
     // All producers done: release any fault-parked frames, flush
     // anything still buffered in the transport (and stop the ring
     // flusher), then close the fabric endpoints so dispatchers exit.
@@ -1340,6 +1845,35 @@ pub fn run_topology(topology: Topology, operators: Operators, config: LiveConfig
         copied_bytes: fabric.copied_bytes(),
         shared_bytes: fabric.shared_bytes(),
         relay_forwards: stats.relay_forwards.load(Ordering::Relaxed),
+        frames_encoded: stats.frames_encoded.load(Ordering::Relaxed),
+        relay_bytes: routing
+            .relay
+            .as_ref()
+            .map_or(0, |r| r.relay_bytes.load(Ordering::Relaxed)),
+        relay_stale_drops: routing
+            .relay
+            .as_ref()
+            .map_or(0, |r| r.stale_drops.load(Ordering::Relaxed)),
+        relay_switches: routing
+            .relay
+            .as_ref()
+            .map_or(0, |r| r.switches.load(Ordering::Relaxed)),
+        relay_switch_moves: routing
+            .relay
+            .as_ref()
+            .map_or(0, |r| r.switch_moves.load(Ordering::Relaxed)),
+        relay_epoch: routing.relay.as_ref().map_or(0, |r| r.current().epoch),
+        relay_d_star: routing.relay.as_ref().map_or(0, |r| r.current().d_star),
+        relay_depths: routing.relay.as_ref().map_or_else(Vec::new, |r| {
+            r.depth_counts
+                .iter()
+                .map(|a| a.load(Ordering::Relaxed))
+                .collect()
+        }),
+        relay_forward_ns: routing
+            .relay
+            .as_ref()
+            .map_or_else(Vec::new, |r| std::mem::take(&mut *r.forward_ns.lock())),
         dropped_frames: stats.dropped_frames.load(Ordering::Relaxed),
         thread_panics,
         send_errors: fabric.send_errors(),
@@ -1385,6 +1919,104 @@ pub fn run_topology(topology: Topology, operators: Operators, config: LiveConfig
             std::mem::take(&mut *samples)
         },
     }
+}
+
+/// The adaptive controller thread: every interval, retire drained tree
+/// generations, sample the live workload (λ from spout emissions, queue
+/// length from the fabric's transfer queue plus the acker's pending
+/// trees), and let the self-adjusting controller re-plan `d*`; a changed
+/// target triggers a generation switch. Forced switches (when
+/// configured) replace the controller with deterministic thresholds on
+/// `spout_emitted` — benchmarks and tests use those to make switching
+/// reproducible.
+fn adaptive_loop(
+    cfg: &AdaptiveConfig,
+    routing: &Routing,
+    stats: &RunStats,
+    fabric: &Arc<dyn FabricPath>,
+    stop: &AtomicBool,
+) {
+    let relay = routing.relay.as_ref().expect("adaptive implies relay state");
+    let epoch0 = Instant::now();
+    let interval = SimDuration::from_nanos((cfg.interval.as_nanos() as u64).max(1));
+    let mut monitor = WorkloadMonitor::new(interval, cfg.alpha, cfg.t_e_default);
+    let mut controller = AdjustController::new(
+        ControllerConfig::for_queue(cfg.queue_capacity, routing.placement.workers()),
+        relay.current().d_star,
+    );
+    let mut last_emitted = 0u64;
+    let mut next_forced = 0usize;
+    while !stop.load(Ordering::Relaxed) {
+        std::thread::sleep(cfg.interval);
+        relay.try_retire_prev();
+        let emitted = stats.spout_emitted.load(Ordering::Relaxed);
+        let target = if cfg.forced_switches.is_empty() {
+            monitor.record_arrivals(emitted.saturating_sub(last_emitted));
+            let now = SimTime::from_nanos(epoch0.elapsed().as_nanos() as u64);
+            let queue_len = fabric.queue_depth() as usize
+                + routing.ack.as_ref().map_or(0, |a| a.acker.lock().pending());
+            let report = monitor.sample(now, queue_len);
+            match controller.decide(&report) {
+                Decision::Hold => None,
+                Decision::ScaleDown { d_star } | Decision::ScaleUp { d_star } => Some(d_star),
+            }
+        } else {
+            let mut t = None;
+            while next_forced < cfg.forced_switches.len()
+                && emitted >= cfg.forced_switches[next_forced].0
+            {
+                t = Some(cfg.forced_switches[next_forced].1);
+                next_forced += 1;
+            }
+            t
+        };
+        last_emitted = emitted;
+        if let Some(new_d) = target {
+            let new_d = new_d.max(1);
+            if new_d != relay.current().d_star {
+                switch_structure(cfg, routing, fabric, new_d);
+            }
+        }
+    }
+}
+
+/// Reconfigure the relay plane to out-degree `new_d`: wait (bounded) for
+/// the previous generation to drain so at most two are ever live,
+/// optionally drive the paper's coordinator/agent switch protocol over
+/// the data fabric, plan the per-origin moves, and publish the new
+/// generation. In-flight frames on the demoted generation keep being
+/// accepted until it drains (or the grace expires on a lossy run).
+fn switch_structure(
+    cfg: &AdaptiveConfig,
+    routing: &Routing,
+    fabric: &Arc<dyn FabricPath>,
+    new_d: u32,
+) {
+    let relay = routing.relay.as_ref().expect("switching implies relay state");
+    relay.await_prev_drained(cfg.drain_grace);
+    let cur = relay.current();
+    if cfg.switch_protocol {
+        // One representative coordinator/agent session per switch: every
+        // per-origin tree shares the same shape, so one session carries
+        // the status/control/ACK exchange the paper describes. Protocol
+        // endpoints sit above the worker range to avoid collisions.
+        let base = routing.placement.workers();
+        let _ = run_switch_over_fabric_at(Arc::clone(fabric), &cur.trees[0], new_d, base);
+    }
+    let mut total_moves = 0u64;
+    let mut trees = Vec::with_capacity(cur.trees.len());
+    for t in &cur.trees {
+        let (next, plan) = plan_switch(t, new_d);
+        total_moves += plan.moves.len() as u64;
+        trees.push(next);
+    }
+    relay.publish(Arc::new(RelayEpoch {
+        epoch: cur.epoch + 1,
+        d_star: new_d,
+        trees,
+    }));
+    relay.switches.fetch_add(1, Ordering::Relaxed);
+    relay.switch_moves.fetch_add(total_moves, Ordering::Relaxed);
 }
 
 /// Run one spout to completion: emit every tuple (tracked when the run
@@ -1515,21 +2147,14 @@ fn dispatcher_loop(worker: u32, rx: Receiver<whale_net::LiveMessage>, routing: &
         let tag = buf.get_u8();
         match tag {
             TAG_RELAY => {
-                if buf.remaining() < 12 {
+                // Fixed-offset header; the remaining slice is the item.
+                // The original payload (tag + header + item) is handed
+                // along untouched so forwards reuse the received bytes.
+                let Ok(h) = RelayHeader::decode(&mut buf) else {
                     drop_frame();
                     continue;
-                }
-                let origin = buf.get_u32_le();
-                let comp = ComponentId(buf.get_u32_le());
-                let node = buf.get_u32_le();
-                if (origin as usize) >= routing.relay_trees.len()
-                    || node >= routing.relay_trees[origin as usize].n()
-                {
-                    drop_frame();
-                    continue;
-                }
-                let item = Bytes::copy_from_slice(buf);
-                routing.on_relay_frame(worker, origin, comp, node, item);
+                };
+                routing.on_relay_frame(worker, h, &msg.payload, buf);
             }
             TAG_RELAY_EOS => {
                 if buf.remaining() < 16 {
@@ -1537,16 +2162,10 @@ fn dispatcher_loop(worker: u32, rx: Receiver<whale_net::LiveMessage>, routing: &
                     continue;
                 }
                 let origin = buf.get_u32_le();
+                let epoch = buf.get_u32_le();
                 let comp = ComponentId(buf.get_u32_le());
-                let node = buf.get_u32_le();
                 let src = TaskId(buf.get_u32_le());
-                if (origin as usize) >= routing.relay_trees.len()
-                    || node >= routing.relay_trees[origin as usize].n()
-                {
-                    drop_frame();
-                    continue;
-                }
-                routing.on_relay_eos(worker, origin, comp, node, src);
+                routing.on_relay_eos(worker, origin, epoch, comp, src, &msg.payload);
             }
             TAG_INSTANCE => match InstanceMessage::decode(&mut buf) {
                 Ok(decoded) => deliver(decoded.dst, ExecMsg::Data(Arc::new(decoded.tuple), None)),
@@ -2105,7 +2724,7 @@ mod tests {
             inboxes: HashMap::new(),
             stats: Arc::new(RunStats::default()),
             ack: None,
-            relay_trees: Vec::new(),
+            relay: None,
         });
         let r2 = Arc::clone(&routing);
         let h = std::thread::spawn(move || dispatcher_loop(0, rx, &r2));
@@ -2118,9 +2737,13 @@ mod tests {
             vec![TAG_WORKER],             // truncated worker message
             vec![TAG_EOS, 0],             // truncated EOS header
         ];
-        // Relay frame with an origin worker no tree exists for.
+        // Relay frame with a truncated header (12 of 20 bytes).
         let mut f = vec![TAG_RELAY];
         f.extend_from_slice(&[0u8; 12]);
+        frames.push(f);
+        // Well-formed relay header on a worker with the relay path off.
+        let mut f = vec![TAG_RELAY];
+        f.extend_from_slice(&[0u8; RelayHeader::WIRE_BYTES]);
         frames.push(f);
         // EOS claiming 100 destinations but carrying none.
         let mut f = vec![TAG_EOS];
@@ -2391,5 +3014,177 @@ mod tests {
         assert!(r.fault_crashed_sends > 0, "the crash must reject sends");
         assert!(r.tuples_failed > 0, "unreachable tuples must fail loudly");
         assert!(matches!(r.outcome, RunOutcome::Degraded { .. }));
+    }
+
+    #[test]
+    fn tracked_tuples_ride_the_relay_tree() {
+        // The tracked-bypass is gone: an acked broadcast travels the
+        // multicast tree (relay_forwards > 0) and still accounts for
+        // every tuple exactly.
+        let (t, ops) = ack_topology(150, 16);
+        let r = run_topology(
+            t,
+            ops,
+            LiveConfig {
+                machines: 8,
+                multicast_d_star: Some(2),
+                ack: Some(AckConfig {
+                    timeout: Duration::from_secs(10),
+                    ..AckConfig::default()
+                }),
+                ..LiveConfig::default()
+            },
+        );
+        assert_eq!(r.outcome, RunOutcome::Clean);
+        assert!(r.relay_forwards > 0, "tracked broadcasts must relay");
+        assert_eq!(r.tuples_acked + r.tuples_failed, r.spout_emitted);
+        assert_eq!(r.tuples_acked, 150);
+        assert_eq!(r.executed[1], 150 * 16);
+        // Observability: the relay/direct byte split is exported.
+        assert!(r.relay_bytes > 0);
+        let m = r.metrics();
+        assert_eq!(m.counter("dsps.relay.bytes"), Some(r.relay_bytes));
+        assert!(m.counter("dsps.direct_bytes").is_some());
+        assert!(
+            r.relay_depths.iter().skip(1).any(|&n| n > 0),
+            "d*=2 over 8 workers has relay nodes deeper than the root"
+        );
+        assert!(!r.relay_forward_ns.is_empty(), "forward latency sampled");
+        assert!(m.summary("dsps.relay.forward_ns").is_some());
+    }
+
+    #[test]
+    fn redundant_eos_is_encoded_once_and_resent() {
+        // eos_redundancy grows wire frames, never encodes: the frame is
+        // built once and the same buffer is resent.
+        let frames_encoded_with = |redundancy: u32| {
+            let (t, ops) = ack_topology(50, 4);
+            run_topology(
+                t,
+                ops,
+                LiveConfig {
+                    machines: 4,
+                    ack: Some(AckConfig {
+                        timeout: Duration::from_secs(10),
+                        eos_redundancy: redundancy,
+                        ..AckConfig::default()
+                    }),
+                    ..LiveConfig::default()
+                },
+            )
+        };
+        let one = frames_encoded_with(1);
+        let eight = frames_encoded_with(8);
+        assert_eq!(one.outcome, RunOutcome::Clean);
+        assert_eq!(eight.outcome, RunOutcome::Clean);
+        assert_eq!(
+            one.frames_encoded, eight.frames_encoded,
+            "EOS redundancy must not add encodes"
+        );
+        assert!(
+            eight.fabric_messages > one.fabric_messages,
+            "redundant copies do add wire frames"
+        );
+    }
+
+    #[test]
+    fn stale_epoch_relay_frames_are_dropped_not_delivered() {
+        let (t, _ops) = counting_topology(2, 4);
+        let cluster = ClusterSpec::new(2, 1, 16);
+        let placement = Placement::even(&t, &cluster);
+        let fabric = Arc::new(whale_net::LiveFabric::new());
+        let rx = fabric.register(EndpointId(0)).unwrap();
+        let routing = Arc::new(Routing {
+            topology: t,
+            placement,
+            config: LiveConfig {
+                machines: 2,
+                comm_mode: CommMode::WorkerOriented,
+                zero_copy: false,
+                multicast_d_star: Some(2),
+                ..LiveConfig::default()
+            },
+            fabric: Arc::clone(&fabric) as Arc<dyn FabricPath>,
+            pool: BufferPool::default(),
+            inboxes: HashMap::new(),
+            stats: Arc::new(RunStats::default()),
+            ack: None,
+            relay: Some(RelayState::new(build_relay_epoch(3, 2, 2))),
+        });
+        let r2 = Arc::clone(&routing);
+        let h = std::thread::spawn(move || dispatcher_loop(0, rx, &r2));
+
+        let frame = |epoch: u32| {
+            let mut f = BytesMut::new();
+            f.put_u8(TAG_RELAY);
+            RelayHeader {
+                origin: 1,
+                epoch,
+                component: 1,
+                tracked: 0,
+            }
+            .encode_into(&mut f);
+            f.to_vec()
+        };
+        // A frame from a retired generation: stale-dropped, not counted
+        // as a malformed frame, never delivered.
+        fabric
+            .send_copied(EndpointId(1), EndpointId(0), &frame(0))
+            .unwrap();
+        // A frame on the live generation with a corrupt (empty) item:
+        // accepted by the epoch check, dropped at decode.
+        fabric
+            .send_copied(EndpointId(1), EndpointId(0), &frame(3))
+            .unwrap();
+        fabric.deregister(EndpointId(0));
+        h.join().expect("dispatcher must not panic");
+        let relay = routing.relay.as_ref().unwrap();
+        assert_eq!(relay.stale_drops.load(Ordering::Relaxed), 1);
+        assert_eq!(routing.stats.dropped_frames.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn adaptive_forced_switch_keeps_every_delivery() {
+        // Phase-shift the tree mid-run (d* 1 → 4) through the full
+        // switch protocol: every broadcast still reaches every instance,
+        // nothing lands on a retired generation.
+        let mut b = crate::topology::TopologyBuilder::new();
+        b.spout("src", 1, Schema::new(vec!["n"]))
+            .bolt("fan", 16, Schema::new(vec!["n"]))
+            .connect("src", "fan", Grouping::All);
+        let t = b.build().unwrap();
+        let ops = Operators::new()
+            .spout("src", |_| {
+                Box::new(IterSpout::new((0..100i64).map(|i| {
+                    std::thread::sleep(Duration::from_micros(300));
+                    Tuple::with_id(i as u64, vec![Value::I64(i)])
+                })))
+            })
+            .bolt("fan", |_| {
+                Box::new(FnBolt::new(|_t: &Tuple, _out: &mut dyn Emitter| {}))
+            });
+        let r = run_topology(
+            t,
+            ops,
+            LiveConfig {
+                machines: 8,
+                multicast_adaptive: Some(AdaptiveConfig {
+                    initial_d: 1,
+                    interval: Duration::from_millis(1),
+                    forced_switches: vec![(30, 4)],
+                    switch_protocol: true,
+                    ..AdaptiveConfig::default()
+                }),
+                ..LiveConfig::default()
+            },
+        );
+        assert_eq!(r.executed[1], 100 * 16, "no broadcast lost to the switch");
+        assert!(r.relay_switches >= 1, "the forced switch must fire");
+        assert!(r.relay_switch_moves > 0, "d* 1→4 moves instances");
+        assert_eq!(r.relay_d_star, 4);
+        assert!(r.relay_epoch >= 1);
+        assert!(r.relay_forwards > 0);
+        assert_eq!(r.relay_stale_drops, 0, "drained switch drops nothing");
+        assert_eq!(r.outcome, RunOutcome::Clean);
     }
 }

@@ -163,6 +163,14 @@ pub trait FabricPath: Send + Sync {
         0
     }
 
+    /// Descriptors accepted but not yet delivered — the transfer-queue
+    /// length of the paper's M/D/1 model, sampled live by the adaptive
+    /// multicast controller. Synchronous transports report 0: a send
+    /// either delivers immediately or fails.
+    fn queue_depth(&self) -> u64 {
+        0
+    }
+
     /// Registered endpoint count.
     fn endpoint_count(&self) -> usize;
 

@@ -234,6 +234,12 @@ impl FaultFabric {
         self.full_injected() + self.crashed_sends()
     }
 
+    /// Frames currently parked by delay faults across every link.
+    pub fn parked_count(&self) -> u64 {
+        let links = self.links.lock().unwrap_or_else(PoisonError::into_inner);
+        links.values().map(|s| s.parked.len() as u64).sum()
+    }
+
     fn deliver(&self, from: EndpointId, to: EndpointId, payload: &Payload) -> Result<(), SendError> {
         match payload {
             Payload::Copied(bytes) => self.inner.send_copied(from, to, bytes),
@@ -429,6 +435,12 @@ impl FabricPath for FaultFabric {
 
     fn flushed_items(&self) -> u64 {
         self.inner.flushed_items()
+    }
+
+    fn queue_depth(&self) -> u64 {
+        // Delayed frames parked inside the wrapper are also "in the
+        // queue" from the sender's point of view.
+        self.inner.queue_depth() + self.parked_count()
     }
 
     fn endpoint_count(&self) -> usize {

@@ -457,6 +457,13 @@ impl RingFabric {
         self.posted.load(Ordering::Relaxed)
     }
 
+    /// Descriptors currently sitting in rings awaiting the flusher —
+    /// the live transfer-queue length across every endpoint.
+    pub fn queue_depth(&self) -> u64 {
+        let map = self.endpoints.read();
+        map.values().map(|slot| slot.lock().pending() as u64).sum()
+    }
+
     /// Messages delivered so far.
     pub fn messages(&self) -> u64 {
         self.messages.load(Ordering::Relaxed)
@@ -584,6 +591,10 @@ impl FabricPath for RingFabric {
 
     fn flushed_items(&self) -> u64 {
         RingFabric::flushed_items(self)
+    }
+
+    fn queue_depth(&self) -> u64 {
+        RingFabric::queue_depth(self)
     }
 
     fn endpoint_count(&self) -> usize {
