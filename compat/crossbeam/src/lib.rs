@@ -7,7 +7,9 @@
 //! does with upstream crossbeam.
 
 pub mod channel {
+    use std::sync::atomic::{AtomicUsize, Ordering};
     use std::sync::mpsc;
+    use std::sync::Arc;
 
     /// Error returned by [`Sender::send`] when the receiver is gone.
     #[derive(PartialEq, Eq, Clone, Copy, Debug)]
@@ -61,12 +63,14 @@ pub mod channel {
     /// The sending half of a channel.
     pub struct Sender<T> {
         tx: Tx<T>,
+        depth: Arc<AtomicUsize>,
     }
 
     impl<T> Clone for Sender<T> {
         fn clone(&self) -> Self {
             Sender {
                 tx: self.tx.clone(),
+                depth: Arc::clone(&self.depth),
             }
         }
     }
@@ -80,16 +84,20 @@ pub mod channel {
     impl<T> Sender<T> {
         /// Send, blocking while a bounded channel is full.
         pub fn send(&self, value: T) -> Result<(), SendError<T>> {
-            match &self.tx {
+            let r = match &self.tx {
                 Tx::Unbounded(t) => t.send(value).map_err(|mpsc::SendError(v)| SendError(v)),
                 Tx::Bounded(t) => t.send(value).map_err(|mpsc::SendError(v)| SendError(v)),
+            };
+            if r.is_ok() {
+                self.depth.fetch_add(1, Ordering::Relaxed);
             }
+            r
         }
 
         /// Send without blocking; fails with [`TrySendError::Full`] when a
         /// bounded channel is at capacity.
         pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
-            match &self.tx {
+            let r = match &self.tx {
                 Tx::Unbounded(t) => t
                     .send(value)
                     .map_err(|mpsc::SendError(v)| TrySendError::Disconnected(v)),
@@ -97,13 +105,28 @@ pub mod channel {
                     mpsc::TrySendError::Full(v) => TrySendError::Full(v),
                     mpsc::TrySendError::Disconnected(v) => TrySendError::Disconnected(v),
                 }),
+            };
+            if r.is_ok() {
+                self.depth.fetch_add(1, Ordering::Relaxed);
             }
+            r
+        }
+
+        /// Messages sent but not yet received (queue depth).
+        pub fn len(&self) -> usize {
+            self.depth.load(Ordering::Relaxed)
+        }
+
+        /// True if no messages are queued.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
         }
     }
 
     /// The receiving half of a channel.
     pub struct Receiver<T> {
         rx: mpsc::Receiver<T>,
+        depth: Arc<AtomicUsize>,
     }
 
     impl<T> std::fmt::Debug for Receiver<T> {
@@ -115,24 +138,46 @@ pub mod channel {
     impl<T> Receiver<T> {
         /// Block until a message arrives or every sender disconnects.
         pub fn recv(&self) -> Result<T, RecvError> {
-            self.rx.recv().map_err(|_| RecvError)
+            let r = self.rx.recv().map_err(|_| RecvError);
+            if r.is_ok() {
+                self.depth.fetch_sub(1, Ordering::Relaxed);
+            }
+            r
         }
 
         /// Block until a message arrives, `timeout` elapses, or every
         /// sender disconnects.
         pub fn recv_timeout(&self, timeout: std::time::Duration) -> Result<T, RecvTimeoutError> {
-            self.rx.recv_timeout(timeout).map_err(|e| match e {
+            let r = self.rx.recv_timeout(timeout).map_err(|e| match e {
                 mpsc::RecvTimeoutError::Timeout => RecvTimeoutError::Timeout,
                 mpsc::RecvTimeoutError::Disconnected => RecvTimeoutError::Disconnected,
-            })
+            });
+            if r.is_ok() {
+                self.depth.fetch_sub(1, Ordering::Relaxed);
+            }
+            r
         }
 
         /// Non-blocking receive.
         pub fn try_recv(&self) -> Result<T, TryRecvError> {
-            self.rx.try_recv().map_err(|e| match e {
+            let r = self.rx.try_recv().map_err(|e| match e {
                 mpsc::TryRecvError::Empty => TryRecvError::Empty,
                 mpsc::TryRecvError::Disconnected => TryRecvError::Disconnected,
-            })
+            });
+            if r.is_ok() {
+                self.depth.fetch_sub(1, Ordering::Relaxed);
+            }
+            r
+        }
+
+        /// Messages sent but not yet received (queue depth).
+        pub fn len(&self) -> usize {
+            self.depth.load(Ordering::Relaxed)
+        }
+
+        /// True if no messages are queued.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
         }
 
         /// Iterate until every sender disconnects.
@@ -144,22 +189,26 @@ pub mod channel {
     /// A channel with unlimited buffering.
     pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
         let (tx, rx) = mpsc::channel();
+        let depth = Arc::new(AtomicUsize::new(0));
         (
             Sender {
                 tx: Tx::Unbounded(tx),
+                depth: Arc::clone(&depth),
             },
-            Receiver { rx },
+            Receiver { rx, depth },
         )
     }
 
     /// A channel holding at most `capacity` in-flight messages.
     pub fn bounded<T>(capacity: usize) -> (Sender<T>, Receiver<T>) {
         let (tx, rx) = mpsc::sync_channel(capacity);
+        let depth = Arc::new(AtomicUsize::new(0));
         (
             Sender {
                 tx: Tx::Bounded(tx),
+                depth: Arc::clone(&depth),
             },
-            Receiver { rx },
+            Receiver { rx, depth },
         )
     }
 
@@ -187,6 +236,34 @@ pub mod channel {
             let (tx2, rx2) = bounded(4);
             drop(rx2);
             assert_eq!(tx2.try_send(9), Err(TrySendError::Disconnected(9)));
+        }
+
+        #[test]
+        fn len_tracks_depth() {
+            let (tx, rx) = unbounded();
+            assert_eq!(tx.len(), 0);
+            assert!(tx.is_empty());
+            tx.send(1).unwrap();
+            tx.try_send(2).unwrap();
+            assert_eq!(tx.len(), 2);
+            assert_eq!(rx.len(), 2);
+            assert_eq!(rx.recv(), Ok(1));
+            assert_eq!(tx.len(), 1);
+            assert_eq!(rx.try_recv(), Ok(2));
+            assert!(rx.is_empty());
+            assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+            assert_eq!(tx.len(), 0);
+        }
+
+        #[test]
+        fn len_not_bumped_on_failed_send() {
+            let (tx, rx) = bounded(1);
+            tx.try_send(1).unwrap();
+            assert_eq!(tx.try_send(2), Err(TrySendError::Full(2)));
+            assert_eq!(tx.len(), 1);
+            drop(rx);
+            assert_eq!(tx.try_send(3), Err(TrySendError::Disconnected(3)));
+            assert_eq!(tx.len(), 1);
         }
 
         #[test]

@@ -1,0 +1,30 @@
+//! E23 — one-sided remote-fetch delivery vs per-send and batched ring.
+//!
+//! Emits `results/live_one_sided.{csv,json}` plus the top-level
+//! `BENCH_one_sided.json` headline report (override the location with
+//! `WHALE_BENCH_DIR`). Pass `--smoke` (or set `WHALE_SCALE=smoke`) for
+//! the minimal CI variant.
+
+use whale_bench::experiments::live_one_sided as e23;
+
+fn main() {
+    let scale = if std::env::args().any(|a| a == "--smoke") {
+        whale_bench::Scale::Smoke
+    } else {
+        whale_bench::Scale::from_env()
+    };
+    let points = e23::model_sweep();
+    for table in e23::run_experiment(scale) {
+        table.emit(None);
+    }
+    let cells = e23::live_cells(scale);
+
+    let dir = std::env::var_os("WHALE_BENCH_DIR")
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|| std::path::PathBuf::from("."));
+    let _ = std::fs::create_dir_all(&dir);
+    let path = dir.join("BENCH_one_sided.json");
+    let json = e23::summary_json(&points, &cells).to_json_string();
+    std::fs::write(&path, format!("{json}\n")).expect("write BENCH_one_sided.json");
+    println!("headline report → {}", path.display());
+}

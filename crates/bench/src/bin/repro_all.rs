@@ -79,6 +79,10 @@ fn main() {
             Box::new(ex::live_adaptive::run_experiment),
         ),
         (
+            "E23 One-sided remote fetch vs per-send/ring",
+            Box::new(ex::live_one_sided::run_experiment),
+        ),
+        (
             "Ablations (beyond the paper)",
             Box::new(|s| {
                 let mut t = ex::ablations::run_dstar_sweep(s);

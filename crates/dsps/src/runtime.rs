@@ -2701,6 +2701,57 @@ mod tests {
     }
 
     #[test]
+    fn one_sided_fabric_matches_per_send_results() {
+        let (t, ops) = counting_topology(4, 8);
+        let one_sided = run_topology(
+            t,
+            ops,
+            LiveConfig {
+                machines: 4,
+                comm_mode: CommMode::WorkerOriented,
+                zero_copy: true,
+                multicast_d_star: None,
+                dedicated_senders: false,
+                fabric: FabricKind::OneSided(whale_net::OneSidedConfig::default()),
+                ..LiveConfig::default()
+            },
+        );
+        let direct = run(CommMode::WorkerOriented, true, 4, 8);
+        // Same data-plane results through the remote-fetch path...
+        assert_eq!(one_sided.executed, direct.executed);
+        assert_eq!(one_sided.spout_emitted, direct.spout_emitted);
+        assert_eq!(one_sided.fabric_messages, direct.fabric_messages);
+        assert_eq!(one_sided.shared_bytes, direct.shared_bytes);
+        // ...delivered by the fetcher, cleanly, with no push batching.
+        assert_eq!(one_sided.batches_flushed, 0, "fetch path never batches");
+        assert_eq!(one_sided.outcome, RunOutcome::Clean);
+        assert_eq!(one_sided.send_errors, 0);
+    }
+
+    #[test]
+    fn one_sided_fabric_with_relay_tree_and_dedicated_senders() {
+        let (t, ops) = counting_topology(8, 16);
+        let r = run_topology(
+            t,
+            ops,
+            LiveConfig {
+                machines: 8,
+                comm_mode: CommMode::WorkerOriented,
+                zero_copy: true,
+                multicast_d_star: Some(2),
+                dedicated_senders: true,
+                fabric: FabricKind::OneSided(whale_net::OneSidedConfig::default()),
+                ..LiveConfig::default()
+            },
+        );
+        // The relay tree forwards fetched Arc frames unchanged.
+        assert_eq!(r.executed[1], 100 * 16);
+        assert_eq!(r.relay_forwards, 100 * 5);
+        assert_eq!(r.outcome, RunOutcome::Clean);
+        assert!(r.shared_bytes > 0, "relay forwards stay zero-copy");
+    }
+
+    #[test]
     fn dispatcher_drops_garbage_frames_instead_of_crashing() {
         let (t, _ops) = counting_topology(2, 4);
         let cluster = ClusterSpec::new(2, 1, 16);
@@ -2872,6 +2923,7 @@ mod tests {
         for fabric in [
             FabricKind::PerSend,
             FabricKind::Ring(whale_net::RingConfig::default()),
+            FabricKind::OneSided(whale_net::OneSidedConfig::default()),
         ] {
             let (t, ops) = ack_topology(150, 2);
             let r = run_topology(

@@ -13,7 +13,7 @@ use whale_dsps::{
     run_topology, AckConfig, Emitter, FnBolt, Grouping, IterSpout, LiveConfig, Operators, Schema,
     Tuple, TopologyBuilder, Value,
 };
-use whale_net::{FabricKind, FaultPlan, RingConfig};
+use whale_net::{FabricKind, FaultPlan, OneSidedConfig, RingConfig};
 
 const TUPLES: i64 = 60;
 const FANOUT: u32 = 2;
@@ -31,6 +31,13 @@ fn fabric_kinds() -> Vec<(&'static str, FabricKind)> {
         ("ring/1", ring(1)),
         ("ring/2", ring(2)),
         ("ring/4", ring(4)),
+        (
+            "one_sided",
+            FabricKind::OneSided(OneSidedConfig {
+                ring_slots: 64,
+                ..OneSidedConfig::default()
+            }),
+        ),
     ]
 }
 

@@ -703,6 +703,28 @@ mod tests {
     }
 
     #[test]
+    fn driver_converges_over_one_sided_fabric() {
+        // Remote-fetch transport: frames sit in per-link outboxes until the
+        // fetcher thread pulls them, so the protocol must converge without
+        // any synchronous delivery guarantee.
+        let tree = build_nonblocking(12, 4);
+        let mut instance =
+            whale_net::FabricKind::OneSided(whale_net::OneSidedConfig::default()).build();
+        let report = run_switch_over_fabric(Arc::clone(&instance.fabric), &tree, 2).unwrap();
+        report.new_tree.validate(2).unwrap();
+        assert!(report.t_switch > SimDuration::ZERO);
+        assert!(report.moves > 0);
+        assert_eq!(report.metrics.gauge("multicast.switch.pending_acks"), Some(0.0));
+        // The shared status broadcast stays serialize-once on this path too.
+        assert!(report.frames_encoded + 12 <= report.frames_sent);
+        // Endpoints released: the driver can run again on the same fabric.
+        let again = run_switch_over_fabric(Arc::clone(&instance.fabric), &report.new_tree, 4)
+            .unwrap();
+        again.new_tree.validate(4).unwrap();
+        instance.shutdown();
+    }
+
+    #[test]
     fn noop_switch_completes_without_acks() {
         let tree = build_nonblocking(8, 3);
         let fabric: Arc<dyn FabricPath> = Arc::new(LiveFabric::new());

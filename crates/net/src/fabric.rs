@@ -163,13 +163,12 @@ pub trait FabricPath: Send + Sync {
         0
     }
 
-    /// Descriptors accepted but not yet delivered — the transfer-queue
-    /// length of the paper's M/D/1 model, sampled live by the adaptive
-    /// multicast controller. Synchronous transports report 0: a send
-    /// either delivers immediately or fails.
-    fn queue_depth(&self) -> u64 {
-        0
-    }
+    /// Frames accepted but not yet delivered to (or drained from) a
+    /// destination inbox — the transfer-queue length of the paper's M/D/1
+    /// model, sampled live by the adaptive multicast controller. Every
+    /// transport must report a real estimate; a silent 0 here starves the
+    /// controller's λ-pressure signal and understates d*.
+    fn queue_depth(&self) -> u64;
 
     /// Registered endpoint count.
     fn endpoint_count(&self) -> usize;
@@ -339,11 +338,24 @@ impl LiveFabric {
             &format!("{prefix}.endpoints"),
             self.endpoints.read().len() as f64,
         );
+        reg.set_gauge(&format!("{prefix}.queue_depth"), self.queue_depth() as f64);
     }
 
     /// Registered endpoint count.
     pub fn endpoint_count(&self) -> usize {
         self.endpoints.read().len()
+    }
+
+    /// Messages accepted into endpoint inboxes but not yet received by
+    /// their workers. The per-send path delivers synchronously into the
+    /// destination channel, so the channel lengths *are* the transfer
+    /// queue the adaptive controller samples.
+    pub fn queue_depth(&self) -> u64 {
+        self.endpoints
+            .read()
+            .values()
+            .map(|slot| slot.tx.len() as u64)
+            .sum()
     }
 }
 
@@ -398,6 +410,10 @@ impl FabricPath for LiveFabric {
 
     fn send_errors(&self) -> u64 {
         LiveFabric::send_errors(self)
+    }
+
+    fn queue_depth(&self) -> u64 {
+        LiveFabric::queue_depth(self)
     }
 
     fn endpoint_count(&self) -> usize {
@@ -568,6 +584,28 @@ mod tests {
         // Deregister frees the id for reuse.
         fabric.deregister(EndpointId(1));
         let _rx2 = fabric.register(EndpointId(1)).unwrap();
+    }
+
+    #[test]
+    fn queue_depth_tracks_undrained_inboxes() {
+        let fabric = LiveFabric::new();
+        let rx1 = fabric.register(EndpointId(1)).unwrap();
+        let _rx2 = fabric.register(EndpointId(2)).unwrap();
+        assert_eq!(FabricPath::queue_depth(&fabric), 0);
+        fabric
+            .send_copied(EndpointId(0), EndpointId(1), b"a")
+            .unwrap();
+        fabric
+            .send_copied(EndpointId(0), EndpointId(1), b"b")
+            .unwrap();
+        fabric
+            .send_copied(EndpointId(0), EndpointId(2), b"c")
+            .unwrap();
+        assert_eq!(FabricPath::queue_depth(&fabric), 3);
+        rx1.recv().unwrap();
+        assert_eq!(FabricPath::queue_depth(&fabric), 2);
+        rx1.recv().unwrap();
+        assert_eq!(FabricPath::queue_depth(&fabric), 1);
     }
 
     #[test]

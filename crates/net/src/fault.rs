@@ -240,6 +240,57 @@ impl FaultFabric {
         links.values().map(|s| s.parked.len() as u64).sum()
     }
 
+    /// True once `to` has been addressed past its crash point — frames
+    /// still parked for it will be released into a dead destination.
+    fn destination_crashed(&self, to: EndpointId) -> bool {
+        let Some(crash) = self.plan.crashes.iter().find(|c| c.endpoint == to) else {
+            return false;
+        };
+        let addressed = self
+            .addressed
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        addressed.get(&to).copied().unwrap_or(0) >= crash.at_frame
+    }
+
+    /// Parked frames split by destination liveness: `(deliverable,
+    /// doomed)`. Doomed frames are parked for an endpoint already past
+    /// its crash point — they will never be usefully delivered, so they
+    /// must not inflate the sampled λ-pressure.
+    fn parked_split(&self) -> (u64, u64) {
+        // Snapshot under the links lock, classify outside it: the crash
+        // check takes the addressed lock and must not nest inside.
+        let per_dest: Vec<(EndpointId, u64)> = {
+            let links = self.links.lock().unwrap_or_else(PoisonError::into_inner);
+            links
+                .iter()
+                .filter(|(_, s)| !s.parked.is_empty())
+                .map(|((_, to), s)| (*to, s.parked.len() as u64))
+                .collect()
+        };
+        let mut deliverable = 0;
+        let mut doomed = 0;
+        for (to, n) in per_dest {
+            if self.destination_crashed(to) {
+                doomed += n;
+            } else {
+                deliverable += n;
+            }
+        }
+        (deliverable, doomed)
+    }
+
+    /// Parked frames whose destination is still alive — the only parked
+    /// frames that contribute to [`FabricPath::queue_depth`].
+    pub fn parked_deliverable(&self) -> u64 {
+        self.parked_split().0
+    }
+
+    /// Parked frames addressed to an endpoint past its crash point.
+    pub fn parked_doomed(&self) -> u64 {
+        self.parked_split().1
+    }
+
     fn deliver(&self, from: EndpointId, to: EndpointId, payload: &Payload) -> Result<(), SendError> {
         match payload {
             Payload::Copied(bytes) => self.inner.send_copied(from, to, bytes),
@@ -439,8 +490,11 @@ impl FabricPath for FaultFabric {
 
     fn queue_depth(&self) -> u64 {
         // Delayed frames parked inside the wrapper are also "in the
-        // queue" from the sender's point of view.
-        self.inner.queue_depth() + self.parked_count()
+        // queue" from the sender's point of view — but only the ones a
+        // live destination will eventually accept. Counting frames doomed
+        // to a crashed endpoint would inflate the sampled λ-pressure and
+        // skew the adaptive controller's d* upward.
+        self.inner.queue_depth() + self.parked_deliverable()
     }
 
     fn endpoint_count(&self) -> usize {
@@ -458,6 +512,12 @@ impl FabricPath for FaultFabric {
             self.partition_drops(),
         );
         reg.set_counter(&format!("{prefix}.fault.crashed_sends"), self.crashed_sends());
+        let (deliverable, doomed) = self.parked_split();
+        reg.set_gauge(
+            &format!("{prefix}.fault.parked_deliverable"),
+            deliverable as f64,
+        );
+        reg.set_gauge(&format!("{prefix}.fault.parked_doomed"), doomed as f64);
     }
 }
 
@@ -641,6 +701,54 @@ mod tests {
             ]
         );
         assert!(fabric.delayed() > 0);
+    }
+
+    #[test]
+    fn queue_depth_excludes_frames_doomed_by_a_crash() {
+        let plan = FaultPlan {
+            seed: 8,
+            default_link: LinkFaults {
+                delay: 1.0,
+                delay_frames: 100,
+                ..LinkFaults::default()
+            },
+            crashes: vec![EndpointCrash {
+                endpoint: EndpointId(1),
+                at_frame: 2,
+            }],
+            ..FaultPlan::default()
+        };
+        let (fabric, _) = faulty(plan);
+        let _rx1 = fabric.register(EndpointId(1)).unwrap();
+        let _rx2 = fabric.register(EndpointId(2)).unwrap();
+
+        // Two frames park on the doomed link before the crash point...
+        fabric
+            .send_copied(EndpointId(0), EndpointId(1), b"a")
+            .unwrap();
+        fabric
+            .send_copied(EndpointId(0), EndpointId(1), b"b")
+            .unwrap();
+        // ...and the crash takes effect.
+        assert_eq!(
+            fabric.send_copied(EndpointId(0), EndpointId(1), b"c"),
+            Err(SendError::Disconnected)
+        );
+        // A healthy destination parks one deliverable frame.
+        fabric
+            .send_copied(EndpointId(0), EndpointId(2), b"d")
+            .unwrap();
+
+        assert_eq!(fabric.parked_count(), 3);
+        assert_eq!(fabric.parked_doomed(), 2);
+        assert_eq!(fabric.parked_deliverable(), 1);
+        // Only the deliverable frame is λ-pressure.
+        assert_eq!(FabricPath::queue_depth(&*fabric), 1);
+
+        let mut reg = whale_sim::MetricsRegistry::new();
+        fabric.export_metrics(&mut reg, "net");
+        assert_eq!(reg.gauge("net.fault.parked_deliverable"), Some(1.0));
+        assert_eq!(reg.gauge("net.fault.parked_doomed"), Some(2.0));
     }
 
     #[test]

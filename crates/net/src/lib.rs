@@ -17,6 +17,7 @@ pub mod fabric;
 pub mod fault;
 pub mod memory;
 pub mod nic;
+pub mod one_sided;
 pub mod policy;
 pub mod ring_fabric;
 pub mod topology;
@@ -28,6 +29,7 @@ pub use fabric::{
     EndpointId, FabricPath, LiveFabric, LiveMessage, Payload, RegisterError, SendError,
 };
 pub use fault::{EndpointCrash, FaultFabric, FaultPlan, LinkFaults, Partition};
+pub use one_sided::{spawn_fetcher, OneSidedConfig, OneSidedFabric, OneSidedFetcher};
 pub use policy::SendPolicy;
 pub use ring_fabric::{
     spawn_flusher, FabricInstance, FabricKind, RingConfig, RingFabric, RingFlusher,

@@ -205,6 +205,39 @@ impl<T> RingRegion<T> {
             self.slots[self.tail].as_ref()
         }
     }
+
+    /// Sequence number of the oldest unconsumed value — the seq a remote
+    /// reader fetches next. Equals `next_seq()` when the ring is empty.
+    pub fn tail_seq(&self) -> u64 {
+        self.consumed
+    }
+
+    /// Sequence number the next `produce` will be assigned. The readable
+    /// window is `tail_seq()..next_seq()`.
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Address of the slot holding sequence number `seq`, if it is still
+    /// in the readable window. Remote readers use this to locate data by
+    /// seq alone — no control message needed (§4 of the paper).
+    pub fn addr_of(&self, seq: u64) -> Option<SlotAddr> {
+        if seq < self.consumed || seq >= self.next_seq {
+            return None;
+        }
+        let offset = (seq - self.consumed) as usize;
+        let index = (self.tail + offset) % self.slots.len();
+        Some(SlotAddr { index, seq })
+    }
+
+    /// Read the value holding sequence number `seq` without consuming —
+    /// the fetch-by-seq form of [`RingRegion::peek`] a remote `RDMA READ`
+    /// addresses slots with. Returns `None` when `seq` is outside the
+    /// readable window `tail_seq()..next_seq()`.
+    pub fn peek_at(&self, seq: u64) -> Option<&T> {
+        let addr = self.addr_of(seq)?;
+        self.slots[addr.index].as_ref()
+    }
 }
 
 #[cfg(test)]
@@ -299,6 +332,36 @@ mod tests {
         assert_eq!(r.consume().unwrap().1, 2);
         assert_eq!(r.consume().unwrap().1, 3);
         assert_eq!(r.consume().unwrap().1, 4);
+    }
+
+    #[test]
+    fn fetch_by_seq_window() {
+        let (mut r, _) = ring(3);
+        assert_eq!(r.tail_seq(), 0);
+        assert_eq!(r.next_seq(), 0);
+        assert_eq!(r.peek_at(0), None);
+        r.produce(10).unwrap();
+        r.produce(11).unwrap();
+        assert_eq!(r.peek_at(0), Some(&10));
+        assert_eq!(r.peek_at(1), Some(&11));
+        assert_eq!(r.peek_at(2), None);
+        r.consume().unwrap();
+        assert_eq!(r.tail_seq(), 1);
+        assert_eq!(r.peek_at(0), None, "consumed seqs leave the window");
+        assert_eq!(r.peek_at(1), Some(&11));
+    }
+
+    #[test]
+    fn fetch_by_seq_survives_wraparound() {
+        let (mut r, _) = ring(2);
+        for v in 0..9u32 {
+            let addr = r.produce(v).unwrap();
+            assert_eq!(r.addr_of(addr.seq), Some(addr));
+            assert_eq!(r.peek_at(addr.seq), Some(&v));
+            assert_eq!(r.peek_at(r.tail_seq()), r.peek());
+            r.consume().unwrap();
+        }
+        assert_eq!(r.tail_seq(), r.next_seq());
     }
 
     #[test]

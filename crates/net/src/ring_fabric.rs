@@ -106,14 +106,15 @@ impl EndpointRing {
 
 /// Doorbell: posts set a pending flag and wake the flusher; the flusher
 /// clears the flag before sleeping so a post between pump and wait can
-/// never be missed.
-struct Doorbell {
+/// never be missed. Shared with the one-sided fabric, whose fetcher waits
+/// on the same post-side wakeup.
+pub(crate) struct Doorbell {
     pending: StdMutex<bool>,
     bell: Condvar,
 }
 
 impl Doorbell {
-    fn new() -> Self {
+    pub(crate) fn new() -> Self {
         Doorbell {
             pending: StdMutex::new(false),
             bell: Condvar::new(),
@@ -124,7 +125,7 @@ impl Doorbell {
     // degrade the run, not cascade panics into every sender that rings
     // the bell afterwards. The flag is a plain bool, so the inner value
     // is valid even if a holder died mid-critical-section.
-    fn ring(&self) {
+    pub(crate) fn ring(&self) {
         *self
             .pending
             .lock()
@@ -133,7 +134,7 @@ impl Doorbell {
     }
 
     /// Sleep until rung or `timeout`, consuming the pending flag.
-    fn wait(&self, timeout: Duration) {
+    pub(crate) fn wait(&self, timeout: Duration) {
         let guard = self
             .pending
             .lock()
@@ -700,22 +701,30 @@ pub enum FabricKind {
     /// The batched ring-buffer path ([`RingFabric`]) with a background
     /// flusher.
     Ring(RingConfig),
+    /// The remote-fetch path ([`crate::OneSidedFabric`]) with a background
+    /// fetcher: senders publish into per-link ring regions, receivers pull
+    /// via modeled `RDMA READ`s.
+    OneSided(crate::OneSidedConfig),
 }
 
-/// A built live transport plus, on the ring path, its flusher thread.
+/// A built live transport plus, on the buffered paths, the background
+/// drain thread (ring flusher or one-sided fetcher).
 pub struct FabricInstance {
     /// The shared transport handle.
     pub fabric: Arc<dyn FabricPath>,
     flusher: Option<RingFlusher>,
+    fetcher: Option<crate::OneSidedFetcher>,
 }
 
 impl FabricKind {
-    /// Instantiate the transport (and its flusher, for the ring path).
+    /// Instantiate the transport (and its drain thread, for the buffered
+    /// paths).
     pub fn build(self) -> FabricInstance {
         match self {
             FabricKind::PerSend => FabricInstance {
                 fabric: Arc::new(LiveFabric::new()),
                 flusher: None,
+                fetcher: None,
             },
             FabricKind::Ring(config) => {
                 let ring = Arc::new(RingFabric::new(config));
@@ -723,6 +732,16 @@ impl FabricKind {
                 FabricInstance {
                     fabric: ring,
                     flusher: Some(flusher),
+                    fetcher: None,
+                }
+            }
+            FabricKind::OneSided(config) => {
+                let one_sided = Arc::new(crate::OneSidedFabric::new(config));
+                let fetcher = crate::spawn_fetcher(Arc::clone(&one_sided));
+                FabricInstance {
+                    fabric: one_sided,
+                    flusher: None,
+                    fetcher: Some(fetcher),
                 }
             }
         }
@@ -730,12 +749,15 @@ impl FabricKind {
 }
 
 impl FabricInstance {
-    /// Flush buffered sends and stop the flusher (if any). Call after all
-    /// senders have finished but before deregistering receivers.
+    /// Flush buffered sends and stop the drain thread (if any). Call after
+    /// all senders have finished but before deregistering receivers.
     pub fn shutdown(&mut self) {
         self.fabric.flush();
         if let Some(flusher) = self.flusher.take() {
             flusher.stop();
+        }
+        if let Some(fetcher) = self.fetcher.take() {
+            fetcher.stop();
         }
     }
 }
@@ -1030,7 +1052,11 @@ mod tests {
 
     #[test]
     fn fabric_kind_builds_interchangeable_paths() {
-        for kind in [FabricKind::PerSend, FabricKind::Ring(RingConfig::default())] {
+        for kind in [
+            FabricKind::PerSend,
+            FabricKind::Ring(RingConfig::default()),
+            FabricKind::OneSided(crate::OneSidedConfig::default()),
+        ] {
             let mut instance = kind.build();
             let rx = instance.fabric.register(EndpointId(1)).unwrap();
             instance

@@ -1,0 +1,98 @@
+//! Property tests for `RingRegion` wraparound behavior.
+//!
+//! The one-sided fetch path addresses outbox slots *by sequence number*
+//! (`tail_seq` / `peek_at` / `addr_of`), so the ring's bookkeeping must
+//! stay coherent across arbitrary interleavings of produce and consume —
+//! especially at tiny capacities where every operation wraps.
+
+use proptest::prelude::*;
+use whale_net::{MemoryRegistry, RingRegion};
+
+/// One step of a generated workload.
+#[derive(Clone, Copy, Debug)]
+enum Op {
+    Produce,
+    Consume,
+}
+
+fn ops(max_len: usize) -> impl Strategy<Value = Vec<Op>> {
+    proptest::collection::vec(
+        any::<bool>().prop_map(|p| if p { Op::Produce } else { Op::Consume }),
+        0..=max_len,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Drive a tiny ring through a random produce/consume interleaving
+    /// and check every invariant the fetch path depends on:
+    /// - FIFO: values come out in the order they went in.
+    /// - Sequence numbers are dense and monotonic: `tail_seq` equals the
+    ///   number of consumed values, `next_seq` the number of accepted
+    ///   produces, and the readable window is exactly `tail..next`.
+    /// - `len` / `is_full` / `total_consumed` agree with a shadow model.
+    /// - A full ring never overwrites an unconsumed slot (produce fails
+    ///   with `RingFull` and the head value is untouched).
+    #[test]
+    fn wraparound_keeps_fifo_and_seq_invariants(
+        slots in 1usize..=8,
+        workload in ops(96),
+    ) {
+        let mut registry = MemoryRegistry::new();
+        let mut ring: RingRegion<u64> = RingRegion::new(slots, 8, &mut registry);
+
+        let mut next_value: u64 = 0; // next value to produce
+        let mut shadow: std::collections::VecDeque<u64> = Default::default();
+        let mut consumed: u64 = 0;
+
+        for op in workload {
+            match op {
+                Op::Produce => {
+                    let accepted = ring.produce(next_value).is_ok();
+                    prop_assert_eq!(
+                        accepted,
+                        shadow.len() < slots,
+                        "produce must fail iff the ring is full (len {} of {})",
+                        shadow.len(),
+                        slots
+                    );
+                    if accepted {
+                        shadow.push_back(next_value);
+                        next_value += 1;
+                    } else {
+                        // The rejected produce must not clobber the head.
+                        prop_assert_eq!(ring.peek().copied(), shadow.front().copied());
+                    }
+                }
+                Op::Consume => {
+                    let got = ring.consume().map(|(_, v)| v);
+                    prop_assert_eq!(got, shadow.pop_front(), "FIFO order violated");
+                    if got.is_some() {
+                        consumed += 1;
+                    }
+                }
+            }
+
+            // Bookkeeping agrees with the shadow model after every step.
+            prop_assert_eq!(ring.len(), shadow.len());
+            prop_assert_eq!(ring.is_empty(), shadow.is_empty());
+            prop_assert_eq!(ring.is_full(), shadow.len() == slots);
+            prop_assert_eq!(ring.total_consumed(), consumed);
+            prop_assert_eq!(ring.tail_seq(), consumed);
+            prop_assert_eq!(ring.next_seq(), consumed + shadow.len() as u64);
+
+            // The whole readable window is addressable by sequence and
+            // yields exactly the queued values, in order.
+            for (i, expect) in shadow.iter().enumerate() {
+                let seq = consumed + i as u64;
+                prop_assert!(ring.addr_of(seq).is_some(), "seq {} unaddressable", seq);
+                prop_assert_eq!(ring.peek_at(seq), Some(expect), "seq {}", seq);
+            }
+            // And nothing outside it is.
+            prop_assert!(consumed == 0 || ring.addr_of(consumed - 1).is_none());
+            prop_assert!(ring.addr_of(ring.next_seq()).is_none());
+            prop_assert_eq!(ring.peek().copied(), shadow.front().copied());
+        }
+    }
+}
