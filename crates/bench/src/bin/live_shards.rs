@@ -1,0 +1,30 @@
+//! E24 — shard-owned pipelines: core-scaling of the live receive path.
+//!
+//! Emits `results/live_shards.{csv,json}` plus the top-level
+//! `BENCH_shards.json` headline report (override the location with
+//! `WHALE_BENCH_DIR`). Pass `--smoke` (or set `WHALE_SCALE=smoke`) for
+//! the minimal CI variant.
+
+use whale_bench::experiments::live_shards as e24;
+
+fn main() {
+    let scale = if std::env::args().any(|a| a == "--smoke") {
+        whale_bench::Scale::Smoke
+    } else {
+        whale_bench::Scale::from_env()
+    };
+    let points = e24::sweep(scale);
+    for table in e24::run_experiment(scale) {
+        table.emit(None);
+    }
+    let cells = e24::live_cells(scale);
+
+    let dir = std::env::var_os("WHALE_BENCH_DIR")
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|| std::path::PathBuf::from("."));
+    let _ = std::fs::create_dir_all(&dir);
+    let path = dir.join("BENCH_shards.json");
+    let json = e24::summary_json(&points, &cells).to_json_string();
+    std::fs::write(&path, format!("{json}\n")).expect("write BENCH_shards.json");
+    println!("headline report → {}", path.display());
+}

@@ -25,7 +25,8 @@ use whale_net::{BatchConfig, EndpointId, RingConfig, RingFabric};
 use whale_sim::{CostModel, JsonValue, SimDuration, SimTime, Transport};
 
 /// Tuple payload size, matching the Figs 11/12 and E19 calibration runs.
-const MSG_BYTES: usize = 150;
+/// Public so E24 prices its pipeline-shard sweep on the same frames.
+pub const MSG_BYTES: usize = 150;
 
 /// One (fanout, shards) operating point measured under both disciplines.
 #[derive(Clone, PartialEq, Debug)]

@@ -16,5 +16,6 @@ pub mod live_adaptive;
 pub mod live_chaos;
 pub mod live_one_sided;
 pub mod live_ring;
+pub mod live_shards;
 pub mod live_zero_copy;
 pub mod table2_datasets;

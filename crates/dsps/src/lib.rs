@@ -29,7 +29,7 @@ pub mod tuple;
 pub use ack::{LatencyTracker, MulticastTracker};
 pub use acker::{AckBuilder, Acker, TreeState};
 pub use codec::{AddressedTuple, DecodeError, InstanceMessage, RelayHeader, WorkerMessage};
-pub use grouping::GroupingExec;
+pub use grouping::{GroupingExec, RouteError};
 pub use messaging::{plan, CommMode, Envelope, MessagePlan};
 pub use operator::{
     Bolt, BoltFactory, Emitter, FnBolt, IterSpout, Spout, SpoutFactory, VecEmitter,

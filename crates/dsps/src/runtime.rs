@@ -1,11 +1,16 @@
 //! The live runtime: a miniature Storm executing a topology on real
-//! threads, with workers, dispatchers, and executors wired through the
+//! threads, with workers and shard-owned pipelines wired through the
 //! in-process fabric.
 //!
-//! One thread per task (spout or bolt executor) plus one dispatcher thread
-//! per worker, exactly mirroring the paper's worker model: remote messages
-//! arrive at the worker's endpoint, the dispatcher deserializes them and
-//! routes `AddressedTuple`s to the hosted executors' incoming queues.
+//! Each worker's tasks are split across [`LiveConfig::shards`] pipeline
+//! threads by the stable map `task % shards`. A pipeline owns the whole
+//! hot path for its slice — reader (its own fabric endpoint), routing
+//! (per-task [`GroupingExec`] state), execution, and sink — with no
+//! central dispatcher thread and no global queue. Traffic crosses
+//! pipelines only when a grouping demands it (a destination task another
+//! shard owns), through bounded per-shard inboxes with
+//! [`SendError::Full`] backpressure; same-shard deliveries loop back
+//! through a thread-local queue without touching a channel at all.
 //!
 //! The [`CommMode`] decides whether an emitted tuple becomes one
 //! [`InstanceMessage`](crate::codec::InstanceMessage) per destination task
@@ -24,9 +29,11 @@ use crate::task::{ComponentId, TaskId};
 use crate::topology::{ComponentKind, Grouping, Topology};
 use crate::tuple::Tuple;
 use bytes::{Buf, BufMut, BytesMut};
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use crossbeam::channel::{bounded, unbounded, Receiver, Sender, TryRecvError, TrySendError};
 use parking_lot::{Mutex, RwLock};
-use std::collections::{HashMap, HashSet};
+use std::cell::{Cell, RefCell};
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -111,10 +118,19 @@ enum SendMsg {
     Eos,
 }
 
+/// Per-task routing state: one [`GroupingExec`] per downstream edge plus
+/// reusable destination scratch, so steady-state routing allocates
+/// nothing (`route_into` fills `scratch` in place; `All` never clones
+/// its target list).
+struct Groupings {
+    edges: Vec<(ComponentId, GroupingExec)>,
+    scratch: Vec<TaskId>,
+}
+
 /// Where a task's emissions go: routed inline on the task's own thread,
 /// or queued to its dedicated sending thread (Storm's executor design).
 enum Outbox {
-    Inline(Vec<(ComponentId, GroupingExec)>),
+    Inline(Groupings),
     Queued(Sender<SendMsg>),
 }
 
@@ -143,7 +159,7 @@ impl Outbox {
 /// The dedicated sending thread: owns the task's grouping state, drains
 /// the send queue, serializes, and transmits.
 fn sender_loop(task: TaskId, comp: ComponentId, rx: Receiver<SendMsg>, routing: &Routing) {
-    let mut groupings = build_groupings(&routing.topology, comp);
+    let mut groupings = build_groupings(&routing.topology, task, comp);
     while let Ok(msg) = rx.recv() {
         match msg {
             SendMsg::Data(t, tracked) => routing.emit(task, &mut groupings, t, tracked),
@@ -170,7 +186,7 @@ fn make_outbox(
         }));
         Outbox::Queued(tx)
     } else {
-        Outbox::Inline(build_groupings(&routing.topology, comp))
+        Outbox::Inline(build_groupings(&routing.topology, task, comp))
     }
 }
 
@@ -195,6 +211,19 @@ pub struct LiveConfig {
     /// both this and `multicast_d_star` are set, `multicast_d_star`
     /// seeds the initial degree. Requires [`CommMode::WorkerOriented`].
     pub multicast_adaptive: Option<AdaptiveConfig>,
+    /// Shard-owned pipelines per worker. Each worker's tasks are split
+    /// across this many pipeline threads by the stable map
+    /// `task % shards` (mirroring `RingConfig::flusher_shards`); every
+    /// pipeline owns its own fabric endpoint, routing state, and
+    /// executors, so the per-worker receive path scales with cores
+    /// instead of serializing behind one dispatcher. `1` (the default)
+    /// runs one pipeline per worker. Values are clamped to at least 1.
+    pub shards: u32,
+    /// Capacity of each pipeline's cross-shard inbox. Deliveries to a
+    /// task another shard owns go through this bounded queue; a full
+    /// inbox backpressures the sender under [`LiveConfig::send`] and
+    /// drops loudly (`send_failed`) if it never clears.
+    pub shard_inbox_capacity: usize,
     /// Storm's executor architecture (§4): each task has a dedicated
     /// sending thread draining its send queue, so serialization and
     /// transmission happen off the worker thread. `false` = emit inline.
@@ -235,6 +264,8 @@ impl Default for LiveConfig {
             zero_copy: true,
             multicast_d_star: None,
             multicast_adaptive: None,
+            shards: 1,
+            shard_inbox_capacity: 4096,
             dedicated_senders: false,
             fabric: FabricKind::PerSend,
             send: SendPolicy::default(),
@@ -389,9 +420,16 @@ pub struct RunStats {
     pub spout_emitted: AtomicU64,
     /// Relay forwards performed by non-source workers (multicast tree).
     pub relay_forwards: AtomicU64,
-    /// Malformed, truncated, or unroutable fabric frames dropped by the
-    /// dispatchers instead of crashing the worker.
+    /// Malformed, truncated, unroutable fabric frames — and tuples whose
+    /// grouping could not route them (e.g. a missing key field) —
+    /// dropped by the pipelines instead of crashing the worker.
     pub dropped_frames: AtomicU64,
+    /// Operator invocations (`next_tuple`/`execute`/`finish`) that
+    /// panicked; the owning pipeline poisons the task and keeps running.
+    pub op_panics: AtomicU64,
+    /// Executor messages that crossed shard pipelines through a bounded
+    /// inbox (same-shard deliveries loop back without a channel).
+    pub cross_shard_msgs: AtomicU64,
     /// Backpressure retries performed under the send policy.
     pub send_retries: AtomicU64,
     /// Frames dropped after the send policy's deadline exhausted.
@@ -489,11 +527,18 @@ pub struct RunReport {
     /// Sampled per-hop relay forward latencies (receipt to last child
     /// send, ns), unordered.
     pub relay_forward_ns: Vec<u64>,
-    /// Malformed or unroutable fabric frames dropped by dispatchers.
+    /// Malformed or unroutable fabric frames (and unroutable tuples)
+    /// dropped by the pipelines.
     pub dropped_frames: u64,
-    /// Executor or dispatcher threads that panicked; the run still joins
+    /// Panicked operator invocations plus panicked runtime threads; a
+    /// panicking operator poisons its task, and the run still joins
     /// every thread and tears the fabric down in order.
     pub thread_panics: u64,
+    /// Pipeline shards per worker the run executed with.
+    pub shards: u64,
+    /// Executor messages that crossed shard pipelines through bounded
+    /// inboxes (0 when every delivery stayed shard-local).
+    pub cross_shard_msgs: u64,
     /// Sends that failed at the fabric (unknown endpoint, backpressure
     /// that never cleared, or a receiver dropped during teardown). Failed
     /// sends never count toward the byte totals.
@@ -628,6 +673,8 @@ impl RunReport {
         }
         reg.set_counter("dsps.dropped_frames", self.dropped_frames);
         reg.set_counter("dsps.thread_panics", self.thread_panics);
+        reg.set_gauge("dsps.shards", self.shards as f64);
+        reg.set_counter("dsps.cross_shard_msgs", self.cross_shard_msgs);
         reg.set_counter("dsps.fabric.messages", self.fabric_messages);
         reg.set_counter("dsps.fabric.copied_bytes", self.copied_bytes);
         reg.set_counter("dsps.fabric.shared_bytes", self.shared_bytes);
@@ -730,8 +777,12 @@ struct Routing {
     /// Encode scratch buffers, reused across frames: the steady-state hot
     /// path allocates nothing (see [`BufferPool`]).
     pool: BufferPool,
-    /// Inboxes of every task (senders usable only for local delivery).
-    inboxes: HashMap<TaskId, Sender<ExecMsg>>,
+    /// Cross-shard inboxes, indexed by flat shard id
+    /// (`worker * shards + task % shards`). Bounded: a full inbox
+    /// backpressures the sender under the run's [`SendPolicy`].
+    shard_inboxes: Vec<Sender<(TaskId, ExecMsg)>>,
+    /// Pipeline threads per worker (`LiveConfig::shards`, clamped ≥ 1).
+    shards: u32,
     stats: Arc<RunStats>,
     /// At-least-once machinery; `None` runs untracked.
     ack: Option<AckRuntime>,
@@ -927,23 +978,105 @@ impl RelayState {
     }
 }
 
+thread_local! {
+    /// Flat shard id of the pipeline running on this thread, if any.
+    /// Deliveries targeting this shard skip the inbox and loop back
+    /// through [`LOCAL_QUEUE`]; threads without a pipeline (dedicated
+    /// senders, tests) always deliver through the inboxes.
+    static CURRENT_SHARD: Cell<Option<usize>> = const { Cell::new(None) };
+    /// Same-shard deliveries looped back without touching any channel;
+    /// the owning pipeline drains it after every operator step.
+    static LOCAL_QUEUE: RefCell<VecDeque<(TaskId, ExecMsg)>> =
+        const { RefCell::new(VecDeque::new()) };
+}
+
 impl Routing {
+    /// The shard slice a task belongs to on its worker (stable map).
+    fn shard_of(&self, t: TaskId) -> u32 {
+        t.0 % self.shards
+    }
+
+    /// The flat pipeline index of a task: `worker * shards + shard`.
+    fn flat_shard_of(&self, t: TaskId) -> usize {
+        (self.placement.worker_of(t).0 * self.shards + self.shard_of(t)) as usize
+    }
+
+    /// The fabric endpoint of one (worker, shard) pipeline.
+    fn endpoint(&self, worker: u32, shard: u32) -> EndpointId {
+        EndpointId(worker * self.shards + shard)
+    }
+
+    /// The endpoint relay traffic targets: a worker's shard-0 pipeline
+    /// (relay frames address whole workers, not tasks; the receiving
+    /// pipeline fans decoded tuples out to the owning shards).
+    fn relay_endpoint(&self, worker: u32) -> EndpointId {
+        EndpointId(worker * self.shards)
+    }
+
+    /// Deepest cross-shard inbox backlog (queue-pressure input for the
+    /// adaptive controller, alongside the fabric's transfer queues).
+    fn max_inbox_depth(&self) -> usize {
+        self.shard_inboxes.iter().map(|s| s.len()).max().unwrap_or(0)
+    }
+
+    /// Deliver one executor message to the pipeline owning `dst`.
+    /// Same-shard deliveries loop back through the thread-local queue
+    /// (no channel, no lock); everything else goes to the owning shard's
+    /// bounded inbox under the send policy's backoff — a full inbox that
+    /// never clears drops the message loudly (`send_failed`), mirroring
+    /// fabric backpressure. Returns false only when `dst` is not a task
+    /// this run hosts (the caller counts the drop when it came off the
+    /// wire); backpressure loss and teardown races are handled here.
+    fn deliver(&self, dst: TaskId, msg: ExecMsg) -> bool {
+        if self.topology.tasks().component_of(dst).is_none() {
+            return false;
+        }
+        let flat = self.flat_shard_of(dst);
+        let Some(tx) = self.shard_inboxes.get(flat) else {
+            return false;
+        };
+        if CURRENT_SHARD.with(|c| c.get()) == Some(flat) {
+            LOCAL_QUEUE.with_borrow_mut(|q| q.push_back((dst, msg)));
+            return true;
+        }
+        let mut item = Some((dst, msg));
+        let sent = self.config.send.run(&self.stats.send_retries, || {
+            match tx.try_send(item.take().expect("re-armed on Full")) {
+                Ok(()) => Ok(()),
+                Err(TrySendError::Full(v)) => {
+                    item = Some(v);
+                    Err(SendError::Full)
+                }
+                Err(TrySendError::Disconnected(_)) => Err(SendError::Disconnected),
+            }
+        });
+        match sent {
+            Ok(()) => {
+                self.stats.cross_shard_msgs.fetch_add(1, Ordering::Relaxed);
+            }
+            Err(SendError::Full) => {
+                // Backpressure never cleared: the message is lost,
+                // loudly (tracked tuples time out into replays).
+                self.stats.send_failed.fetch_add(1, Ordering::Relaxed);
+            }
+            // Teardown race: the owning pipeline already exited.
+            Err(_) => {}
+        }
+        true
+    }
+
     /// Send one tuple from `src` to routed destinations of every
     /// downstream edge. `groupings` carries the per-task grouping state.
     /// A `tracked` id pre-registered with the acker is armed here: one
     /// anchor per destination, XOR'd into the ledger atomically after
     /// every destination is known (an empty destination set arms to zero
-    /// and acks immediately).
-    fn emit(
-        &self,
-        src: TaskId,
-        groupings: &mut [(ComponentId, GroupingExec)],
-        tuple: Tuple,
-        tracked: Option<u64>,
-    ) {
+    /// and acks immediately). A tuple a grouping cannot route (missing
+    /// key field) is dropped and counted, never a panic.
+    fn emit(&self, src: TaskId, groupings: &mut Groupings, tuple: Tuple, tracked: Option<u64>) {
+        let Groupings { edges, scratch } = groupings;
         let shared = Arc::new(tuple);
         let mut arm_xor = 0u64;
-        for (comp, g) in groupings.iter_mut() {
+        for (comp, g) in edges.iter_mut() {
             // Tracked tuples ride the relay tree too: the frame carries
             // the tracked id, every receiver derives its local tasks'
             // anchors, and executor root-id dedup makes any relay
@@ -954,8 +1087,12 @@ impl Routing {
             if relayable {
                 arm_xor ^= self.relay_broadcast(src, &shared, *comp, tracked);
             } else {
-                let dsts = g.route(&shared, None);
-                arm_xor ^= self.send_data(src, &shared, &dsts, tracked);
+                match g.route_into(&shared, None, scratch) {
+                    Ok(()) => arm_xor ^= self.send_data(src, &shared, scratch, tracked),
+                    Err(_) => {
+                        self.stats.dropped_frames.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
             }
         }
         if let (Some(tr), Some(ack)) = (tracked, self.ack.as_ref()) {
@@ -996,7 +1133,7 @@ impl Routing {
                     tracked: tr,
                     anchor: anchor_for(tr, t),
                 });
-                let _ = self.inboxes[&t].send(ExecMsg::Data(Arc::clone(tuple), tag));
+                self.deliver(t, ExecMsg::Data(Arc::clone(tuple), tag));
             }
         }
         // Encode the whole wire frame exactly once into pooled scratch.
@@ -1014,7 +1151,7 @@ impl Routing {
         self.stats.frames_encoded.fetch_add(1, Ordering::Relaxed);
         let frame_len = scratch.len();
         let tree = &epoch.trees[src_worker.0 as usize];
-        let from = EndpointId(src_worker.0);
+        let from = self.relay_endpoint(src_worker.0);
         if self.config.zero_copy {
             // One shared wire buffer serves every child send.
             let buf = scratch.share();
@@ -1024,7 +1161,8 @@ impl Routing {
                 let dst = relay_node_worker(src_worker.0, node, self.placement.workers());
                 relay.note_sent(epoch.epoch);
                 if self.send_with_policy(|| {
-                    self.fabric.send_shared(from, EndpointId(dst.0), Arc::clone(&buf))
+                    self.fabric
+                        .send_shared(from, self.relay_endpoint(dst.0), Arc::clone(&buf))
                 }) {
                     relay.note_bytes(frame_len);
                 } else {
@@ -1036,9 +1174,10 @@ impl Routing {
                 let Node::Dest(node) = child else { continue };
                 let dst = relay_node_worker(src_worker.0, node, self.placement.workers());
                 relay.note_sent(epoch.epoch);
-                if self
-                    .send_with_policy(|| self.fabric.send_copied(from, EndpointId(dst.0), &scratch))
-                {
+                if self.send_with_policy(|| {
+                    self.fabric
+                        .send_copied(from, self.relay_endpoint(dst.0), &scratch)
+                }) {
                     relay.note_bytes(frame_len);
                 } else {
                     relay.note_received(epoch.epoch);
@@ -1083,6 +1222,7 @@ impl Routing {
         }
         let t0 = Instant::now();
         let mut forwarded = 0u64;
+        let from = self.relay_endpoint(my_worker);
         for &child in tree.children(Node::Dest(node)) {
             let Node::Dest(c) = child else { continue };
             let dst = relay_node_worker(h.origin, c, self.placement.workers());
@@ -1090,11 +1230,11 @@ impl Routing {
             let ok = match payload {
                 Payload::Shared(buf) => self.send_with_policy(|| {
                     self.fabric
-                        .send_shared(EndpointId(my_worker), EndpointId(dst.0), Arc::clone(buf))
+                        .send_shared(from, self.relay_endpoint(dst.0), Arc::clone(buf))
                 }),
                 Payload::Copied(bytes) => self.send_with_policy(|| {
                     self.fabric
-                        .send_copied(EndpointId(my_worker), EndpointId(dst.0), bytes)
+                        .send_copied(from, self.relay_endpoint(dst.0), bytes)
                 }),
             };
             if ok {
@@ -1133,7 +1273,7 @@ impl Routing {
                     tracked: h.tracked,
                     anchor: anchor_for(h.tracked, t),
                 });
-                let _ = self.inboxes[&t].send(ExecMsg::Data(Arc::clone(&tuple), tag));
+                self.deliver(t, ExecMsg::Data(Arc::clone(&tuple), tag));
             }
         }
     }
@@ -1171,8 +1311,9 @@ impl Routing {
             if let Some(tag) = tag {
                 arm_xor ^= tag.anchor;
             }
-            // Executor may already have exited after EOS; ignore.
-            let _ = self.inboxes[&t].send(ExecMsg::Data(Arc::clone(tuple), tag));
+            // The owning pipeline may already have exited after EOS; the
+            // delivery layer swallows that race.
+            self.deliver(t, ExecMsg::Data(Arc::clone(tuple), tag));
         }
         self.stats
             .serializations
@@ -1188,15 +1329,16 @@ impl Routing {
                 for env in &p.remote {
                     debug_assert_eq!(env.dst_tasks.len(), 1);
                     let dst = env.dst_tasks[0];
+                    let to_shard = self.shard_of(dst);
                     if let Some(tr) = tracked {
                         arm_xor ^= anchor_for(tr, dst);
-                        self.transmit(src, env.dst_worker, |framed| {
+                        self.transmit(src, env.dst_worker, to_shard, |framed| {
                             framed.put_u8(TAG_INSTANCE_TRACKED);
                             framed.put_u64_le(tr);
                             InstanceMessage::encode_parts_into(src, dst, tuple, framed);
                         });
                     } else {
-                        self.transmit(src, env.dst_worker, |framed| {
+                        self.transmit(src, env.dst_worker, to_shard, |framed| {
                             framed.put_u8(TAG_INSTANCE);
                             InstanceMessage::encode_parts_into(src, dst, tuple, framed);
                         });
@@ -1213,36 +1355,65 @@ impl Routing {
                         for &t in &env.dst_tasks {
                             arm_xor ^= anchor_for(tr, t);
                         }
-                        self.transmit(src, env.dst_worker, |framed| {
-                            framed.put_u8(TAG_WORKER_TRACKED);
-                            framed.put_u64_le(tr);
-                            WorkerMessage::encode_with_item_into(
-                                src,
-                                &env.dst_tasks,
-                                &item,
-                                framed,
-                            );
-                        });
-                    } else {
-                        self.transmit(src, env.dst_worker, |framed| {
-                            framed.put_u8(TAG_WORKER);
-                            WorkerMessage::encode_with_item_into(
-                                src,
-                                &env.dst_tasks,
-                                &item,
-                                framed,
-                            );
-                        });
                     }
+                    self.transmit_worker_frame(src, env.dst_worker, &env.dst_tasks, &item, tracked);
                 }
             }
         }
         arm_xor
     }
 
-    fn transmit(&self, src: TaskId, dst_worker: WorkerId, fill: impl FnOnce(&mut BytesMut)) {
-        let from = EndpointId(self.placement.worker_of(src).0);
-        let to = EndpointId(dst_worker.0);
+    /// Send one worker-oriented frame per destination *pipeline*: the
+    /// envelope's task list is split by owning shard (each pipeline reads
+    /// only its own endpoint) and every per-shard frame borrows the same
+    /// serialized item. One shard (the common case, and always true at
+    /// `shards == 1`) stays a single frame with no extra allocation.
+    fn transmit_worker_frame(
+        &self,
+        src: TaskId,
+        dst_worker: WorkerId,
+        dst_tasks: &[TaskId],
+        item: &BytesMut,
+        tracked: Option<u64>,
+    ) {
+        let frame = |tasks: &[TaskId], framed: &mut BytesMut| match tracked {
+            Some(tr) => {
+                framed.put_u8(TAG_WORKER_TRACKED);
+                framed.put_u64_le(tr);
+                WorkerMessage::encode_with_item_into(src, tasks, item, framed);
+            }
+            None => {
+                framed.put_u8(TAG_WORKER);
+                WorkerMessage::encode_with_item_into(src, tasks, item, framed);
+            }
+        };
+        let first_shard = self.shard_of(dst_tasks[0]);
+        if self.shards == 1 || dst_tasks.iter().all(|&t| self.shard_of(t) == first_shard) {
+            self.transmit(src, dst_worker, first_shard, |framed| frame(dst_tasks, framed));
+            return;
+        }
+        for shard in 0..self.shards {
+            let tasks: Vec<TaskId> = dst_tasks
+                .iter()
+                .copied()
+                .filter(|&t| self.shard_of(t) == shard)
+                .collect();
+            if tasks.is_empty() {
+                continue;
+            }
+            self.transmit(src, dst_worker, shard, |framed| frame(&tasks, framed));
+        }
+    }
+
+    fn transmit(
+        &self,
+        src: TaskId,
+        dst_worker: WorkerId,
+        dst_shard: u32,
+        fill: impl FnOnce(&mut BytesMut),
+    ) {
+        let from = self.endpoint(self.placement.worker_of(src).0, self.shard_of(src));
+        let to = self.endpoint(dst_worker.0, dst_shard);
         self.send_frame(from, to, fill);
     }
 
@@ -1349,6 +1520,7 @@ impl Routing {
             relay.note_received(epoch_id);
             return;
         }
+        let from = self.relay_endpoint(my_worker);
         for &child in tree.children(Node::Dest(node)) {
             let Node::Dest(c) = child else { continue };
             let dst = relay_node_worker(origin, c, self.placement.workers());
@@ -1356,11 +1528,11 @@ impl Routing {
             let ok = match payload {
                 Payload::Shared(buf) => self.send_with_policy(|| {
                     self.fabric
-                        .send_shared(EndpointId(my_worker), EndpointId(dst.0), Arc::clone(buf))
+                        .send_shared(from, self.relay_endpoint(dst.0), Arc::clone(buf))
                 }),
                 Payload::Copied(bytes) => self.send_with_policy(|| {
                     self.fabric
-                        .send_copied(EndpointId(my_worker), EndpointId(dst.0), bytes)
+                        .send_copied(from, self.relay_endpoint(dst.0), bytes)
                 }),
             };
             if ok {
@@ -1372,7 +1544,7 @@ impl Routing {
         relay.note_received(epoch_id);
         for &t in self.placement.tasks_on(WorkerId(my_worker)) {
             if self.topology.tasks().component_of(t) == Some(comp) {
-                let _ = self.inboxes[&t].send(ExecMsg::Eos(src));
+                self.deliver(t, ExecMsg::Eos(src));
             }
         }
     }
@@ -1405,7 +1577,7 @@ impl Routing {
                 let src_worker = self.placement.worker_of(src);
                 for &t in self.placement.tasks_on(src_worker) {
                     if self.topology.tasks().component_of(t) == Some(edge.to) {
-                        let _ = self.inboxes[&t].send(ExecMsg::Eos(src));
+                        self.deliver(t, ExecMsg::Eos(src));
                     }
                 }
                 // EOS departs on the current generation; wait (bounded)
@@ -1425,7 +1597,7 @@ impl Routing {
                 self.stats.frames_encoded.fetch_add(1, Ordering::Relaxed);
                 let frame_len = scratch.len();
                 let tree = &epoch.trees[src_worker.0 as usize];
-                let from = EndpointId(src_worker.0);
+                let from = self.relay_endpoint(src_worker.0);
                 let buf = self.config.zero_copy.then(|| scratch.share());
                 for &child in tree.children(Node::Source) {
                     let Node::Dest(node) = child else { continue };
@@ -1434,10 +1606,12 @@ impl Routing {
                         relay.note_sent(epoch.epoch);
                         let ok = match &buf {
                             Some(b) => self.send_with_policy(|| {
-                                self.fabric.send_shared(from, EndpointId(dst.0), Arc::clone(b))
+                                self.fabric
+                                    .send_shared(from, self.relay_endpoint(dst.0), Arc::clone(b))
                             }),
                             None => self.send_with_policy(|| {
-                                self.fabric.send_copied(from, EndpointId(dst.0), &scratch)
+                                self.fabric
+                                    .send_copied(from, self.relay_endpoint(dst.0), &scratch)
                             }),
                         };
                         if ok {
@@ -1452,21 +1626,34 @@ impl Routing {
             let dsts = self.topology.tasks().tasks_of(edge.to);
             let by_worker = self.placement.group_by_worker(&dsts);
             let src_worker = self.placement.worker_of(src);
+            let from = self.endpoint(src_worker.0, self.shard_of(src));
             for (worker, tasks) in by_worker {
                 if worker == src_worker {
                     for t in tasks {
-                        let _ = self.inboxes[&t].send(ExecMsg::Eos(src));
+                        self.deliver(t, ExecMsg::Eos(src));
                     }
                 } else {
-                    let from = EndpointId(src_worker.0);
-                    self.send_frame_copies(from, EndpointId(worker.0), copies, |framed| {
-                        framed.put_u8(TAG_EOS);
-                        framed.put_u32_le(src.0);
-                        framed.put_u32_le(tasks.len() as u32);
-                        for t in &tasks {
-                            framed.put_u32_le(t.0);
+                    // One EOS frame per destination pipeline: each shard
+                    // reads only its own endpoint.
+                    for shard in 0..self.shards {
+                        let shard_tasks: Vec<TaskId> = tasks
+                            .iter()
+                            .copied()
+                            .filter(|&t| self.shard_of(t) == shard)
+                            .collect();
+                        if shard_tasks.is_empty() {
+                            continue;
                         }
-                    });
+                        let to = self.endpoint(worker.0, shard);
+                        self.send_frame_copies(from, to, copies, |framed| {
+                            framed.put_u8(TAG_EOS);
+                            framed.put_u32_le(src.0);
+                            framed.put_u32_le(shard_tasks.len() as u32);
+                            for t in &shard_tasks {
+                                framed.put_u32_le(t.0);
+                            }
+                        });
+                    }
                 }
             }
         }
@@ -1482,8 +1669,12 @@ impl Routing {
     }
 }
 
-fn build_groupings(topology: &Topology, comp: ComponentId) -> Vec<(ComponentId, GroupingExec)> {
-    topology
+/// Per-task routing state for `src`'s downstream edges. Shuffle cursors
+/// are seeded by a stable hash of the source task id, so the N routers of
+/// a parallel component start at spread-out offsets instead of all
+/// hammering `targets[0]` first.
+fn build_groupings(topology: &Topology, src: TaskId, comp: ComponentId) -> Groupings {
+    let edges = topology
         .downstream_edges(comp)
         .into_iter()
         .map(|e| {
@@ -1493,10 +1684,18 @@ fn build_groupings(topology: &Topology, comp: ComponentId) -> Vec<(ComponentId, 
             );
             (
                 e.to,
-                GroupingExec::new(e.grouping.clone(), topology.tasks().tasks_of(e.to)),
+                GroupingExec::with_rr_seed(
+                    e.grouping.clone(),
+                    topology.tasks().tasks_of(e.to),
+                    splitmix64(src.0 as u64),
+                ),
             )
         })
-        .collect()
+        .collect();
+    Groupings {
+        edges,
+        scratch: Vec::new(),
+    }
 }
 
 struct OutboxEmitter<'a> {
@@ -1537,6 +1736,8 @@ fn empty_report(outcome: RunOutcome, n_components: usize) -> RunReport {
         relay_forward_ns: Vec::new(),
         dropped_frames: 0,
         thread_panics: 0,
+        shards: 0,
+        cross_shard_msgs: 0,
         send_errors: 0,
         batches_flushed: 0,
         mean_batch_size: 0.0,
@@ -1629,23 +1830,23 @@ pub fn run_topology(topology: Topology, operators: Operators, config: LiveConfig
         RelayState::new(build_relay_epoch(0, d.max(1), placement.workers()))
     });
 
-    // Inboxes for every task.
-    let mut inboxes = HashMap::new();
-    let mut receivers: HashMap<TaskId, Receiver<ExecMsg>> = HashMap::new();
-    for t in topology.tasks().all_tasks() {
-        let (tx, rx) = unbounded();
-        inboxes.insert(t, tx);
-        receivers.insert(t, rx);
-    }
-
-    // Worker endpoints (ids are assigned sequentially, so registration
-    // cannot collide).
-    let mut worker_rx = Vec::new();
-    for w in 0..placement.workers() {
-        worker_rx.push(
+    // One flat shard per (worker, shard): each gets its own fabric
+    // endpoint (ids are assigned sequentially, so registration cannot
+    // collide) and a bounded cross-shard inbox.
+    let shards = config.shards.max(1);
+    let n_flat = (placement.workers() * shards) as usize;
+    let inbox_capacity = config.shard_inbox_capacity.max(1);
+    let mut shard_inboxes = Vec::with_capacity(n_flat);
+    let mut shard_inbox_rx = Vec::with_capacity(n_flat);
+    let mut shard_fabric_rx = Vec::with_capacity(n_flat);
+    for flat in 0..n_flat {
+        let (tx, rx) = bounded(inbox_capacity);
+        shard_inboxes.push(tx);
+        shard_inbox_rx.push(rx);
+        shard_fabric_rx.push(
             fabric
-                .register(EndpointId(w))
-                .expect("worker endpoint ids are unique"),
+                .register(EndpointId(flat as u32))
+                .expect("shard endpoint ids are unique"),
         );
     }
 
@@ -1657,7 +1858,8 @@ pub fn run_topology(topology: Topology, operators: Operators, config: LiveConfig
         relay,
         fabric: Arc::clone(&fabric),
         pool: BufferPool::default(),
-        inboxes,
+        shard_inboxes,
+        shards,
         stats: Arc::clone(&stats),
         ack: ack_runtime,
     });
@@ -1711,24 +1913,36 @@ pub fn run_topology(topology: Topology, operators: Operators, config: LiveConfig
                     .as_ref()
                     .map_or(0, |a| a.replayed.load(Ordering::Relaxed)),
             };
-            while !stop.load(Ordering::Relaxed) {
-                std::thread::sleep(interval);
+            while sleep_with_stop(interval, &stop) {
                 timeline.lock().push(sample(start.elapsed()));
             }
             timeline.lock().push(sample(start.elapsed()));
         })
     });
 
-    // Dispatcher threads: one per worker.
-    for (w, rx) in worker_rx.into_iter().enumerate() {
-        let routing = Arc::clone(&routing);
-        handles.push(std::thread::spawn(move || {
-            dispatcher_loop(w as u32, rx, &routing)
-        }));
+    // Build one pipeline per flat shard, each owning its slice of tasks
+    // (stable `task % shards` map) — operators are constructed here on
+    // the driver thread so factory panics surface as config-time panics,
+    // not degraded runs.
+    let mut sender_handles = Vec::new();
+    let mut pipelines: Vec<ShardPipeline> = Vec::with_capacity(n_flat);
+    let (done_tx, done_rx) = unbounded::<()>();
+    for (flat, (fabric_rx, inbox_rx)) in shard_fabric_rx
+        .into_iter()
+        .zip(shard_inbox_rx)
+        .enumerate()
+    {
+        pipelines.push(ShardPipeline {
+            flat,
+            worker: flat as u32 / shards,
+            fabric_rx,
+            inbox_rx,
+            spouts: Vec::new(),
+            bolts: HashMap::new(),
+            done_tx: done_tx.clone(),
+        });
     }
-
-    // Executor + spout threads.
-    let mut work_handles = Vec::new();
+    drop(done_tx);
     for comp in routing.topology.components().to_vec() {
         for (idx, task) in routing
             .topology
@@ -1737,62 +1951,81 @@ pub fn run_topology(topology: Topology, operators: Operators, config: LiveConfig
             .into_iter()
             .enumerate()
         {
-            let routing = Arc::clone(&routing);
-            let stats = Arc::clone(&stats);
+            let flat = routing.flat_shard_of(task);
+            let outbox = make_outbox(&routing, task, comp.id, &mut sender_handles);
             match comp.kind {
                 ComponentKind::Spout => {
                     let spout_factory = operators
                         .spouts
                         .get(&comp.name)
                         .expect("validated before spawning");
-                    let mut spout = spout_factory(idx as u32);
-                    let outbox = make_outbox(&routing, task, comp.id, &mut work_handles);
-                    work_handles.push(std::thread::spawn(move || {
-                        spout_loop(&mut *spout, task, outbox, &routing, &stats)
-                    }));
+                    pipelines[flat].spouts.push(SpoutState {
+                        task,
+                        spout: spout_factory(idx as u32),
+                        outbox: Some(outbox),
+                        pending: HashMap::new(),
+                        since_prune: 0,
+                        phase: SpoutPhase::Emitting,
+                    });
                 }
                 ComponentKind::Bolt => {
                     let bolt_factory = operators
                         .bolts
                         .get(&comp.name)
                         .expect("validated before spawning");
-                    let mut bolt = bolt_factory(idx as u32);
-                    // Every task got an inbox above; a missing receiver
-                    // would mean a task list mismatch — skip rather than
-                    // crash mid-spawn with other threads already running.
-                    let Some(rx) = receivers.remove(&task) else {
-                        debug_assert!(false, "no receiver for task {task:?}");
-                        continue;
-                    };
                     let expected_eos: usize = routing
                         .topology
                         .upstream_edges(comp.id)
                         .iter()
                         .map(|e| routing.topology.tasks().parallelism(e.from) as usize)
                         .sum();
-                    let outbox = make_outbox(&routing, task, comp.id, &mut work_handles);
-                    work_handles.push(std::thread::spawn(move || {
-                        executor_loop(
+                    pipelines[flat].bolts.insert(
+                        task,
+                        BoltState {
                             task,
-                            comp.id,
-                            &mut *bolt,
-                            rx,
+                            comp: comp.id,
+                            bolt: bolt_factory(idx as u32),
+                            outbox: Some(outbox),
+                            eos_seen: HashSet::new(),
                             expected_eos,
-                            outbox,
-                            &routing,
-                            &stats,
-                        )
-                    }));
+                            acked_tracked: HashSet::new(),
+                            seen_roots: HashSet::new(),
+                            poisoned: false,
+                            done: false,
+                        },
+                    );
                 }
             }
         }
     }
+    for p in pipelines {
+        let routing = Arc::clone(&routing);
+        let stats = Arc::clone(&stats);
+        handles.push(std::thread::spawn(move || {
+            // Operator panics are caught inside the pipeline; a panic
+            // escaping here is a runtime bug, but the completion signal
+            // must still fire or the driver would block forever.
+            let done_tx = p.done_tx.clone();
+            let res = catch_unwind(AssertUnwindSafe(|| p.run(&routing, &stats)));
+            if let Err(payload) = res {
+                let _ = done_tx.send(());
+                std::panic::resume_unwind(payload);
+            }
+        }));
+    }
 
-    // Join every thread even if some panicked: bailing on the first
+    // Wait until every pipeline reports its tasks complete (a pipeline
+    // that panicked counts: its wrapper signals before re-raising).
+    for _ in 0..n_flat {
+        if done_rx.recv().is_err() {
+            break;
+        }
+    }
+    // Join sender threads even if some panicked: bailing on the first
     // failure would skip the endpoint teardown below and leave the
-    // dispatcher threads blocked on `recv` forever.
+    // pipeline threads spinning on an open fabric forever.
     let mut thread_panics = 0u64;
-    for h in work_handles {
+    for h in sender_handles {
         if h.join().is_err() {
             thread_panics += 1;
         }
@@ -1806,19 +2039,24 @@ pub fn run_topology(topology: Topology, operators: Operators, config: LiveConfig
     }
     // All producers done: release any fault-parked frames, flush
     // anything still buffered in the transport (and stop the ring
-    // flusher), then close the fabric endpoints so dispatchers exit.
+    // flusher), then close the fabric endpoints so the pipelines exit
+    // (they keep draining/relaying frames until their endpoint closes).
     if let Some(f) = &fault {
         f.flush();
     }
     instance.shutdown();
-    for w in 0..routing.placement.workers() {
-        fabric.deregister(EndpointId(w));
+    for flat in 0..n_flat {
+        fabric.deregister(EndpointId(flat as u32));
     }
     for h in handles {
         if h.join().is_err() {
             thread_panics += 1;
         }
     }
+    // Operator panics were caught on the pipelines (the thread survives
+    // to run its other tasks); fold them into the same degradation
+    // signal the per-task threads used to produce by dying.
+    thread_panics += stats.op_panics.load(Ordering::Relaxed);
     monitor_stop.store(true, Ordering::Relaxed);
     if let Some(h) = monitor_handle {
         let _ = h.join();
@@ -1876,6 +2114,8 @@ pub fn run_topology(topology: Topology, operators: Operators, config: LiveConfig
             .map_or_else(Vec::new, |r| std::mem::take(&mut *r.forward_ns.lock())),
         dropped_frames: stats.dropped_frames.load(Ordering::Relaxed),
         thread_panics,
+        shards: routing.shards as u64,
+        cross_shard_msgs: stats.cross_shard_msgs.load(Ordering::Relaxed),
         send_errors: fabric.send_errors(),
         batches_flushed: fabric.flushed_batches(),
         mean_batch_size: {
@@ -1921,6 +2161,25 @@ pub fn run_topology(topology: Topology, operators: Operators, config: LiveConfig
     }
 }
 
+/// Sleep up to `total`, in small slices, re-checking `stop` between
+/// slices. Returns `true` if the full interval elapsed, `false` if the
+/// stop flag cut it short — background threads sleeping whole intervals
+/// in one call used to delay shutdown by up to a full interval each.
+fn sleep_with_stop(total: Duration, stop: &AtomicBool) -> bool {
+    const SLICE: Duration = Duration::from_millis(5);
+    let deadline = Instant::now() + total;
+    loop {
+        if stop.load(Ordering::Relaxed) {
+            return false;
+        }
+        let remaining = deadline.saturating_duration_since(Instant::now());
+        if remaining.is_zero() {
+            return true;
+        }
+        std::thread::sleep(remaining.min(SLICE));
+    }
+}
+
 /// The adaptive controller thread: every interval, retire drained tree
 /// generations, sample the live workload (λ from spout emissions, queue
 /// length from the fabric's transfer queue plus the acker's pending
@@ -1946,14 +2205,14 @@ fn adaptive_loop(
     );
     let mut last_emitted = 0u64;
     let mut next_forced = 0usize;
-    while !stop.load(Ordering::Relaxed) {
-        std::thread::sleep(cfg.interval);
+    while sleep_with_stop(cfg.interval, stop) {
         relay.try_retire_prev();
         let emitted = stats.spout_emitted.load(Ordering::Relaxed);
         let target = if cfg.forced_switches.is_empty() {
             monitor.record_arrivals(emitted.saturating_sub(last_emitted));
             let now = SimTime::from_nanos(epoch0.elapsed().as_nanos() as u64);
             let queue_len = fabric.queue_depth() as usize
+                + routing.max_inbox_depth()
                 + routing.ack.as_ref().map_or(0, |a| a.acker.lock().pending());
             let report = monitor.sample(now, queue_len);
             match controller.decide(&report) {
@@ -1999,8 +2258,9 @@ fn switch_structure(
         // One representative coordinator/agent session per switch: every
         // per-origin tree shares the same shape, so one session carries
         // the status/control/ACK exchange the paper describes. Protocol
-        // endpoints sit above the worker range to avoid collisions.
-        let base = routing.placement.workers();
+        // endpoints sit above the shard endpoint range to avoid
+        // collisions.
+        let base = routing.placement.workers() * routing.shards;
         let _ = run_switch_over_fabric_at(Arc::clone(fabric), &cur.trees[0], new_d, base);
     }
     let mut total_moves = 0u64;
@@ -2019,48 +2279,165 @@ fn switch_structure(
     relay.switch_moves.fetch_add(total_moves, Ordering::Relaxed);
 }
 
-/// Run one spout to completion: emit every tuple (tracked when the run
-/// acks), then drain outstanding trees — replaying expired ones — before
-/// broadcasting end-of-stream, so replays always precede EOS on every
-/// link.
-fn spout_loop(
-    spout: &mut dyn Spout,
+/// Where one spout is in its lifecycle. The drain phase (tracked runs
+/// only) is a cooperative state machine, not a blocking loop: the owning
+/// pipeline interleaves drain passes with frame dispatch and executor
+/// work, so a draining spout never starves the executors sharing its
+/// thread.
+enum SpoutPhase {
+    /// Still producing tuples.
+    Emitting,
+    /// Emissions exhausted; waiting out in-flight tracked trees,
+    /// replaying expired ones, until `deadline`. `next_poll` rate-limits
+    /// the acker polls to the configured interval.
+    Draining { deadline: Instant, next_poll: Instant },
+    /// EOS broadcast; nothing left to do.
+    Done,
+}
+
+/// One spout task owned by a shard pipeline.
+struct SpoutState {
     task: TaskId,
-    mut outbox: Outbox,
-    routing: &Routing,
-    stats: &RunStats,
-) {
-    // Tracked ids still in flight from this spout: id → (tuple, attempt).
-    let mut pending: HashMap<u64, (Tuple, u32)> = HashMap::new();
-    let mut since_prune = 0u32;
-    while let Some(t) = spout.next_tuple() {
-        stats.spout_emitted.fetch_add(1, Ordering::Relaxed);
-        if t.id != 0 && t.id % LATENCY_SAMPLE == 0 {
-            stats.emit_times.lock().insert(t.id, Instant::now());
-        }
-        match routing.ack.as_ref() {
-            None => outbox.emit(routing, task, t, None),
-            Some(ack) => {
-                let tracked = ack.next_root.fetch_add(1, Ordering::Relaxed) & ROOT_MASK;
-                // Register before emitting: an executor's ack can land
-                // before the routing layer arms the ledger, and XOR
-                // order-independence keeps that race benign — but only
-                // if the entry already exists.
-                ack.acker.lock().init(tracked, 0, ack.now());
-                pending.insert(tracked, (t.clone(), 0));
-                outbox.emit(routing, task, t, Some(tracked));
-                since_prune += 1;
-                if since_prune >= 64 {
-                    since_prune = 0;
-                    prune_completed(ack, &mut pending);
+    spout: Box<dyn Spout>,
+    /// Taken exactly once, at EOS broadcast.
+    outbox: Option<Outbox>,
+    /// Tracked ids still in flight: id → (tuple, attempt).
+    pending: HashMap<u64, (Tuple, u32)>,
+    since_prune: u32,
+    phase: SpoutPhase,
+}
+
+/// Advance one spout by one step: emit one tuple, or run one drain pass.
+/// Returns whether the step made progress (drives the pipeline's idle
+/// backoff). A panicking `next_tuple` poisons the spout: its pending
+/// tuples are failed loudly and EOS still departs so downstream drains.
+fn spout_step(state: &mut SpoutState, routing: &Routing, stats: &RunStats) -> bool {
+    match state.phase {
+        SpoutPhase::Done => false,
+        SpoutPhase::Emitting => {
+            let next = catch_unwind(AssertUnwindSafe(|| state.spout.next_tuple()));
+            let Ok(next) = next else {
+                stats.op_panics.fetch_add(1, Ordering::Relaxed);
+                if let Some(ack) = routing.ack.as_ref() {
+                    ack.acker
+                        .lock()
+                        .expire_matching(SimTime::MAX, |id| state.pending.contains_key(&id));
+                    ack.failed
+                        .fetch_add(state.pending.len() as u64, Ordering::Relaxed);
+                    state.pending.clear();
+                }
+                if let Some(ob) = state.outbox.take() {
+                    ob.finish(routing, state.task);
+                }
+                state.phase = SpoutPhase::Done;
+                return true;
+            };
+            let Some(t) = next else {
+                match routing.ack.as_ref() {
+                    Some(ack) => {
+                        let now = Instant::now();
+                        state.phase = SpoutPhase::Draining {
+                            deadline: now + ack.config.drain_deadline,
+                            next_poll: now,
+                        };
+                    }
+                    None => {
+                        if let Some(ob) = state.outbox.take() {
+                            ob.finish(routing, state.task);
+                        }
+                        state.phase = SpoutPhase::Done;
+                    }
+                }
+                return true;
+            };
+            let outbox = state.outbox.as_mut().expect("emitting spout has an outbox");
+            stats.spout_emitted.fetch_add(1, Ordering::Relaxed);
+            if t.id != 0 && t.id % LATENCY_SAMPLE == 0 {
+                stats.emit_times.lock().insert(t.id, Instant::now());
+            }
+            match routing.ack.as_ref() {
+                None => outbox.emit(routing, state.task, t, None),
+                Some(ack) => {
+                    let tracked = ack.next_root.fetch_add(1, Ordering::Relaxed) & ROOT_MASK;
+                    // Register before emitting: an executor's ack can land
+                    // before the routing layer arms the ledger, and XOR
+                    // order-independence keeps that race benign — but only
+                    // if the entry already exists.
+                    ack.acker.lock().init(tracked, 0, ack.now());
+                    state.pending.insert(tracked, (t.clone(), 0));
+                    outbox.emit(routing, state.task, t, Some(tracked));
+                    state.since_prune += 1;
+                    if state.since_prune >= 64 {
+                        state.since_prune = 0;
+                        prune_completed(ack, &mut state.pending);
+                    }
                 }
             }
+            true
+        }
+        SpoutPhase::Draining {
+            deadline,
+            next_poll,
+        } => {
+            let now = Instant::now();
+            if now < next_poll {
+                return false;
+            }
+            let ack = routing.ack.as_ref().expect("draining implies tracking");
+            // One drain pass: replay expired trees (fresh ledger key,
+            // stable root for sink dedup), prune completed ones.
+            let expired = {
+                let mut acker = ack.acker.lock();
+                acker.expire_matching(ack.now(), |id| state.pending.contains_key(&id))
+            };
+            let mut replayed = false;
+            for id in expired {
+                let Some((tuple, attempt)) = state.pending.remove(&id) else {
+                    continue;
+                };
+                if attempt >= ack.config.max_replays {
+                    ack.failed.fetch_add(1, Ordering::Relaxed);
+                    continue;
+                }
+                let attempt = attempt + 1;
+                let tracked = ((attempt as u64) << ROOT_BITS) | root_of(id);
+                ack.acker.lock().init(tracked, 0, ack.now());
+                state.pending.insert(tracked, (tuple.clone(), attempt));
+                ack.replayed.fetch_add(1, Ordering::Relaxed);
+                replayed = true;
+                let outbox = state.outbox.as_mut().expect("draining spout has an outbox");
+                outbox.emit(routing, state.task, tuple, Some(tracked));
+            }
+            prune_completed(ack, &mut state.pending);
+            if state.pending.is_empty() {
+                if let Some(ob) = state.outbox.take() {
+                    ob.finish(routing, state.task);
+                }
+                state.phase = SpoutPhase::Done;
+                return true;
+            }
+            if now >= deadline {
+                // Force-expire the remainder so late acks are rejected,
+                // then count each as failed exactly once.
+                ack.acker
+                    .lock()
+                    .expire_matching(SimTime::MAX, |id| state.pending.contains_key(&id));
+                ack.failed
+                    .fetch_add(state.pending.len() as u64, Ordering::Relaxed);
+                state.pending.clear();
+                if let Some(ob) = state.outbox.take() {
+                    ob.finish(routing, state.task);
+                }
+                state.phase = SpoutPhase::Done;
+                return true;
+            }
+            state.phase = SpoutPhase::Draining {
+                deadline,
+                next_poll: now + ack.config.poll_interval,
+            };
+            replayed
         }
     }
-    if let Some(ack) = routing.ack.as_ref() {
-        drain_pending(ack, &mut pending, &mut outbox, routing, task);
-    }
-    outbox.finish(routing, task);
 }
 
 /// Drop roots the acker no longer tracks, counting them as acked. Only
@@ -2074,75 +2451,23 @@ fn prune_completed(ack: &AckRuntime, pending: &mut HashMap<u64, (Tuple, u32)>) {
         .fetch_add((before - pending.len()) as u64, Ordering::Relaxed);
 }
 
-/// Post-emission drain: wait for this spout's outstanding trees,
-/// replaying expired ones up to the replay budget, bounded by the drain
-/// deadline — pending tuples left at the deadline are failed, loudly.
-fn drain_pending(
-    ack: &AckRuntime,
-    pending: &mut HashMap<u64, (Tuple, u32)>,
-    outbox: &mut Outbox,
-    routing: &Routing,
-    task: TaskId,
-) {
-    let deadline = Instant::now() + ack.config.drain_deadline;
-    loop {
-        let expired = {
-            let mut acker = ack.acker.lock();
-            acker.expire_matching(ack.now(), |id| pending.contains_key(&id))
-        };
-        for id in expired {
-            let Some((tuple, attempt)) = pending.remove(&id) else {
-                continue;
-            };
-            if attempt >= ack.config.max_replays {
-                ack.failed.fetch_add(1, Ordering::Relaxed);
-                continue;
-            }
-            // Replays re-register under a fresh ledger key (attempt in
-            // the high bits) but keep the stable root for sink dedup.
-            let attempt = attempt + 1;
-            let tracked = ((attempt as u64) << ROOT_BITS) | root_of(id);
-            ack.acker.lock().init(tracked, 0, ack.now());
-            pending.insert(tracked, (tuple.clone(), attempt));
-            ack.replayed.fetch_add(1, Ordering::Relaxed);
-            outbox.emit(routing, task, tuple, Some(tracked));
-        }
-        prune_completed(ack, pending);
-        if pending.is_empty() {
-            return;
-        }
-        if Instant::now() >= deadline {
-            // Force-expire the remainder so late acks are rejected, then
-            // count each as failed exactly once.
-            ack.acker
-                .lock()
-                .expire_matching(SimTime::MAX, |id| pending.contains_key(&id));
-            ack.failed
-                .fetch_add(pending.len() as u64, Ordering::Relaxed);
-            pending.clear();
-            return;
-        }
-        std::thread::sleep(ack.config.poll_interval);
-    }
-}
-
-fn dispatcher_loop(worker: u32, rx: Receiver<whale_net::LiveMessage>, routing: &Routing) {
-    // A frame that is truncated, fails to decode, carries an unknown tag,
-    // or addresses a task this worker does not host is dropped and counted
-    // (`RunStats::dropped_frames`) — a bad peer must not crash the worker.
+/// Decode and dispatch one fabric frame received by `worker`'s pipeline.
+/// A frame that is truncated, fails to decode, carries an unknown tag,
+/// or addresses a task this run does not host is dropped and counted
+/// (`RunStats::dropped_frames`) — a bad peer must not crash the worker.
+fn on_frame(worker: u32, msg: &whale_net::LiveMessage, routing: &Routing) {
     let drop_frame = || {
         routing.stats.dropped_frames.fetch_add(1, Ordering::Relaxed);
     };
-    let deliver = |dst: TaskId, msg: ExecMsg| match routing.inboxes.get(&dst) {
-        Some(tx) => {
-            let _ = tx.send(msg);
+    let deliver = |dst: TaskId, msg: ExecMsg| {
+        if !routing.deliver(dst, msg) {
+            drop_frame();
         }
-        None => drop_frame(),
     };
-    while let Ok(msg) = rx.recv() {
+    {
         let mut buf = msg.payload.bytes();
         if buf.is_empty() {
-            continue;
+            return;
         }
         let tag = buf.get_u8();
         match tag {
@@ -2152,14 +2477,14 @@ fn dispatcher_loop(worker: u32, rx: Receiver<whale_net::LiveMessage>, routing: &
                 // along untouched so forwards reuse the received bytes.
                 let Ok(h) = RelayHeader::decode(&mut buf) else {
                     drop_frame();
-                    continue;
+                    return;
                 };
                 routing.on_relay_frame(worker, h, &msg.payload, buf);
             }
             TAG_RELAY_EOS => {
                 if buf.remaining() < 16 {
                     drop_frame();
-                    continue;
+                    return;
                 }
                 let origin = buf.get_u32_le();
                 let epoch = buf.get_u32_le();
@@ -2183,7 +2508,7 @@ fn dispatcher_loop(worker: u32, rx: Receiver<whale_net::LiveMessage>, routing: &
             TAG_INSTANCE_TRACKED => {
                 if buf.remaining() < 8 {
                     drop_frame();
-                    continue;
+                    return;
                 }
                 let tracked = buf.get_u64_le();
                 match InstanceMessage::decode(&mut buf) {
@@ -2202,7 +2527,7 @@ fn dispatcher_loop(worker: u32, rx: Receiver<whale_net::LiveMessage>, routing: &
             TAG_WORKER_TRACKED => {
                 if buf.remaining() < 8 {
                     drop_frame();
-                    continue;
+                    return;
                 }
                 let tracked = buf.get_u64_le();
                 match WorkerMessage::decode(&mut buf) {
@@ -2221,13 +2546,13 @@ fn dispatcher_loop(worker: u32, rx: Receiver<whale_net::LiveMessage>, routing: &
             TAG_EOS => {
                 if buf.remaining() < 8 {
                     drop_frame();
-                    continue;
+                    return;
                 }
                 let src = TaskId(buf.get_u32_le());
                 let n = buf.get_u32_le() as usize;
                 if buf.remaining() < n * 4 {
                     drop_frame();
-                    continue;
+                    return;
                 }
                 for _ in 0..n {
                     let dst = TaskId(buf.get_u32_le());
@@ -2239,89 +2564,254 @@ fn dispatcher_loop(worker: u32, rx: Receiver<whale_net::LiveMessage>, routing: &
     }
 }
 
-#[allow(clippy::too_many_arguments)]
-fn executor_loop(
+/// Test-only stand-in for the old per-worker dispatcher thread: drain a
+/// fabric receiver through [`on_frame`] until the endpoint closes. The
+/// live runtime dispatches inline on the shard pipelines instead.
+#[cfg(test)]
+fn dispatcher_loop(worker: u32, rx: Receiver<whale_net::LiveMessage>, routing: &Routing) {
+    while let Ok(msg) = rx.recv() {
+        on_frame(worker, &msg, routing);
+    }
+}
+
+/// One bolt task owned by a shard pipeline.
+struct BoltState {
     task: TaskId,
     comp: ComponentId,
-    bolt: &mut dyn Bolt,
-    rx: Receiver<ExecMsg>,
+    bolt: Box<dyn Bolt>,
+    /// Taken exactly once, at EOS broadcast.
+    outbox: Option<Outbox>,
+    eos_seen: HashSet<TaskId>,
     expected_eos: usize,
-    mut outbox: Outbox,
-    routing: &Routing,
-    stats: &RunStats,
-) {
-    let mut eos_seen = std::collections::HashSet::new();
-    // Tracked ids already XOR'd into the acker (a duplicated frame must
-    // not ack the ledger twice) and roots already executed (replays and
-    // duplicates are acked but not re-executed).
-    let mut acked_tracked: HashSet<u64> = HashSet::new();
-    let mut seen_roots: HashSet<u64> = HashSet::new();
-    let deadline = routing.config.run_deadline.map(|d| Instant::now() + d);
-    loop {
-        let msg = if let Some(dl) = deadline {
-            let remaining = dl.saturating_duration_since(Instant::now());
-            match rx.recv_timeout(remaining) {
-                Ok(m) => m,
-                Err(crossbeam::channel::RecvTimeoutError::Timeout) => {
-                    // Liveness backstop: a lost EOS degrades the run but
-                    // never hangs it. Finish below so downstream still
-                    // receives this executor's EOS and can drain.
-                    stats.deadline_exits.fetch_add(1, Ordering::Relaxed);
-                    break;
-                }
-                Err(crossbeam::channel::RecvTimeoutError::Disconnected) => break,
+    /// Tracked ids already XOR'd into the acker (a duplicated frame must
+    /// not ack the ledger twice) and roots already executed (replays and
+    /// duplicates are acked but not re-executed).
+    acked_tracked: HashSet<u64>,
+    seen_roots: HashSet<u64>,
+    /// A panicking `execute`/`finish` poisons the task: later tuples are
+    /// dropped unprocessed and unacked (they time out into replays on
+    /// tracked runs), but EOS still departs so downstream drains.
+    poisoned: bool,
+    done: bool,
+}
+
+/// Process one executor message for a bolt.
+fn bolt_handle(state: &mut BoltState, msg: ExecMsg, routing: &Routing, stats: &RunStats) {
+    if state.done {
+        return;
+    }
+    match msg {
+        ExecMsg::Data(t, tag) => {
+            if state.poisoned {
+                return;
             }
-        } else {
-            match rx.recv() {
-                Ok(m) => m,
-                Err(_) => break,
-            }
-        };
-        match msg {
-            ExecMsg::Data(t, tag) => {
-                let mut fresh = true;
-                if let (Some(tag), Some(ack)) = (tag, routing.ack.as_ref()) {
-                    if acked_tracked.insert(tag.tracked) {
-                        ack.acker.lock().ack(tag.tracked, tag.anchor);
-                    }
-                    fresh = seen_roots.insert(root_of(tag.tracked));
-                    if !fresh {
-                        ack.dedup_dropped.fetch_add(1, Ordering::Relaxed);
-                    }
+            let mut fresh = true;
+            if let (Some(tag), Some(ack)) = (tag, routing.ack.as_ref()) {
+                if state.acked_tracked.insert(tag.tracked) {
+                    ack.acker.lock().ack(tag.tracked, tag.anchor);
                 }
+                fresh = state.seen_roots.insert(root_of(tag.tracked));
                 if !fresh {
-                    continue;
+                    ack.dedup_dropped.fetch_add(1, Ordering::Relaxed);
                 }
-                stats.executed[comp.0 as usize].fetch_add(1, Ordering::Relaxed);
-                if t.id != 0 && t.id % LATENCY_SAMPLE == 0 {
-                    let start = stats.emit_times.lock().get(&t.id).copied();
-                    if let Some(start) = start {
-                        let ns = start.elapsed().as_nanos() as u64;
-                        stats.delivery_ns.lock().push(ns);
-                    }
-                }
-                let mut emitter = OutboxEmitter {
-                    routing,
-                    src: task,
-                    outbox: &mut outbox,
-                };
-                bolt.execute(&t, &mut emitter);
             }
-            ExecMsg::Eos(src) => {
-                eos_seen.insert(src);
-                if eos_seen.len() >= expected_eos {
-                    break;
+            if !fresh {
+                return;
+            }
+            stats.executed[state.comp.0 as usize].fetch_add(1, Ordering::Relaxed);
+            if t.id != 0 && t.id % LATENCY_SAMPLE == 0 {
+                let start = stats.emit_times.lock().get(&t.id).copied();
+                if let Some(start) = start {
+                    let ns = start.elapsed().as_nanos() as u64;
+                    stats.delivery_ns.lock().push(ns);
                 }
+            }
+            let outbox = state.outbox.as_mut().expect("live bolt has an outbox");
+            let mut emitter = OutboxEmitter {
+                routing,
+                src: state.task,
+                outbox,
+            };
+            let bolt = &mut state.bolt;
+            if catch_unwind(AssertUnwindSafe(|| bolt.execute(&t, &mut emitter))).is_err() {
+                state.poisoned = true;
+                stats.op_panics.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        ExecMsg::Eos(src) => {
+            state.eos_seen.insert(src);
+            if state.eos_seen.len() >= state.expected_eos {
+                finish_bolt(state, routing, stats);
             }
         }
     }
-    let mut emitter = OutboxEmitter {
-        routing,
-        src: task,
-        outbox: &mut outbox,
+}
+
+/// Close out a bolt: run its `finish` hook (skipped for poisoned tasks —
+/// a panicking operator gets no second invocation) and broadcast EOS.
+fn finish_bolt(state: &mut BoltState, routing: &Routing, stats: &RunStats) {
+    if state.done {
+        return;
+    }
+    state.done = true;
+    let Some(mut ob) = state.outbox.take() else {
+        return;
     };
-    bolt.finish(&mut emitter);
-    outbox.finish(routing, task);
+    if !state.poisoned {
+        let mut emitter = OutboxEmitter {
+            routing,
+            src: state.task,
+            outbox: &mut ob,
+        };
+        let bolt = &mut state.bolt;
+        if catch_unwind(AssertUnwindSafe(|| bolt.finish(&mut emitter))).is_err() {
+            state.poisoned = true;
+            stats.op_panics.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+    ob.finish(routing, state.task);
+}
+
+/// Fabric frames and cross-shard messages consumed per scheduling pass
+/// before the pipeline rotates to its other work (keeps one flooded
+/// source from starving the rest).
+const PIPELINE_BATCH: usize = 128;
+/// Idle passes of busy-spinning before the pipeline starts sleeping.
+const IDLE_SPINS: u32 = 64;
+const IDLE_SLEEP: Duration = Duration::from_micros(50);
+
+/// One shard-owned pipeline: the whole hot path for its slice of tasks —
+/// fabric reader, routing (inside each task's outbox), execution, and
+/// sink — on one thread, with no central dispatcher. See the module docs.
+struct ShardPipeline {
+    /// Flat shard id (`worker * shards + shard`) — also the fabric
+    /// endpoint this pipeline reads.
+    flat: usize,
+    worker: u32,
+    fabric_rx: Receiver<whale_net::LiveMessage>,
+    inbox_rx: Receiver<(TaskId, ExecMsg)>,
+    spouts: Vec<SpoutState>,
+    bolts: HashMap<TaskId, BoltState>,
+    /// Signals the run driver once every owned task has completed (the
+    /// pipeline keeps relaying/draining frames until the fabric closes).
+    done_tx: Sender<()>,
+}
+
+impl ShardPipeline {
+    fn run(mut self, routing: &Routing, stats: &RunStats) {
+        CURRENT_SHARD.with(|c| c.set(Some(self.flat)));
+        // A bolt with no upstream can never receive EOS; close it out
+        // up front instead of hanging the pipeline.
+        for b in self.bolts.values_mut() {
+            if b.expected_eos == 0 {
+                finish_bolt(b, routing, stats);
+            }
+        }
+        self.drain_local(routing, stats);
+        let deadline = routing.config.run_deadline.map(|d| Instant::now() + d);
+        let mut fabric_open = true;
+        let mut signaled = false;
+        let mut idle_passes = 0u32;
+        loop {
+            let mut progress = false;
+            for _ in 0..PIPELINE_BATCH {
+                match self.fabric_rx.try_recv() {
+                    Ok(msg) => {
+                        on_frame(self.worker, &msg, routing);
+                        progress = true;
+                        self.drain_local(routing, stats);
+                    }
+                    Err(TryRecvError::Empty) => break,
+                    Err(TryRecvError::Disconnected) => {
+                        fabric_open = false;
+                        break;
+                    }
+                }
+            }
+            for _ in 0..PIPELINE_BATCH {
+                match self.inbox_rx.try_recv() {
+                    Ok((dst, msg)) => {
+                        self.handle_exec(dst, msg, routing, stats);
+                        progress = true;
+                        self.drain_local(routing, stats);
+                    }
+                    Err(_) => break,
+                }
+            }
+            for i in 0..self.spouts.len() {
+                if spout_step(&mut self.spouts[i], routing, stats) {
+                    progress = true;
+                }
+            }
+            if self.drain_local(routing, stats) {
+                progress = true;
+            }
+            let all_done = self
+                .spouts
+                .iter()
+                .all(|s| matches!(s.phase, SpoutPhase::Done))
+                && self.bolts.values().all(|b| b.done);
+            if all_done && !signaled {
+                signaled = true;
+                let _ = self.done_tx.send(());
+            }
+            if all_done && !fabric_open {
+                break;
+            }
+            if progress {
+                idle_passes = 0;
+                continue;
+            }
+            if !all_done {
+                if let Some(dl) = deadline {
+                    if Instant::now() >= dl {
+                        // Liveness backstop, checked only on idle passes
+                        // (already-queued traffic is still processed): a
+                        // lost EOS degrades the run but never hangs it.
+                        // Finishing still broadcasts this task's own EOS
+                        // so downstream can drain.
+                        for b in self.bolts.values_mut() {
+                            if !b.done {
+                                stats.deadline_exits.fetch_add(1, Ordering::Relaxed);
+                                finish_bolt(b, routing, stats);
+                            }
+                        }
+                        self.drain_local(routing, stats);
+                        continue;
+                    }
+                }
+            }
+            idle_passes += 1;
+            if idle_passes < IDLE_SPINS {
+                std::hint::spin_loop();
+            } else {
+                std::thread::sleep(IDLE_SLEEP);
+            }
+        }
+        CURRENT_SHARD.with(|c| c.set(None));
+    }
+
+    /// Route one executor message to the owning task. Messages for tasks
+    /// this shard does not own (a spout task, or a stale frame for a
+    /// completed run) are ignored, matching the old dispatcher's
+    /// fire-and-forget channel sends.
+    fn handle_exec(&mut self, dst: TaskId, msg: ExecMsg, routing: &Routing, stats: &RunStats) {
+        if let Some(state) = self.bolts.get_mut(&dst) {
+            bolt_handle(state, msg, routing, stats);
+        }
+    }
+
+    /// Drain the thread-local same-shard loopback queue. Executions may
+    /// push more (a bolt emitting to a same-shard successor), so this
+    /// loops until the queue is genuinely empty.
+    fn drain_local(&mut self, routing: &Routing, stats: &RunStats) -> bool {
+        let mut any = false;
+        while let Some((dst, msg)) = LOCAL_QUEUE.with_borrow_mut(|q| q.pop_front()) {
+            self.handle_exec(dst, msg, routing, stats);
+            any = true;
+        }
+        any
+    }
 }
 
 #[cfg(test)]
@@ -2772,7 +3262,8 @@ mod tests {
             },
             fabric: Arc::clone(&fabric) as Arc<dyn FabricPath>,
             pool: BufferPool::default(),
-            inboxes: HashMap::new(),
+            shard_inboxes: Vec::new(),
+            shards: 1,
             stats: Arc::new(RunStats::default()),
             ack: None,
             relay: None,
@@ -3158,7 +3649,8 @@ mod tests {
             },
             fabric: Arc::clone(&fabric) as Arc<dyn FabricPath>,
             pool: BufferPool::default(),
-            inboxes: HashMap::new(),
+            shard_inboxes: Vec::new(),
+            shards: 1,
             stats: Arc::new(RunStats::default()),
             ack: None,
             relay: Some(RelayState::new(build_relay_epoch(3, 2, 2))),
@@ -3238,5 +3730,109 @@ mod tests {
         assert!(r.relay_forwards > 0);
         assert_eq!(r.relay_stale_drops, 0, "drained switch drops nothing");
         assert_eq!(r.outcome, RunOutcome::Clean);
+    }
+
+    #[test]
+    fn sharded_pipelines_match_single_shard_results() {
+        let base = run(CommMode::WorkerOriented, true, 4, 8);
+        assert_eq!(base.shards, 1);
+        for shards in [2, 4] {
+            let (t, ops) = counting_topology(4, 8);
+            let r = run_topology(
+                t,
+                ops,
+                LiveConfig {
+                    machines: 4,
+                    shards,
+                    ..LiveConfig::default()
+                },
+            );
+            assert_eq!(r.outcome, RunOutcome::Clean, "{shards} shards");
+            assert_eq!(r.executed, base.executed, "{shards} shards");
+            assert_eq!(r.spout_emitted, base.spout_emitted);
+            assert_eq!(r.shards, shards as u64);
+            assert_eq!(r.dropped_frames, 0);
+        }
+    }
+
+    #[test]
+    fn same_worker_cross_shard_traffic_uses_the_inboxes() {
+        // One machine, 4 shards: nothing crosses the fabric, but the
+        // all-grouped stage spans every shard, so deliveries must flow
+        // through the cross-shard inboxes (and be counted).
+        let (t, ops) = counting_topology(1, 8);
+        let r = run_topology(
+            t,
+            ops,
+            LiveConfig {
+                machines: 1,
+                shards: 4,
+                ..LiveConfig::default()
+            },
+        );
+        assert_eq!(r.outcome, RunOutcome::Clean);
+        assert_eq!(r.executed[1], 800);
+        assert_eq!(r.copied_bytes + r.shared_bytes, 0, "single worker");
+        assert!(r.cross_shard_msgs > 0, "fan-out must cross shard inboxes");
+        let m = r.metrics();
+        assert_eq!(m.counter("dsps.cross_shard_msgs"), Some(r.cross_shard_msgs));
+        assert_eq!(m.gauge("dsps.shards"), Some(4.0));
+    }
+
+    #[test]
+    fn tracked_sharded_run_accounts_for_every_tuple() {
+        for fabric in [
+            FabricKind::PerSend,
+            FabricKind::Ring(whale_net::RingConfig::default()),
+            FabricKind::OneSided(whale_net::OneSidedConfig::default()),
+        ] {
+            let (t, ops) = ack_topology(200, 4);
+            let r = run_topology(
+                t,
+                ops,
+                LiveConfig {
+                    machines: 4,
+                    shards: 4,
+                    fabric,
+                    ack: Some(AckConfig::default()),
+                    ..LiveConfig::default()
+                },
+            );
+            assert_eq!(r.outcome, RunOutcome::Clean);
+            assert_eq!(r.tuples_acked + r.tuples_failed, r.spout_emitted);
+            assert_eq!(r.tuples_acked, 200);
+            assert_eq!(r.executed[1], 200 * 4, "exactly once per instance");
+        }
+    }
+
+    #[test]
+    fn background_threads_shut_down_promptly() {
+        // Monitor and adaptive intervals far longer than the run: both
+        // threads used to sleep the whole interval before noticing the
+        // stop flag, stalling teardown by up to a full interval each.
+        let (t, ops) = counting_topology(4, 8);
+        let started = Instant::now();
+        let r = run_topology(
+            t,
+            ops,
+            LiveConfig {
+                machines: 4,
+                monitor_interval: Some(Duration::from_secs(30)),
+                multicast_adaptive: Some(AdaptiveConfig {
+                    interval: Duration::from_secs(30),
+                    ..AdaptiveConfig::default()
+                }),
+                ..LiveConfig::default()
+            },
+        );
+        assert_eq!(r.outcome, RunOutcome::Clean);
+        assert_eq!(r.spout_emitted, 100);
+        assert!(
+            started.elapsed() < Duration::from_secs(10),
+            "shutdown must not wait out 30s sampling intervals (took {:?})",
+            started.elapsed()
+        );
+        let last = r.timeline.last().expect("final sample always lands");
+        assert_eq!(last.spout_emitted, 100);
     }
 }
