@@ -1,10 +1,16 @@
 //! Criterion microbenchmarks of the wire codec: the serialization
-//! asymmetry that motivates worker-oriented communication.
+//! asymmetry that motivates worker-oriented communication, plus the
+//! eager-vs-lazy decode comparison behind the zero-materialization
+//! receive path.
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use std::hint::black_box;
+use std::sync::Arc;
 use whale_dsps::codec::{decode_tuple, encode_tuple};
-use whale_dsps::{InstanceMessage, TaskId, Tuple, Value, WorkerMessage};
+use whale_dsps::{
+    InstanceMessage, LengthPrefixedCodec, TaskId, Tuple, TupleView, Value, WhaleCodec, WireCodec,
+    WorkerMessage,
+};
 
 fn sample_tuple() -> Tuple {
     Tuple::with_id(
@@ -60,5 +66,78 @@ fn bench_codec(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_codec);
+/// A tuple whose encoding is roughly `payload` bytes: an i64 key field
+/// followed by one string carrying the bulk — the shape of the paper's
+/// key-grouped application streams.
+fn payload_tuple(payload: usize) -> Tuple {
+    let body = "x".repeat(payload.saturating_sub(24));
+    Tuple::with_id(7, vec![Value::I64(42), Value::str(body.as_str())])
+}
+
+/// Eager decode vs borrowed lazy views, touching one field vs all of
+/// them, across payload sizes 64 B – 16 KiB. The lazy single-field
+/// column is the case the receive path optimizes: key extraction and
+/// sink bolts that never need the bulk of the tuple.
+fn bench_lazy_decode(c: &mut Criterion) {
+    for payload in [64usize, 512, 2048, 16384] {
+        let tuple = payload_tuple(payload);
+        let encoded = encode_tuple(&tuple);
+
+        c.bench_function(&format!("eager_decode/{payload}"), |b| {
+            b.iter_batched(
+                || encoded.clone(),
+                |mut buf| decode_tuple(black_box(&mut buf)).unwrap(),
+                BatchSize::SmallInput,
+            )
+        });
+
+        c.bench_function(&format!("lazy_view_1field/{payload}"), |b| {
+            b.iter(|| {
+                let view = TupleView::parse(black_box(&encoded[..])).unwrap();
+                view.field(0).unwrap().unwrap().as_i64().unwrap()
+            })
+        });
+
+        c.bench_function(&format!("lazy_view_full/{payload}"), |b| {
+            b.iter(|| {
+                let view = TupleView::parse(black_box(&encoded[..])).unwrap();
+                let mut touched = 0usize;
+                for f in view.fields() {
+                    match f.unwrap() {
+                        whale_dsps::ValueView::Str(s) => touched += s.len(),
+                        whale_dsps::ValueView::I64(x) => touched += x as usize & 1,
+                        _ => {}
+                    }
+                }
+                touched
+            })
+        });
+    }
+
+    // Codec head-to-head through the trait object: fixed-offset whale
+    // format vs the length-prefixed variant.
+    let tuple = payload_tuple(512);
+    for codec in [
+        &WhaleCodec as &dyn WireCodec,
+        &LengthPrefixedCodec as &dyn WireCodec,
+    ] {
+        let encoded = codec.encode_tuple(&tuple);
+        c.bench_function(&format!("codec_{}_roundtrip/512", codec.name()), |b| {
+            b.iter(|| {
+                let bytes = codec.encode_tuple(black_box(&tuple));
+                let view = codec.tuple_view(&bytes).unwrap();
+                view.arity()
+            })
+        });
+        let buf: Arc<[u8]> = Arc::from(&encoded[..]);
+        c.bench_function(&format!("codec_{}_view/512", codec.name()), |b| {
+            b.iter(|| {
+                let view = codec.tuple_view(black_box(&buf[..])).unwrap();
+                view.field(0).unwrap().unwrap().as_i64().unwrap()
+            })
+        });
+    }
+}
+
+criterion_group!(benches, bench_codec, bench_lazy_decode);
 criterion_main!(benches);

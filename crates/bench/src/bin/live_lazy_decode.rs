@@ -1,0 +1,30 @@
+//! E25 — lazy zero-materialization decode: borrowed tuple views.
+//!
+//! Emits `results/live_lazy_decode.{csv,json}` plus the top-level
+//! `BENCH_lazy_decode.json` headline report (override the location with
+//! `WHALE_BENCH_DIR`). Pass `--smoke` (or set `WHALE_SCALE=smoke`) for
+//! the minimal CI variant.
+
+use whale_bench::experiments::live_lazy_decode as e25;
+
+fn main() {
+    let scale = if std::env::args().any(|a| a == "--smoke") {
+        whale_bench::Scale::Smoke
+    } else {
+        whale_bench::Scale::from_env()
+    };
+    let points = e25::sweep();
+    for table in e25::run_experiment(scale) {
+        table.emit(None);
+    }
+    let cells = e25::live_cells(scale);
+
+    let dir = std::env::var_os("WHALE_BENCH_DIR")
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|| std::path::PathBuf::from("."));
+    let _ = std::fs::create_dir_all(&dir);
+    let path = dir.join("BENCH_lazy_decode.json");
+    let json = e25::summary_json(&points, &cells).to_json_string();
+    std::fs::write(&path, format!("{json}\n")).expect("write BENCH_lazy_decode.json");
+    println!("headline report → {}", path.display());
+}

@@ -14,6 +14,7 @@ pub mod fig29_32_verbs;
 pub mod fig33_34_racks;
 pub mod live_adaptive;
 pub mod live_chaos;
+pub mod live_lazy_decode;
 pub mod live_one_sided;
 pub mod live_ring;
 pub mod live_shards;

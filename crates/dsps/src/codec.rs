@@ -1,5 +1,6 @@
 //! The wire codec: hand-written serialization for tuples and the two
-//! message formats of Fig 9.
+//! message formats of Fig 9, plus the lazy decode layer over received
+//! wire buffers.
 //!
 //! Owning the codec matters for this reproduction: the paper's central
 //! observation is that *per-destination* serialization dominates upstream
@@ -10,11 +11,22 @@
 //!   per destination instance, data item serialized every time.
 //! - [`WorkerMessage`] (Fig 9b, Whale): `dstIds[] | dataItem` — one message
 //!   per destination *worker*, data item serialized once.
+//!
+//! The receive side mirrors the send side's zero-copy discipline with
+//! borrowed views: [`TupleView`] / [`WorkerMessageView`] /
+//! [`InstanceMessageView`] validate framing once (tags and lengths;
+//! UTF-8 is deferred to per-field access) and then resolve fields by
+//! offset straight against the wire bytes — no `Vec<Value>`, no
+//! per-field allocation. [`LazyTuple`] carries a validated view across
+//! threads anchored to the shared `Arc<[u8]>` receive buffer and
+//! materializes an owned [`Tuple`] at most once, on first touch.
+//! [`WireCodec`] makes the tuple format pluggable so formats can be
+//! priced head-to-head ([`WhaleCodec`] is the default).
 
 use crate::task::TaskId;
 use crate::tuple::{Tuple, Value};
 use bytes::{Buf, BufMut, Bytes, BytesMut};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 /// Errors from decoding.
 #[derive(Clone, PartialEq, Eq, Debug)]
@@ -96,18 +108,20 @@ fn decode_value(buf: &mut impl Buf) -> Result<Value, DecodeError> {
             need(buf, 4)?;
             let len = buf.get_u32_le() as usize;
             need(buf, len)?;
-            let mut bytes = vec![0u8; len];
-            buf.copy_to_slice(&mut bytes);
-            let s = String::from_utf8(bytes).map_err(|_| DecodeError::BadUtf8)?;
-            Ok(Value::Str(Arc::from(s.as_str())))
+            // Validate on the borrowed slice and copy once, straight into
+            // the Arc — no intermediate Vec/String round-trip.
+            let s = std::str::from_utf8(&buf.chunk()[..len]).map_err(|_| DecodeError::BadUtf8)?;
+            let v = Value::Str(Arc::from(s));
+            buf.advance(len);
+            Ok(v)
         }
         TAG_BYTES => {
             need(buf, 4)?;
             let len = buf.get_u32_le() as usize;
             need(buf, len)?;
-            let mut bytes = vec![0u8; len];
-            buf.copy_to_slice(&mut bytes);
-            Ok(Value::Bytes(Arc::from(bytes.as_slice())))
+            let v = Value::Bytes(Arc::from(&buf.chunk()[..len]));
+            buf.advance(len);
+            Ok(v)
         }
         TAG_BOOL => {
             need(buf, 1)?;
@@ -147,6 +161,510 @@ pub fn decode_tuple(buf: &mut impl Buf) -> Result<Tuple, DecodeError> {
         values.push(decode_value(buf)?);
     }
     Ok(Tuple { id, values })
+}
+
+fn read_u32(b: &[u8], at: usize) -> u32 {
+    u32::from_le_bytes(b[at..at + 4].try_into().unwrap())
+}
+
+fn read_u64(b: &[u8], at: usize) -> u64 {
+    u64::from_le_bytes(b[at..at + 8].try_into().unwrap())
+}
+
+/// Validate one encoded value's framing (tag known, payload in bounds —
+/// UTF-8 deliberately not checked) and return the offset just past it.
+fn skip_value(buf: &[u8], at: usize) -> Result<usize, DecodeError> {
+    let tag = *buf.get(at).ok_or(DecodeError::Truncated)?;
+    let end = match tag {
+        TAG_I64 | TAG_F64 => at + 9,
+        TAG_BOOL => at + 2,
+        TAG_STR | TAG_BYTES => {
+            if buf.len() < at + 5 {
+                return Err(DecodeError::Truncated);
+            }
+            at + 5 + read_u32(buf, at + 1) as usize
+        }
+        other => return Err(DecodeError::BadTag(other)),
+    };
+    if end > buf.len() {
+        return Err(DecodeError::Truncated);
+    }
+    Ok(end)
+}
+
+/// One field read lazily from the wire: scalars are decoded in place,
+/// strings and byte blobs *borrow* the wire buffer. UTF-8 is validated
+/// here, at access time — framing validation upstream skipped it.
+/// [`ValueView::to_owned`] is the only point that allocates, and it
+/// copies the payload exactly once.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub enum ValueView<'a> {
+    /// A 64-bit signed integer.
+    I64(i64),
+    /// A 64-bit float.
+    F64(f64),
+    /// A string slice borrowed from the wire buffer.
+    Str(&'a str),
+    /// A byte slice borrowed from the wire buffer.
+    Bytes(&'a [u8]),
+    /// A boolean.
+    Bool(bool),
+}
+
+impl<'a> ValueView<'a> {
+    /// Materialize an owned [`Value`] (one copy for `Str`/`Bytes`).
+    pub fn to_owned(&self) -> Value {
+        match self {
+            ValueView::I64(x) => Value::I64(*x),
+            ValueView::F64(x) => Value::F64(*x),
+            ValueView::Str(s) => Value::Str(Arc::from(*s)),
+            ValueView::Bytes(b) => Value::Bytes(Arc::from(*b)),
+            ValueView::Bool(b) => Value::Bool(*b),
+        }
+    }
+
+    /// The integer, if this is an `I64`.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            ValueView::I64(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// The float, if this is an `F64`.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            ValueView::F64(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// The string slice, if this is a `Str`.
+    pub fn as_str(&self) -> Option<&'a str> {
+        match self {
+            ValueView::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The byte slice, if this is a `Bytes`.
+    pub fn as_bytes(&self) -> Option<&'a [u8]> {
+        match self {
+            ValueView::Bytes(b) => Some(b),
+            _ => None,
+        }
+    }
+
+    /// The boolean, if this is a `Bool`.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            ValueView::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+}
+
+impl<'a> From<&'a Value> for ValueView<'a> {
+    fn from(v: &'a Value) -> Self {
+        match v {
+            Value::I64(x) => ValueView::I64(*x),
+            Value::F64(x) => ValueView::F64(*x),
+            Value::Str(s) => ValueView::Str(s),
+            Value::Bytes(b) => ValueView::Bytes(b),
+            Value::Bool(b) => ValueView::Bool(*b),
+        }
+    }
+}
+
+/// Field offsets of the first `OFFSET_TABLE` values are cached inline at
+/// parse time; deeper fields (rare — tuples here are narrow) are found
+/// by walking forward from the last cached offset. Either way field
+/// access never allocates.
+const OFFSET_TABLE: usize = 16;
+
+/// A borrowed, lazily-decoded tuple over its exact wire bytes.
+///
+/// [`TupleView::parse`] walks the encoding once, checking every tag and
+/// length (so later offset arithmetic can't over-read) while *deferring*
+/// UTF-8 validation to the field access that actually touches a string.
+/// Field access resolves by offset against the borrowed buffer;
+/// materialization ([`TupleView::to_tuple`]) is explicit.
+#[derive(Clone, Copy, Debug)]
+pub struct TupleView<'a> {
+    /// Exactly the tuple's wire bytes: `id u64 | arity u16 | values…`.
+    bytes: &'a [u8],
+    id: u64,
+    arity: u16,
+    /// Byte offsets (into `bytes`) of the first [`OFFSET_TABLE`] values.
+    offsets: [u32; OFFSET_TABLE],
+}
+
+impl<'a> TupleView<'a> {
+    /// Validate framing at the front of `buf` and build the view.
+    /// Trailing bytes past the tuple are ignored (callers embedding a
+    /// tuple mid-frame use [`TupleView::wire_len`] to advance).
+    pub fn parse(buf: &'a [u8]) -> Result<Self, DecodeError> {
+        if buf.len() < 10 {
+            return Err(DecodeError::Truncated);
+        }
+        let id = read_u64(buf, 0);
+        let arity = u16::from_le_bytes(buf[8..10].try_into().unwrap());
+        let mut offsets = [0u32; OFFSET_TABLE];
+        let mut at = 10usize;
+        for i in 0..arity as usize {
+            if let Some(slot) = offsets.get_mut(i) {
+                *slot = at as u32;
+            }
+            at = skip_value(buf, at)?;
+        }
+        Ok(TupleView {
+            bytes: &buf[..at],
+            id,
+            arity,
+            offsets,
+        })
+    }
+
+    /// The tuple id (header field, free to read).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Number of fields.
+    pub fn arity(&self) -> usize {
+        self.arity as usize
+    }
+
+    /// Encoded size in bytes — what a decoder consumes.
+    pub fn wire_len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// The exact wire bytes the view covers.
+    pub fn wire_bytes(&self) -> &'a [u8] {
+        self.bytes
+    }
+
+    /// Byte offset of field `i` within the wire bytes. Framing was
+    /// validated at parse, so the walk past the offset table can't fail.
+    fn offset_of(&self, i: usize) -> usize {
+        if i < OFFSET_TABLE {
+            return self.offsets[i] as usize;
+        }
+        let mut at = self.offsets[OFFSET_TABLE - 1] as usize;
+        for _ in OFFSET_TABLE - 1..i {
+            at = skip_value(self.bytes, at).expect("validated at parse");
+        }
+        at
+    }
+
+    /// Read field `i` in place. `None` past the arity; `Err(BadUtf8)`
+    /// surfaces here for a string field whose (deferred) validation fails.
+    pub fn field(&self, i: usize) -> Option<Result<ValueView<'a>, DecodeError>> {
+        if i >= self.arity as usize {
+            return None;
+        }
+        let at = self.offset_of(i);
+        let b = self.bytes;
+        Some(match b[at] {
+            TAG_I64 => Ok(ValueView::I64(i64::from_le_bytes(
+                b[at + 1..at + 9].try_into().unwrap(),
+            ))),
+            TAG_F64 => Ok(ValueView::F64(f64::from_le_bytes(
+                b[at + 1..at + 9].try_into().unwrap(),
+            ))),
+            TAG_STR => {
+                let len = read_u32(b, at + 1) as usize;
+                match std::str::from_utf8(&b[at + 5..at + 5 + len]) {
+                    Ok(s) => Ok(ValueView::Str(s)),
+                    Err(_) => Err(DecodeError::BadUtf8),
+                }
+            }
+            TAG_BYTES => {
+                let len = read_u32(b, at + 1) as usize;
+                Ok(ValueView::Bytes(&b[at + 5..at + 5 + len]))
+            }
+            TAG_BOOL => Ok(ValueView::Bool(b[at + 1] != 0)),
+            _ => unreachable!("tag validated at parse"),
+        })
+    }
+
+    /// Iterate all fields in order.
+    pub fn fields(&self) -> impl Iterator<Item = Result<ValueView<'a>, DecodeError>> + '_ {
+        (0..self.arity()).map(|i| self.field(i).expect("i < arity"))
+    }
+
+    /// Materialize an owned [`Tuple`] — equivalent to [`decode_tuple`]
+    /// over the same bytes. This is the only allocating path.
+    pub fn to_tuple(&self) -> Result<Tuple, DecodeError> {
+        let mut values = Vec::with_capacity(self.arity());
+        for f in self.fields() {
+            values.push(f?.to_owned());
+        }
+        Ok(Tuple {
+            id: self.id,
+            values,
+        })
+    }
+}
+
+/// Borrowed view of a [`WorkerMessage`]: header fields resolve by fixed
+/// offset, destination ids read straight from the wire, and the data
+/// item stays a lazy [`TupleView`].
+#[derive(Clone, Copy, Debug)]
+pub struct WorkerMessageView<'a> {
+    src: TaskId,
+    /// The raw `dstIds[n]` region (4 bytes per id, little-endian).
+    ids: &'a [u8],
+    tuple: TupleView<'a>,
+}
+
+impl<'a> WorkerMessageView<'a> {
+    /// Validate framing over `src | n | dstIds[n] | dataItem`.
+    pub fn parse(buf: &'a [u8]) -> Result<Self, DecodeError> {
+        if buf.len() < 8 {
+            return Err(DecodeError::Truncated);
+        }
+        let src = TaskId(read_u32(buf, 0));
+        let n = read_u32(buf, 4) as usize;
+        let ids_end = 8 + 4 * n;
+        if buf.len() < ids_end {
+            return Err(DecodeError::Truncated);
+        }
+        let tuple = TupleView::parse(&buf[ids_end..])?;
+        Ok(WorkerMessageView {
+            src,
+            ids: &buf[8..ids_end],
+            tuple,
+        })
+    }
+
+    /// The emitting task.
+    pub fn src(&self) -> TaskId {
+        self.src
+    }
+
+    /// Number of destination tasks.
+    pub fn dst_len(&self) -> usize {
+        self.ids.len() / 4
+    }
+
+    /// Destination `i`, read at offset from the wire.
+    pub fn dst(&self, i: usize) -> Option<TaskId> {
+        if i >= self.dst_len() {
+            return None;
+        }
+        Some(TaskId(read_u32(self.ids, 4 * i)))
+    }
+
+    /// All destination ids in wire order.
+    pub fn dst_ids(&self) -> impl Iterator<Item = TaskId> + 'a {
+        self.ids
+            .chunks_exact(4)
+            .map(|c| TaskId(u32::from_le_bytes(c.try_into().unwrap())))
+    }
+
+    /// The data item, still lazy.
+    pub fn tuple(&self) -> &TupleView<'a> {
+        &self.tuple
+    }
+
+    /// Materialize the owned message — equivalent to
+    /// [`WorkerMessage::decode`] over the same bytes.
+    pub fn to_owned(&self) -> Result<WorkerMessage, DecodeError> {
+        Ok(WorkerMessage {
+            src: self.src,
+            dst_ids: self.dst_ids().collect(),
+            tuple: self.tuple.to_tuple()?,
+        })
+    }
+}
+
+/// Borrowed view of an [`InstanceMessage`]: `src | dst | dataItem`.
+#[derive(Clone, Copy, Debug)]
+pub struct InstanceMessageView<'a> {
+    src: TaskId,
+    dst: TaskId,
+    tuple: TupleView<'a>,
+}
+
+impl<'a> InstanceMessageView<'a> {
+    /// Validate framing over `src | dst | dataItem`.
+    pub fn parse(buf: &'a [u8]) -> Result<Self, DecodeError> {
+        if buf.len() < 8 {
+            return Err(DecodeError::Truncated);
+        }
+        Ok(InstanceMessageView {
+            src: TaskId(read_u32(buf, 0)),
+            dst: TaskId(read_u32(buf, 4)),
+            tuple: TupleView::parse(&buf[8..])?,
+        })
+    }
+
+    /// The emitting task.
+    pub fn src(&self) -> TaskId {
+        self.src
+    }
+
+    /// The destination task.
+    pub fn dst(&self) -> TaskId {
+        self.dst
+    }
+
+    /// The data item, still lazy.
+    pub fn tuple(&self) -> &TupleView<'a> {
+        &self.tuple
+    }
+
+    /// Materialize the owned message — equivalent to
+    /// [`InstanceMessage::decode`] over the same bytes.
+    pub fn to_owned(&self) -> Result<InstanceMessage, DecodeError> {
+        Ok(InstanceMessage {
+            src: self.src,
+            dst: self.dst,
+            tuple: self.tuple.to_tuple()?,
+        })
+    }
+}
+
+/// A tuple as executors receive it: either owned, or a framing-validated
+/// lazy region of the shared `Arc<[u8]>` receive buffer.
+///
+/// Cloning shares (one handle per local destination); field access never
+/// allocates; [`LazyTuple::materialize`] decodes an owned [`Tuple`] at
+/// most once per worker and memoizes it, so a fan-out of local executors
+/// that all call it still pays one decode — and executors that only read
+/// a field or two never pay it at all.
+#[derive(Clone, Debug)]
+pub struct LazyTuple(LazyRepr);
+
+#[derive(Clone, Debug)]
+enum LazyRepr {
+    Owned(Arc<Tuple>),
+    Wire(Arc<WireTuple>),
+}
+
+#[derive(Debug)]
+struct WireTuple {
+    buf: Arc<[u8]>,
+    start: u32,
+    len: u32,
+    id: u64,
+    arity: u16,
+    offsets: [u32; OFFSET_TABLE],
+    cache: OnceLock<Result<Tuple, DecodeError>>,
+}
+
+impl WireTuple {
+    fn view(&self) -> TupleView<'_> {
+        TupleView {
+            bytes: &self.buf[self.start as usize..(self.start + self.len) as usize],
+            id: self.id,
+            arity: self.arity,
+            offsets: self.offsets,
+        }
+    }
+}
+
+impl LazyTuple {
+    /// Wrap an already-owned tuple.
+    pub fn from_tuple(t: Tuple) -> Self {
+        LazyTuple(LazyRepr::Owned(Arc::new(t)))
+    }
+
+    /// Share an already-owned tuple.
+    pub fn from_arc(t: Arc<Tuple>) -> Self {
+        LazyTuple(LazyRepr::Owned(t))
+    }
+
+    /// Anchor a parsed view to its backing shared buffer. `view` must
+    /// borrow from `buf` (checked); no bytes are re-validated or copied.
+    pub fn from_wire_view(buf: Arc<[u8]>, view: &TupleView<'_>) -> Self {
+        let base = buf.as_ptr() as usize;
+        let p = view.bytes.as_ptr() as usize;
+        assert!(
+            p >= base && p + view.bytes.len() <= base + buf.len(),
+            "view must borrow from the anchoring buffer"
+        );
+        let start = (p - base) as u32;
+        LazyTuple(LazyRepr::Wire(Arc::new(WireTuple {
+            start,
+            len: view.bytes.len() as u32,
+            id: view.id,
+            arity: view.arity,
+            offsets: view.offsets,
+            cache: OnceLock::new(),
+            buf,
+        })))
+    }
+
+    /// Validate framing at `start` within `buf` and anchor the view.
+    pub fn from_wire(buf: Arc<[u8]>, start: usize) -> Result<Self, DecodeError> {
+        let view = TupleView::parse(&buf[start..])?;
+        Ok(Self::from_wire_view(Arc::clone(&buf), &view))
+    }
+
+    /// The tuple id (header field, free to read).
+    pub fn id(&self) -> u64 {
+        match &self.0 {
+            LazyRepr::Owned(t) => t.id,
+            LazyRepr::Wire(w) => w.id,
+        }
+    }
+
+    /// Number of fields.
+    pub fn arity(&self) -> usize {
+        match &self.0 {
+            LazyRepr::Owned(t) => t.arity(),
+            LazyRepr::Wire(w) => w.arity as usize,
+        }
+    }
+
+    /// True when the handle still points at wire bytes (materialized or
+    /// not) rather than an owned tuple.
+    pub fn is_wire(&self) -> bool {
+        matches!(self.0, LazyRepr::Wire(_))
+    }
+
+    /// True once an owned [`Tuple`] exists behind this handle.
+    pub fn is_materialized(&self) -> bool {
+        match &self.0 {
+            LazyRepr::Owned(_) => true,
+            LazyRepr::Wire(w) => w.cache.get().is_some(),
+        }
+    }
+
+    /// Read field `i` without materializing. `None` past the arity;
+    /// `Err(BadUtf8)` for a string field failing deferred validation.
+    pub fn field(&self, i: usize) -> Option<Result<ValueView<'_>, DecodeError>> {
+        match &self.0 {
+            LazyRepr::Owned(t) => t.get(i).map(|v| Ok(ValueView::from(v))),
+            LazyRepr::Wire(w) => w.view().field(i),
+        }
+    }
+
+    /// The borrowed view, when the handle is wire-backed.
+    pub fn view(&self) -> Option<TupleView<'_>> {
+        match &self.0 {
+            LazyRepr::Owned(_) => None,
+            LazyRepr::Wire(w) => Some(w.view()),
+        }
+    }
+
+    /// The owned tuple, decoding (and memoizing) it on first call. This
+    /// is where a received tuple crosses the operator boundary; `Err`
+    /// means the wire bytes hide a bad string that framing validation
+    /// deliberately did not scan.
+    pub fn materialize(&self) -> Result<&Tuple, DecodeError> {
+        match &self.0 {
+            LazyRepr::Owned(t) => Ok(t),
+            LazyRepr::Wire(w) => w
+                .cache
+                .get_or_init(|| w.view().to_tuple())
+                .as_ref()
+                .map_err(|e| e.clone()),
+        }
+    }
 }
 
 /// Fig 9a: Storm's instance-oriented message — one destination id and a
@@ -349,6 +867,129 @@ pub fn dispatch_worker_message(msg: WorkerMessage) -> Vec<AddressedTuple> {
             tuple: Arc::clone(&shared),
         })
         .collect()
+}
+
+/// No-alloc fan-out of a parsed worker message: fill `dsts` (cleared
+/// first) with the destination task ids, read straight from the wire.
+/// The hot path reuses one scratch vector per pipeline and pairs each
+/// id with one shared [`LazyTuple`] instead of materializing anything;
+/// the owned [`dispatch_worker_message`] stays for tests.
+pub fn dispatch_worker_message_into(msg: &WorkerMessageView<'_>, dsts: &mut Vec<TaskId>) {
+    dsts.clear();
+    dsts.extend(msg.dst_ids());
+}
+
+/// A pluggable wire format for the data item. Implementations must be
+/// able to do all three: encode, eagerly decode, and hand out a
+/// framing-validated [`TupleView`] — which is what lets the bench crate
+/// price formats head-to-head on both the eager and the lazy path.
+pub trait WireCodec: Send + Sync {
+    /// Short stable name (bench/report label).
+    fn name(&self) -> &'static str;
+
+    /// Serialize `t` into `buf`.
+    fn encode_tuple_into(&self, buf: &mut BytesMut, t: &Tuple);
+
+    /// Eagerly decode a tuple from the front of `buf`, returning it and
+    /// the bytes consumed.
+    fn decode_tuple(&self, buf: &[u8]) -> Result<(Tuple, usize), DecodeError>;
+
+    /// Validate framing once and return the lazy view.
+    fn tuple_view<'a>(&self, buf: &'a [u8]) -> Result<TupleView<'a>, DecodeError>;
+
+    /// Serialize into a fresh buffer (convenience over
+    /// [`WireCodec::encode_tuple_into`]).
+    fn encode_tuple(&self, t: &Tuple) -> Bytes {
+        let mut buf = BytesMut::with_capacity(t.payload_bytes());
+        self.encode_tuple_into(&mut buf, t);
+        buf.freeze()
+    }
+}
+
+/// The default fixed-offset format this module's free functions
+/// implement: `id u64 | arity u16 | (tag, payload)…`, everything
+/// little-endian.
+#[derive(Clone, Copy, Default, Debug)]
+pub struct WhaleCodec;
+
+impl WireCodec for WhaleCodec {
+    fn name(&self) -> &'static str {
+        "whale"
+    }
+
+    fn encode_tuple_into(&self, buf: &mut BytesMut, t: &Tuple) {
+        encode_tuple_into(buf, t);
+    }
+
+    fn decode_tuple(&self, buf: &[u8]) -> Result<(Tuple, usize), DecodeError> {
+        let mut b = buf;
+        let t = decode_tuple(&mut b)?;
+        Ok((t, buf.len() - b.len()))
+    }
+
+    fn tuple_view<'a>(&self, buf: &'a [u8]) -> Result<TupleView<'a>, DecodeError> {
+        TupleView::parse(buf)
+    }
+}
+
+/// A second format for head-to-head pricing: the whale item behind a
+/// `u32` little-endian length prefix. Four bytes bigger on the wire, but
+/// a reader can bound or skip the whole item in O(1) without walking
+/// fields — the classic framing trade the serialization-protocols
+/// literature prices.
+#[derive(Clone, Copy, Default, Debug)]
+pub struct LengthPrefixedCodec;
+
+impl WireCodec for LengthPrefixedCodec {
+    fn name(&self) -> &'static str {
+        "whale+len"
+    }
+
+    fn encode_tuple_into(&self, buf: &mut BytesMut, t: &Tuple) {
+        buf.put_u32_le(t.payload_bytes() as u32);
+        encode_tuple_into(buf, t);
+    }
+
+    fn decode_tuple(&self, buf: &[u8]) -> Result<(Tuple, usize), DecodeError> {
+        let (t, used) = self.checked_item(buf, |item| {
+            let mut b = item;
+            let t = decode_tuple(&mut b)?;
+            Ok((t, item.len() - b.len()))
+        })?;
+        Ok((t, used))
+    }
+
+    fn tuple_view<'a>(&self, buf: &'a [u8]) -> Result<TupleView<'a>, DecodeError> {
+        let (view, _) = self.checked_item(buf, |item| {
+            let v = TupleView::parse(item)?;
+            Ok((v, v.wire_len()))
+        })?;
+        Ok(view)
+    }
+}
+
+impl LengthPrefixedCodec {
+    /// Slice out the length-prefixed item, run `f` over it, and verify
+    /// the declared length matches what the item actually consumed — a
+    /// lying prefix is a framing error, not a silent drift.
+    fn checked_item<'a, T>(
+        &self,
+        buf: &'a [u8],
+        f: impl FnOnce(&'a [u8]) -> Result<(T, usize), DecodeError>,
+    ) -> Result<(T, usize), DecodeError> {
+        if buf.len() < 4 {
+            return Err(DecodeError::Truncated);
+        }
+        let len = read_u32(buf, 0) as usize;
+        if buf.len() < 4 + len {
+            return Err(DecodeError::Truncated);
+        }
+        let (out, used) = f(&buf[4..4 + len])?;
+        if used != len {
+            return Err(DecodeError::Truncated);
+        }
+        Ok((out, 4 + len))
+    }
 }
 
 #[cfg(test)]
@@ -604,5 +1245,216 @@ mod tests {
             RelayHeader::decode(&mut short),
             Err(DecodeError::Truncated)
         );
+    }
+
+    #[test]
+    fn tuple_view_matches_eager_decode() {
+        let t = sample_tuple();
+        let bytes = encode_tuple(&t);
+        let view = TupleView::parse(&bytes).unwrap();
+        assert_eq!(view.id(), t.id);
+        assert_eq!(view.arity(), t.arity());
+        assert_eq!(view.wire_len(), bytes.len());
+        for (i, v) in t.values.iter().enumerate() {
+            assert_eq!(view.field(i).unwrap().unwrap().to_owned(), *v);
+        }
+        assert!(view.field(t.arity()).is_none());
+        assert_eq!(view.to_tuple().unwrap(), t);
+    }
+
+    #[test]
+    fn view_str_and_bytes_borrow_the_wire_buffer() {
+        let t = Tuple::new(vec![Value::str("hello"), Value::Bytes(Arc::from(&[9u8][..]))]);
+        let bytes = encode_tuple(&t);
+        let view = TupleView::parse(&bytes).unwrap();
+        let s = view.field(0).unwrap().unwrap();
+        let s = s.as_str().unwrap();
+        let range = bytes.as_ptr() as usize..bytes.as_ptr() as usize + bytes.len();
+        assert!(range.contains(&(s.as_ptr() as usize)), "str must borrow");
+        let b = view.field(1).unwrap().unwrap();
+        let b = b.as_bytes().unwrap();
+        assert!(range.contains(&(b.as_ptr() as usize)), "bytes must borrow");
+    }
+
+    #[test]
+    fn view_offset_table_spills_past_sixteen_fields() {
+        let values: Vec<Value> = (0..40)
+            .map(|i| match i % 3 {
+                0 => Value::I64(i),
+                1 => Value::str(format!("f{i}").as_str()),
+                _ => Value::Bool(i % 2 == 0),
+            })
+            .collect();
+        let t = Tuple::with_id(7, values);
+        let bytes = encode_tuple(&t);
+        let view = TupleView::parse(&bytes).unwrap();
+        for (i, v) in t.values.iter().enumerate() {
+            assert_eq!(view.field(i).unwrap().unwrap().to_owned(), *v, "field {i}");
+        }
+    }
+
+    #[test]
+    fn view_defers_utf8_to_field_access() {
+        // Bad UTF-8 in field 1: framing parses fine, field 0 reads fine,
+        // only touching field 1 surfaces the error.
+        let mut raw = BytesMut::new();
+        raw.put_u64_le(1);
+        raw.put_u16_le(2);
+        raw.put_u8(TAG_I64);
+        raw.put_i64_le(42);
+        raw.put_u8(TAG_STR);
+        raw.put_u32_le(2);
+        raw.put_slice(&[0xFF, 0xFE]);
+        let buf = raw.freeze();
+        let view = TupleView::parse(&buf).unwrap();
+        assert_eq!(view.field(0).unwrap().unwrap().as_i64(), Some(42));
+        assert_eq!(view.field(1).unwrap(), Err(DecodeError::BadUtf8));
+        assert_eq!(view.to_tuple(), Err(DecodeError::BadUtf8));
+    }
+
+    #[test]
+    fn view_truncation_and_bad_tags_fail_at_parse() {
+        let t = sample_tuple();
+        let bytes = encode_tuple(&t);
+        for cut in [0, 1, 5, 9, bytes.len() - 1] {
+            assert_eq!(
+                TupleView::parse(&bytes[..cut]).err(),
+                Some(DecodeError::Truncated),
+                "cut={cut}"
+            );
+        }
+        let mut raw = BytesMut::new();
+        raw.put_u64_le(1);
+        raw.put_u16_le(1);
+        raw.put_u8(200);
+        let buf = raw.freeze();
+        assert_eq!(TupleView::parse(&buf).err(), Some(DecodeError::BadTag(200)));
+    }
+
+    #[test]
+    fn message_views_match_owned_decode() {
+        let wm = WorkerMessage {
+            src: TaskId(3),
+            dst_ids: vec![TaskId(10), TaskId(11), TaskId(12)],
+            tuple: sample_tuple(),
+        };
+        let bytes = wm.encode();
+        let view = WorkerMessageView::parse(&bytes).unwrap();
+        assert_eq!(view.src(), wm.src);
+        assert_eq!(view.dst_len(), 3);
+        assert_eq!(view.dst(1), Some(TaskId(11)));
+        assert_eq!(view.dst(3), None);
+        assert_eq!(view.dst_ids().collect::<Vec<_>>(), wm.dst_ids);
+        assert_eq!(view.to_owned().unwrap(), wm);
+
+        let im = InstanceMessage {
+            src: TaskId(1),
+            dst: TaskId(2),
+            tuple: sample_tuple(),
+        };
+        let bytes = im.encode();
+        let view = InstanceMessageView::parse(&bytes).unwrap();
+        assert_eq!(view.src(), im.src);
+        assert_eq!(view.dst(), im.dst);
+        assert_eq!(view.to_owned().unwrap(), im);
+    }
+
+    #[test]
+    fn dispatch_into_reuses_scratch_and_matches_owned_dispatch() {
+        let wm = WorkerMessage {
+            src: TaskId(0),
+            dst_ids: vec![TaskId(5), TaskId(6), TaskId(7)],
+            tuple: sample_tuple(),
+        };
+        let bytes = wm.encode();
+        let view = WorkerMessageView::parse(&bytes).unwrap();
+        let mut scratch = Vec::with_capacity(8);
+        dispatch_worker_message_into(&view, &mut scratch);
+        let owned: Vec<TaskId> = dispatch_worker_message(wm).iter().map(|a| a.dst).collect();
+        assert_eq!(scratch, owned);
+        let cap = scratch.capacity();
+        dispatch_worker_message_into(&view, &mut scratch);
+        assert_eq!(scratch.capacity(), cap, "steady state must not regrow");
+    }
+
+    #[test]
+    fn lazy_tuple_materializes_once_and_shares() {
+        let t = sample_tuple();
+        let buf: Arc<[u8]> = Arc::from(&encode_tuple(&t)[..]);
+        let lazy = LazyTuple::from_wire(Arc::clone(&buf), 0).unwrap();
+        let clone = lazy.clone();
+        assert!(lazy.is_wire());
+        assert!(!lazy.is_materialized());
+        assert_eq!(lazy.id(), t.id);
+        assert_eq!(lazy.arity(), t.arity());
+        assert_eq!(lazy.field(0).unwrap().unwrap().as_i64(), Some(-7));
+        assert!(!lazy.is_materialized(), "field access must not materialize");
+        let a = lazy.materialize().unwrap() as *const Tuple;
+        assert!(clone.is_materialized(), "clones share the memoized decode");
+        let b = clone.materialize().unwrap() as *const Tuple;
+        assert_eq!(a, b, "one decode for every handle");
+        assert_eq!(lazy.materialize().unwrap(), &t);
+    }
+
+    #[test]
+    fn lazy_tuple_surfaces_deferred_bad_utf8_at_materialize() {
+        let mut raw = BytesMut::new();
+        raw.put_u64_le(1);
+        raw.put_u16_le(1);
+        raw.put_u8(TAG_STR);
+        raw.put_u32_le(2);
+        raw.put_slice(&[0xFF, 0xFE]);
+        let buf: Arc<[u8]> = Arc::from(&raw.freeze()[..]);
+        let lazy = LazyTuple::from_wire(Arc::clone(&buf), 0).unwrap();
+        assert_eq!(lazy.materialize().err(), Some(DecodeError::BadUtf8));
+        assert_eq!(lazy.materialize().err(), Some(DecodeError::BadUtf8));
+    }
+
+    #[test]
+    fn owned_lazy_tuple_reads_in_place() {
+        let t = sample_tuple();
+        let lazy = LazyTuple::from_tuple(t.clone());
+        assert!(!lazy.is_wire());
+        assert!(lazy.is_materialized());
+        assert!(lazy.view().is_none());
+        assert_eq!(lazy.field(2).unwrap().unwrap().as_str(), Some("driver-42"));
+        assert_eq!(lazy.materialize().unwrap(), &t);
+    }
+
+    #[test]
+    fn wire_codecs_roundtrip_and_agree() {
+        let t = sample_tuple();
+        for codec in [&WhaleCodec as &dyn WireCodec, &LengthPrefixedCodec] {
+            let bytes = codec.encode_tuple(&t);
+            let (back, used) = codec.decode_tuple(&bytes).unwrap();
+            assert_eq!(back, t, "{}", codec.name());
+            assert_eq!(used, bytes.len(), "{}", codec.name());
+            let view = codec.tuple_view(&bytes).unwrap();
+            assert_eq!(view.to_tuple().unwrap(), t, "{}", codec.name());
+            for cut in 0..bytes.len() {
+                assert!(
+                    codec.decode_tuple(&bytes[..cut]).is_err(),
+                    "{} cut={cut}",
+                    codec.name()
+                );
+            }
+        }
+        // The prefix costs exactly four bytes.
+        assert_eq!(
+            LengthPrefixedCodec.encode_tuple(&t).len(),
+            WhaleCodec.encode_tuple(&t).len() + 4
+        );
+    }
+
+    #[test]
+    fn length_prefix_must_match_the_item() {
+        let t = sample_tuple();
+        let good = LengthPrefixedCodec.encode_tuple(&t);
+        // Inflate the declared length past the item: framing error.
+        let mut lying = good.to_vec();
+        let len = u32::from_le_bytes(lying[0..4].try_into().unwrap());
+        lying[0..4].copy_from_slice(&(len + 1).to_le_bytes());
+        assert!(LengthPrefixedCodec.decode_tuple(&lying).is_err());
+        assert!(LengthPrefixedCodec.tuple_view(&lying).is_err());
     }
 }

@@ -28,11 +28,15 @@ pub mod tuple;
 
 pub use ack::{LatencyTracker, MulticastTracker};
 pub use acker::{AckBuilder, Acker, TreeState};
-pub use codec::{AddressedTuple, DecodeError, InstanceMessage, RelayHeader, WorkerMessage};
-pub use grouping::{GroupingExec, RouteError};
+pub use codec::{
+    AddressedTuple, DecodeError, InstanceMessage, InstanceMessageView, LazyTuple,
+    LengthPrefixedCodec, RelayHeader, TupleView, ValueView, WhaleCodec, WireCodec, WorkerMessage,
+    WorkerMessageView,
+};
+pub use grouping::{hash_value, hash_value_view, GroupingExec, RouteError};
 pub use messaging::{plan, CommMode, Envelope, MessagePlan};
 pub use operator::{
-    Bolt, BoltFactory, Emitter, FnBolt, IterSpout, Spout, SpoutFactory, VecEmitter,
+    Bolt, BoltFactory, Emitter, FnBolt, IterSpout, LazyFnBolt, Spout, SpoutFactory, VecEmitter,
 };
 pub use pool::{BufferPool, PoolConfig, PooledBuf};
 pub use runtime::{

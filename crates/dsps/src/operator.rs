@@ -1,5 +1,6 @@
 //! Operator traits: the user-facing API for writing spouts and bolts.
 
+use crate::codec::{DecodeError, LazyTuple};
 use crate::tuple::Tuple;
 
 /// Receives the tuples an operator emits.
@@ -31,6 +32,24 @@ pub trait Spout: Send {
 pub trait Bolt: Send {
     /// Process one input tuple, emitting any outputs.
     fn execute(&mut self, input: &Tuple, out: &mut dyn Emitter);
+
+    /// Process one lazily-decoded input — what the runtime's receive
+    /// path actually calls. The default materializes the tuple (at most
+    /// once per worker: the handle memoizes, so fan-out to many local
+    /// tasks still decodes once) and forwards to [`Bolt::execute`].
+    /// Bolts that only touch a field or two should override this and
+    /// read straight off the wire view, skipping materialization
+    /// entirely. `Err` means the tuple's wire bytes are corrupt (its
+    /// deferred UTF-8 validation failed); the runtime drops the tuple
+    /// and counts it instead of crashing the pipeline.
+    fn execute_lazy(
+        &mut self,
+        input: &LazyTuple,
+        out: &mut dyn Emitter,
+    ) -> Result<(), DecodeError> {
+        self.execute(input.materialize()?, out);
+        Ok(())
+    }
 
     /// Called once when the stream has fully drained; emit any final state.
     fn finish(&mut self, _out: &mut dyn Emitter) {}
@@ -77,6 +96,37 @@ impl<F: FnMut(&Tuple, &mut dyn Emitter) + Send> Bolt for FnBolt<F> {
     }
 }
 
+/// A bolt applying a function to each *lazy* tuple: the zero-
+/// materialization path for sinks and key-touch operators that read a
+/// field or two straight off the wire buffer.
+pub struct LazyFnBolt<F: FnMut(&LazyTuple, &mut dyn Emitter) + Send> {
+    f: F,
+}
+
+impl<F: FnMut(&LazyTuple, &mut dyn Emitter) + Send> LazyFnBolt<F> {
+    /// Wrap a function over lazy tuples.
+    pub fn new(f: F) -> Self {
+        LazyFnBolt { f }
+    }
+}
+
+impl<F: FnMut(&LazyTuple, &mut dyn Emitter) + Send> Bolt for LazyFnBolt<F> {
+    fn execute(&mut self, input: &Tuple, out: &mut dyn Emitter) {
+        // Direct (non-wire) invocation: wrap the owned tuple so the one
+        // closure serves both entry points.
+        (self.f)(&LazyTuple::from_tuple(input.clone()), out)
+    }
+
+    fn execute_lazy(
+        &mut self,
+        input: &LazyTuple,
+        out: &mut dyn Emitter,
+    ) -> Result<(), DecodeError> {
+        (self.f)(input, out);
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -104,6 +154,28 @@ mod tests {
         b.execute(&Tuple::new(vec![Value::I64(21)]), &mut out);
         assert_eq!(out.emitted.len(), 1);
         assert_eq!(out.emitted[0].get(0).unwrap().as_i64(), Some(42));
+    }
+
+    #[test]
+    fn lazy_fn_bolt_reads_the_wire_without_materializing() {
+        let mut b = LazyFnBolt::new(|t: &LazyTuple, out: &mut dyn Emitter| {
+            let x = t.field(0).unwrap().unwrap().as_i64().unwrap();
+            out.emit(Tuple::new(vec![Value::I64(x * 2)]));
+        });
+        let input = Tuple::new(vec![Value::I64(21), Value::str("never touched")]);
+        let bytes = crate::codec::encode_tuple(&input);
+        let buf: std::sync::Arc<[u8]> = std::sync::Arc::from(&bytes[..]);
+        let lazy = LazyTuple::from_wire(buf, 0).unwrap();
+        let mut out = VecEmitter::default();
+        b.execute_lazy(&lazy, &mut out).unwrap();
+        assert_eq!(out.emitted[0].get(0).unwrap().as_i64(), Some(42));
+        assert!(!lazy.is_materialized(), "lazy bolt must not materialize");
+        // The default execute_lazy (owned-path bolts) materializes once.
+        let mut eager = FnBolt::new(|t: &Tuple, out: &mut dyn Emitter| {
+            out.emit(t.clone());
+        });
+        eager.execute_lazy(&lazy, &mut out).unwrap();
+        assert!(lazy.is_materialized());
     }
 
     #[test]

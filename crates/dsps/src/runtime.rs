@@ -19,7 +19,10 @@
 //! buffers vs TCP-style copies on the fabric.
 
 use crate::acker::Acker;
-use crate::codec::{self, InstanceMessage, RelayHeader, WorkerMessage};
+use crate::codec::{
+    self, DecodeError, InstanceMessage, InstanceMessageView, LazyTuple, RelayHeader, TupleView,
+    WorkerMessage, WorkerMessageView,
+};
 use crate::grouping::GroupingExec;
 use crate::messaging::{plan, CommMode};
 use crate::operator::{Bolt, BoltFactory, Emitter, Spout, SpoutFactory};
@@ -102,9 +105,11 @@ struct AckTag {
 
 /// What an executor receives in its incoming queue.
 enum ExecMsg {
-    /// A data tuple (shared: one deserialization per worker), with acker
-    /// bookkeeping when the run tracks deliveries.
-    Data(Arc<Tuple>, Option<AckTag>),
+    /// A data tuple — locally emitted ones arrive owned, received wire
+    /// frames arrive as lazy views anchored to the shared receive buffer
+    /// (the handle memoizes, so a worker still decodes at most once) —
+    /// with acker bookkeeping when the run tracks deliveries.
+    Data(LazyTuple, Option<AckTag>),
     /// End-of-stream from one upstream task.
     Eos(TaskId),
 }
@@ -430,6 +435,13 @@ pub struct RunStats {
     /// Executor messages that crossed shard pipelines through a bounded
     /// inbox (same-shard deliveries loop back without a channel).
     pub cross_shard_msgs: AtomicU64,
+    /// Executor deliveries made as lazy wire views (shared receive
+    /// buffer, nothing decoded at dispatch).
+    pub wire_tuples_lazy: AtomicU64,
+    /// Lazy wire tuples an executor actually materialized (first touch
+    /// of a tuple that crossed the operator boundary; fan-out sharing
+    /// means this counts decodes, not deliveries).
+    pub tuples_materialized: AtomicU64,
     /// Backpressure retries performed under the send policy.
     pub send_retries: AtomicU64,
     /// Frames dropped after the send policy's deadline exhausted.
@@ -539,6 +551,12 @@ pub struct RunReport {
     /// Executor messages that crossed shard pipelines through bounded
     /// inboxes (0 when every delivery stayed shard-local).
     pub cross_shard_msgs: u64,
+    /// Executor deliveries made as lazy wire views — received frames
+    /// dispatched without decoding anything.
+    pub wire_tuples_lazy: u64,
+    /// Lazy wire tuples materialized on first executor touch; the gap to
+    /// `wire_tuples_lazy` is decode work the view layer never did.
+    pub tuples_materialized: u64,
     /// Sends that failed at the fabric (unknown endpoint, backpressure
     /// that never cleared, or a receiver dropped during teardown). Failed
     /// sends never count toward the byte totals.
@@ -1019,6 +1037,30 @@ impl Routing {
         self.shard_inboxes.iter().map(|s| s.len()).max().unwrap_or(0)
     }
 
+    /// Turn a received data item into the executor-facing handle. A
+    /// shared payload (RDMA semantics) is anchored as-is — the view
+    /// rides the receive buffer's refcount and nothing is decoded until
+    /// an executor touches it. A copied payload (TCP semantics) does not
+    /// outlive dispatch, so the tuple is materialized here, eagerly —
+    /// which is also where a copied frame's bad UTF-8 still surfaces.
+    fn lazy_tuple(
+        &self,
+        payload: &Payload,
+        view: &TupleView<'_>,
+    ) -> Result<LazyTuple, DecodeError> {
+        match payload {
+            Payload::Shared(buf) => Ok(LazyTuple::from_wire_view(Arc::clone(buf), view)),
+            Payload::Copied(_) => view.to_tuple().map(LazyTuple::from_tuple),
+        }
+    }
+
+    /// Count one lazy-view executor delivery (no-op for owned handles).
+    fn note_lazy_delivery(&self, lazy: &LazyTuple) {
+        if lazy.is_wire() {
+            self.stats.wire_tuples_lazy.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
     /// Deliver one executor message to the pipeline owning `dst`.
     /// Same-shard deliveries loop back through the thread-local queue
     /// (no channel, no lock); everything else goes to the owning shard's
@@ -1127,13 +1169,14 @@ impl Routing {
             }
         }
         // Local instances of the broadcast target on the source's worker.
+        let lazy = LazyTuple::from_arc(Arc::clone(tuple));
         for &t in self.placement.tasks_on(src_worker) {
             if self.topology.tasks().component_of(t) == Some(comp) {
                 let tag = tracked.map(|tr| AckTag {
                     tracked: tr,
                     anchor: anchor_for(tr, t),
                 });
-                self.deliver(t, ExecMsg::Data(Arc::clone(tuple), tag));
+                self.deliver(t, ExecMsg::Data(lazy.clone(), tag));
             }
         }
         // Encode the whole wire frame exactly once into pooled scratch.
@@ -1255,12 +1298,12 @@ impl Routing {
                 relay.forward_ns.lock().push(ns);
             }
         }
-        // One deserialization for the whole worker, then local dispatch.
-        // A corrupt payload is dropped (and counted) rather than crashing
-        // the relay worker.
-        let mut buf = item;
-        let tuple = match codec::decode_tuple(&mut buf) {
-            Ok(t) => Arc::new(t),
+        // Validate framing once for the whole worker, then dispatch the
+        // lazy view — local executors decode at most once, on first
+        // touch, against the shared relay buffer. A corrupt frame is
+        // dropped (and counted) rather than crashing the relay worker.
+        let lazy = match TupleView::parse(item).and_then(|v| self.lazy_tuple(payload, &v)) {
+            Ok(l) => l,
             Err(_) => {
                 self.stats.dropped_frames.fetch_add(1, Ordering::Relaxed);
                 return;
@@ -1273,7 +1316,8 @@ impl Routing {
                     tracked: h.tracked,
                     anchor: anchor_for(h.tracked, t),
                 });
-                self.deliver(t, ExecMsg::Data(Arc::clone(&tuple), tag));
+                self.note_lazy_delivery(&lazy);
+                self.deliver(t, ExecMsg::Data(lazy.clone(), tag));
             }
         }
     }
@@ -1306,6 +1350,7 @@ impl Routing {
             })
         };
         // Local deliveries: no serialization beyond what the mode charges.
+        let lazy = LazyTuple::from_arc(Arc::clone(tuple));
         for &t in &p.local_tasks {
             let tag = tag_of(t);
             if let Some(tag) = tag {
@@ -1313,7 +1358,7 @@ impl Routing {
             }
             // The owning pipeline may already have exited after EOS; the
             // delivery layer swallows that race.
-            self.deliver(t, ExecMsg::Data(Arc::clone(tuple), tag));
+            self.deliver(t, ExecMsg::Data(lazy.clone(), tag));
         }
         self.stats
             .serializations
@@ -1738,6 +1783,8 @@ fn empty_report(outcome: RunOutcome, n_components: usize) -> RunReport {
         thread_panics: 0,
         shards: 0,
         cross_shard_msgs: 0,
+        wire_tuples_lazy: 0,
+        tuples_materialized: 0,
         send_errors: 0,
         batches_flushed: 0,
         mean_batch_size: 0.0,
@@ -1940,6 +1987,7 @@ pub fn run_topology(topology: Topology, operators: Operators, config: LiveConfig
             spouts: Vec::new(),
             bolts: HashMap::new(),
             done_tx: done_tx.clone(),
+            scratch: Vec::new(),
         });
     }
     drop(done_tx);
@@ -2116,6 +2164,8 @@ pub fn run_topology(topology: Topology, operators: Operators, config: LiveConfig
         thread_panics,
         shards: routing.shards as u64,
         cross_shard_msgs: stats.cross_shard_msgs.load(Ordering::Relaxed),
+        wire_tuples_lazy: stats.wire_tuples_lazy.load(Ordering::Relaxed),
+        tuples_materialized: stats.tuples_materialized.load(Ordering::Relaxed),
         send_errors: fabric.send_errors(),
         batches_flushed: fabric.flushed_batches(),
         mean_batch_size: {
@@ -2452,16 +2502,59 @@ fn prune_completed(ack: &AckRuntime, pending: &mut HashMap<u64, (Tuple, u32)>) {
 }
 
 /// Decode and dispatch one fabric frame received by `worker`'s pipeline.
-/// A frame that is truncated, fails to decode, carries an unknown tag,
-/// or addresses a task this run does not host is dropped and counted
+/// Framing is validated once per frame (views, nothing materialized);
+/// data items are handed to executors as shared [`LazyTuple`]s, and
+/// `scratch` is the pipeline's reusable destination buffer, so the
+/// steady-state dispatch path allocates nothing. A frame that is
+/// truncated, fails to validate, carries an unknown tag, or addresses a
+/// task this run does not host is dropped and counted
 /// (`RunStats::dropped_frames`) — a bad peer must not crash the worker.
-fn on_frame(worker: u32, msg: &whale_net::LiveMessage, routing: &Routing) {
+fn on_frame(
+    worker: u32,
+    msg: &whale_net::LiveMessage,
+    routing: &Routing,
+    scratch: &mut Vec<TaskId>,
+) {
     let drop_frame = || {
         routing.stats.dropped_frames.fetch_add(1, Ordering::Relaxed);
     };
     let deliver = |dst: TaskId, msg: ExecMsg| {
         if !routing.deliver(dst, msg) {
             drop_frame();
+        }
+    };
+    // Fan one parsed worker message out through the reusable scratch.
+    let deliver_worker = |view: &WorkerMessageView<'_>,
+                          tracked: Option<u64>,
+                          scratch: &mut Vec<TaskId>| {
+        match routing.lazy_tuple(&msg.payload, view.tuple()) {
+            Ok(lazy) => {
+                codec::dispatch_worker_message_into(view, scratch);
+                for &dst in scratch.iter() {
+                    let tag = tracked.map(|tr| AckTag {
+                        tracked: tr,
+                        anchor: anchor_for(tr, dst),
+                    });
+                    routing.note_lazy_delivery(&lazy);
+                    deliver(dst, ExecMsg::Data(lazy.clone(), tag));
+                }
+            }
+            Err(_) => drop_frame(),
+        }
+    };
+    let deliver_instance = |view: &InstanceMessageView<'_>, tracked: Option<u64>| {
+        match routing.lazy_tuple(&msg.payload, view.tuple()) {
+            Ok(lazy) => {
+                // The anchor is derived, not carried: the same pure
+                // function the sender armed the ledger with.
+                let tag = tracked.map(|tr| AckTag {
+                    tracked: tr,
+                    anchor: anchor_for(tr, view.dst()),
+                });
+                routing.note_lazy_delivery(&lazy);
+                deliver(view.dst(), ExecMsg::Data(lazy, tag));
+            }
+            Err(_) => drop_frame(),
         }
     };
     {
@@ -2492,17 +2585,14 @@ fn on_frame(worker: u32, msg: &whale_net::LiveMessage, routing: &Routing) {
                 let src = TaskId(buf.get_u32_le());
                 routing.on_relay_eos(worker, origin, epoch, comp, src, &msg.payload);
             }
-            TAG_INSTANCE => match InstanceMessage::decode(&mut buf) {
-                Ok(decoded) => deliver(decoded.dst, ExecMsg::Data(Arc::new(decoded.tuple), None)),
+            TAG_INSTANCE => match InstanceMessageView::parse(buf) {
+                Ok(view) => deliver_instance(&view, None),
                 Err(_) => drop_frame(),
             },
-            TAG_WORKER => match WorkerMessage::decode(&mut buf) {
-                // One deserialization, fanned out to local executors.
-                Ok(decoded) => {
-                    for addressed in codec::dispatch_worker_message(decoded) {
-                        deliver(addressed.dst, ExecMsg::Data(addressed.tuple, None));
-                    }
-                }
+            TAG_WORKER => match WorkerMessageView::parse(buf) {
+                // One framing validation, fanned out to local executors
+                // as views over the shared receive buffer.
+                Ok(view) => deliver_worker(&view, None, scratch),
                 Err(_) => drop_frame(),
             },
             TAG_INSTANCE_TRACKED => {
@@ -2511,16 +2601,8 @@ fn on_frame(worker: u32, msg: &whale_net::LiveMessage, routing: &Routing) {
                     return;
                 }
                 let tracked = buf.get_u64_le();
-                match InstanceMessage::decode(&mut buf) {
-                    Ok(decoded) => {
-                        // The anchor is derived, not carried: the same
-                        // pure function the sender armed the ledger with.
-                        let tag = AckTag {
-                            tracked,
-                            anchor: anchor_for(tracked, decoded.dst),
-                        };
-                        deliver(decoded.dst, ExecMsg::Data(Arc::new(decoded.tuple), Some(tag)));
-                    }
+                match InstanceMessageView::parse(buf) {
+                    Ok(view) => deliver_instance(&view, Some(tracked)),
                     Err(_) => drop_frame(),
                 }
             }
@@ -2530,16 +2612,8 @@ fn on_frame(worker: u32, msg: &whale_net::LiveMessage, routing: &Routing) {
                     return;
                 }
                 let tracked = buf.get_u64_le();
-                match WorkerMessage::decode(&mut buf) {
-                    Ok(decoded) => {
-                        for addressed in codec::dispatch_worker_message(decoded) {
-                            let tag = AckTag {
-                                tracked,
-                                anchor: anchor_for(tracked, addressed.dst),
-                            };
-                            deliver(addressed.dst, ExecMsg::Data(addressed.tuple, Some(tag)));
-                        }
-                    }
+                match WorkerMessageView::parse(buf) {
+                    Ok(view) => deliver_worker(&view, Some(tracked), scratch),
                     Err(_) => drop_frame(),
                 }
             }
@@ -2569,8 +2643,9 @@ fn on_frame(worker: u32, msg: &whale_net::LiveMessage, routing: &Routing) {
 /// live runtime dispatches inline on the shard pipelines instead.
 #[cfg(test)]
 fn dispatcher_loop(worker: u32, rx: Receiver<whale_net::LiveMessage>, routing: &Routing) {
+    let mut scratch = Vec::new();
     while let Ok(msg) = rx.recv() {
-        on_frame(worker, &msg, routing);
+        on_frame(worker, &msg, routing, &mut scratch);
     }
 }
 
@@ -2619,8 +2694,9 @@ fn bolt_handle(state: &mut BoltState, msg: ExecMsg, routing: &Routing, stats: &R
                 return;
             }
             stats.executed[state.comp.0 as usize].fetch_add(1, Ordering::Relaxed);
-            if t.id != 0 && t.id % LATENCY_SAMPLE == 0 {
-                let start = stats.emit_times.lock().get(&t.id).copied();
+            let id = t.id();
+            if id != 0 && id % LATENCY_SAMPLE == 0 {
+                let start = stats.emit_times.lock().get(&id).copied();
                 if let Some(start) = start {
                     let ns = start.elapsed().as_nanos() as u64;
                     stats.delivery_ns.lock().push(ns);
@@ -2633,9 +2709,21 @@ fn bolt_handle(state: &mut BoltState, msg: ExecMsg, routing: &Routing, stats: &R
                 outbox,
             };
             let bolt = &mut state.bolt;
-            if catch_unwind(AssertUnwindSafe(|| bolt.execute(&t, &mut emitter))).is_err() {
-                state.poisoned = true;
-                stats.op_panics.fetch_add(1, Ordering::Relaxed);
+            let was_materialized = t.is_materialized();
+            match catch_unwind(AssertUnwindSafe(|| bolt.execute_lazy(&t, &mut emitter))) {
+                Err(_) => {
+                    state.poisoned = true;
+                    stats.op_panics.fetch_add(1, Ordering::Relaxed);
+                }
+                // Corrupt wire bytes (deferred UTF-8 validation failed):
+                // drop the tuple, keep the task healthy.
+                Ok(Err(_)) => {
+                    stats.dropped_frames.fetch_add(1, Ordering::Relaxed);
+                }
+                Ok(Ok(())) => {}
+            }
+            if !was_materialized && t.is_materialized() {
+                stats.tuples_materialized.fetch_add(1, Ordering::Relaxed);
             }
         }
         ExecMsg::Eos(src) => {
@@ -2695,6 +2783,9 @@ struct ShardPipeline {
     /// Signals the run driver once every owned task has completed (the
     /// pipeline keeps relaying/draining frames until the fabric closes).
     done_tx: Sender<()>,
+    /// Reusable destination-id buffer for worker-message fan-out, so the
+    /// steady-state dispatch path allocates nothing per frame.
+    scratch: Vec<TaskId>,
 }
 
 impl ShardPipeline {
@@ -2717,7 +2808,7 @@ impl ShardPipeline {
             for _ in 0..PIPELINE_BATCH {
                 match self.fabric_rx.try_recv() {
                     Ok(msg) => {
-                        on_frame(self.worker, &msg, routing);
+                        on_frame(self.worker, &msg, routing, &mut self.scratch);
                         progress = true;
                         self.drain_local(routing, stats);
                     }

@@ -114,12 +114,12 @@ proptest! {
     ) {
         for (label, kind) in fabric_kinds() {
             let (r1, mid1, sink1) =
-                run_sharded(kind.clone(), 1, machines, base, tracked);
+                run_sharded(kind, 1, machines, base, tracked);
             prop_assert_eq!(r1.outcome, RunOutcome::Clean, "{}/1", label);
             prop_assert_eq!(mid1.len() as i64, TUPLES, "{}/1 mid set", label);
             for shards in [2u32, 4] {
                 let (r, mid, sink) =
-                    run_sharded(kind.clone(), shards, machines, base, tracked);
+                    run_sharded(kind, shards, machines, base, tracked);
                 prop_assert_eq!(r.outcome, RunOutcome::Clean, "{}/{}", label, shards);
                 prop_assert_eq!(r.shards, shards as u64, "{}/{}", label, shards);
                 prop_assert_eq!(
