@@ -1,0 +1,28 @@
+//! E26 — crash recovery and late-subscriber backfill from the partition
+//! log.
+//!
+//! Emits `results/live_recovery.{csv,json}` plus the top-level
+//! `BENCH_recovery.json` headline report (override the location with
+//! `WHALE_BENCH_DIR`). Pass `--smoke` (or set `WHALE_SCALE=smoke`) for
+//! the minimal CI variant.
+
+use whale_bench::experiments::live_recovery as e26;
+
+fn main() {
+    let scale = if std::env::args().any(|a| a == "--smoke") {
+        whale_bench::Scale::Smoke
+    } else {
+        whale_bench::Scale::from_env()
+    };
+    let points = e26::sweep(scale);
+    e26::table_from_points(&points).emit(None);
+
+    let dir = std::env::var_os("WHALE_BENCH_DIR")
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|| std::path::PathBuf::from("."));
+    let _ = std::fs::create_dir_all(&dir);
+    let path = dir.join("BENCH_recovery.json");
+    let json = e26::summary_json(&points).to_json_string();
+    std::fs::write(&path, format!("{json}\n")).expect("write BENCH_recovery.json");
+    println!("headline report → {}", path.display());
+}

@@ -16,6 +16,7 @@ pub mod live_adaptive;
 pub mod live_chaos;
 pub mod live_lazy_decode;
 pub mod live_one_sided;
+pub mod live_recovery;
 pub mod live_ring;
 pub mod live_shards;
 pub mod live_zero_copy;

@@ -43,7 +43,7 @@ pub use runtime::{
     run_topology, AckConfig, AdaptiveConfig, BuildError, LiveConfig, Operators, RunOutcome,
     RunReport, TimelineSample,
 };
-pub use whale_net::{FabricKind, RingConfig};
+pub use whale_net::{FabricKind, LogConfig, RingConfig};
 pub use scheduler::{Placement, WorkerId};
 pub use task::{ComponentId, TaskId, TaskTable};
 pub use topology::{

@@ -45,8 +45,8 @@ use whale_multicast::{
     Decision, MulticastTree, Node, WorkloadMonitor,
 };
 use whale_net::{
-    ClusterSpec, EndpointId, FabricKind, FabricPath, FaultFabric, FaultPlan, Payload, SendError,
-    SendPolicy,
+    ClusterSpec, EndpointId, FabricKind, FabricPath, FaultFabric, FaultPlan, LogConfig,
+    PartitionLog, Payload, SendError, SendPolicy,
 };
 use whale_sim::{SimDuration, SimTime};
 
@@ -251,6 +251,18 @@ pub struct LiveConfig {
     /// wrapped in a [`FaultFabric`] driven by this plan, and the injected
     /// fault counters surface in the [`RunReport`].
     pub fault: Option<FaultPlan>,
+    /// Persistent partition log behind the send path: every
+    /// point-to-point data frame is appended to a per-endpoint
+    /// [`PartitionLog`] *before* the fabric send (write-ahead, so frames
+    /// rejected inside a crash window are still replayable). On tracked
+    /// runs the acker's resolved roots drive the log's GC watermark, and
+    /// a crashed endpoint with a scheduled [`whale_net::EndpointRestart`]
+    /// gets its slice replayed from the log once it rejoins — executors'
+    /// root-id dedup absorbs the overlap with live and acker-replayed
+    /// deliveries, so delivery upgrades to effectively-once without
+    /// spending the acker's replay budget. Relay-tree frames are not
+    /// logged (crash recovery on relay runs stays with the acker).
+    pub log: Option<LogConfig>,
     /// Liveness backstop: executors give up waiting for traffic (EOS
     /// included) this long after the run starts, so a lost EOS frame can
     /// degrade the run but never hang it. `None` waits forever.
@@ -276,6 +288,7 @@ impl Default for LiveConfig {
             send: SendPolicy::default(),
             ack: None,
             fault: None,
+            log: None,
             run_deadline: None,
             monitor_interval: None,
         }
@@ -494,6 +507,111 @@ impl AckRuntime {
     }
 }
 
+/// The per-run partition-log machinery (see [`LiveConfig::log`]): one
+/// write-ahead [`PartitionLog`] per flat destination endpoint, an
+/// acknowledgement-driven GC watermark, and replay counters.
+struct LogRuntime {
+    /// One log per flat fabric endpoint, indexed by endpoint id.
+    logs: Vec<Mutex<PartitionLog>>,
+    /// Per-endpoint FIFO of `(seq, root)` for tracked appends. The GC
+    /// watermark advances over the prefix whose roots have resolved.
+    pending: Vec<Mutex<VecDeque<(u64, u64)>>>,
+    /// Roots whose ledger resolved — acked, replay budget exhausted, or
+    /// force-failed at the drain deadline. Their log records are dead
+    /// weight: replaying them is at worst a dedup-dropped duplicate.
+    resolved: Mutex<HashSet<u64>>,
+    /// Records re-sent from the log after an endpoint restart.
+    replayed_records: AtomicU64,
+    /// Bytes re-sent from the log after an endpoint restart.
+    replayed_bytes: AtomicU64,
+}
+
+impl LogRuntime {
+    fn new(config: LogConfig, n_flat: usize) -> Self {
+        LogRuntime {
+            logs: (0..n_flat)
+                .map(|_| Mutex::new(PartitionLog::new(config)))
+                .collect(),
+            pending: (0..n_flat).map(|_| Mutex::new(VecDeque::new())).collect(),
+            resolved: Mutex::new(HashSet::new()),
+            replayed_records: AtomicU64::new(0),
+            replayed_bytes: AtomicU64::new(0),
+        }
+    }
+
+    /// Write one encoded frame through the destination's log (called
+    /// before the fabric send). Endpoints outside the data range (switch
+    /// protocol endpoints sit above it) are not logged.
+    fn append(&self, to: EndpointId, tracked: Option<u64>, bytes: &[u8]) {
+        let Some(log) = self.logs.get(to.0 as usize) else {
+            return;
+        };
+        let seq = log.lock().append(bytes);
+        if let Some(tr) = tracked {
+            self.pending[to.0 as usize]
+                .lock()
+                .push_back((seq, root_of(tr)));
+        }
+    }
+
+    /// Mark a root's ledger resolved, unblocking log GC past its records.
+    fn note_resolved(&self, root: u64) {
+        self.resolved.lock().insert(root);
+    }
+
+    /// One GC pass: per endpoint, advance the watermark over the
+    /// resolved prefix of tracked appends and truncate the log to it.
+    fn gc_pass(&self) {
+        let resolved = self.resolved.lock();
+        for (idx, pend) in self.pending.iter().enumerate() {
+            let mut pend = pend.lock();
+            let mut watermark = None;
+            while let Some(&(seq, root)) = pend.front() {
+                if !resolved.contains(&root) {
+                    break;
+                }
+                watermark = Some(seq + 1);
+                pend.pop_front();
+            }
+            if let Some(wm) = watermark {
+                self.logs[idx].lock().truncate_to(wm);
+            }
+        }
+    }
+
+    fn fold(&self, f: impl Fn(&PartitionLog) -> u64) -> u64 {
+        self.logs.iter().map(|l| f(&l.lock())).sum()
+    }
+
+    fn appended_records(&self) -> u64 {
+        self.fold(|l| l.appended_records())
+    }
+
+    fn appended_bytes(&self) -> u64 {
+        self.fold(|l| l.appended_bytes())
+    }
+
+    fn gcd_bytes(&self) -> u64 {
+        self.fold(|l| l.gcd_bytes())
+    }
+
+    fn retained_bytes(&self) -> u64 {
+        self.fold(|l| l.retained_bytes())
+    }
+
+    fn torn_tails(&self) -> u64 {
+        self.fold(|l| l.torn_tails())
+    }
+
+    fn gc_watermark(&self) -> u64 {
+        self.logs
+            .iter()
+            .map(|l| l.lock().gc_watermark())
+            .max()
+            .unwrap_or(0)
+    }
+}
+
 /// Every `LATENCY_SAMPLE`-th tracked tuple is timed from spout emission to
 /// each bolt execution (wall clock).
 const LATENCY_SAMPLE: u64 = 8;
@@ -601,6 +719,23 @@ pub struct RunReport {
     pub fault_partition_drops: u64,
     /// Sends rejected because an injected crash took the destination.
     pub fault_crashed_sends: u64,
+    /// Data frames written through the partition log before the fabric
+    /// (0 unless [`LiveConfig::log`] is set).
+    pub log_appended_records: u64,
+    /// Payload bytes written through the partition log.
+    pub log_appended_bytes: u64,
+    /// Frames re-sent from the log after an endpoint restart.
+    pub log_replayed_records: u64,
+    /// Bytes re-sent from the log after an endpoint restart.
+    pub log_replayed_bytes: u64,
+    /// Log bytes reclaimed by acker-watermark garbage collection.
+    pub log_gcd_bytes: u64,
+    /// Highest per-endpoint log GC watermark (sequence number).
+    pub log_gc_watermark: u64,
+    /// Log bytes still resident at shutdown.
+    pub log_retained_bytes: u64,
+    /// Torn tails healed when recovering persisted log images.
+    pub log_torn_tails: u64,
     /// Periodic counter snapshots (empty unless
     /// [`LiveConfig::monitor_interval`] is set).
     pub timeline: Vec<TimelineSample>,
@@ -716,6 +851,14 @@ impl RunReport {
         reg.set_counter("dsps.fault.full_injected", self.fault_full_injected);
         reg.set_counter("dsps.fault.partition_drops", self.fault_partition_drops);
         reg.set_counter("dsps.fault.crashed_sends", self.fault_crashed_sends);
+        reg.set_counter("dsps.log.appended_records", self.log_appended_records);
+        reg.set_counter("dsps.log.appended_bytes", self.log_appended_bytes);
+        reg.set_counter("dsps.log.replayed_records", self.log_replayed_records);
+        reg.set_counter("dsps.log.replayed_bytes", self.log_replayed_bytes);
+        reg.set_counter("dsps.log.gcd_bytes", self.log_gcd_bytes);
+        reg.set_counter("dsps.log.torn_tails", self.log_torn_tails);
+        reg.set_gauge("dsps.log.gc_watermark", self.log_gc_watermark as f64);
+        reg.set_gauge("dsps.log.retained_bytes", self.log_retained_bytes as f64);
         if !self.timeline.is_empty() {
             use whale_sim::TimeSeries;
             type SampleField = fn(&TimelineSample) -> u64;
@@ -807,6 +950,9 @@ struct Routing {
     /// Epoch-versioned multicast relay structures; `None` sends
     /// broadcasts directly.
     relay: Option<RelayState>,
+    /// Write-ahead partition logs for crash recovery; `None` runs
+    /// unlogged (see [`LiveConfig::log`]).
+    log: Option<LogRuntime>,
 }
 
 /// Node index i of origin worker `origin` maps to this worker id.
@@ -1377,13 +1523,13 @@ impl Routing {
                     let to_shard = self.shard_of(dst);
                     if let Some(tr) = tracked {
                         arm_xor ^= anchor_for(tr, dst);
-                        self.transmit(src, env.dst_worker, to_shard, |framed| {
+                        self.transmit(src, env.dst_worker, to_shard, tracked, |framed| {
                             framed.put_u8(TAG_INSTANCE_TRACKED);
                             framed.put_u64_le(tr);
                             InstanceMessage::encode_parts_into(src, dst, tuple, framed);
                         });
                     } else {
-                        self.transmit(src, env.dst_worker, to_shard, |framed| {
+                        self.transmit(src, env.dst_worker, to_shard, None, |framed| {
                             framed.put_u8(TAG_INSTANCE);
                             InstanceMessage::encode_parts_into(src, dst, tuple, framed);
                         });
@@ -1434,7 +1580,9 @@ impl Routing {
         };
         let first_shard = self.shard_of(dst_tasks[0]);
         if self.shards == 1 || dst_tasks.iter().all(|&t| self.shard_of(t) == first_shard) {
-            self.transmit(src, dst_worker, first_shard, |framed| frame(dst_tasks, framed));
+            self.transmit(src, dst_worker, first_shard, tracked, |framed| {
+                frame(dst_tasks, framed)
+            });
             return;
         }
         for shard in 0..self.shards {
@@ -1446,20 +1594,41 @@ impl Routing {
             if tasks.is_empty() {
                 continue;
             }
-            self.transmit(src, dst_worker, shard, |framed| frame(&tasks, framed));
+            self.transmit(src, dst_worker, shard, tracked, |framed| frame(&tasks, framed));
         }
     }
 
+    /// Send one point-to-point data frame. When [`LiveConfig::log`] is
+    /// set the encoded frame is written through the destination's
+    /// partition log *before* the fabric send (write-ahead), so a crash
+    /// after the append can always be healed by replaying the log. Relay
+    /// and EOS frames never come through here and are not logged.
     fn transmit(
         &self,
         src: TaskId,
         dst_worker: WorkerId,
         dst_shard: u32,
+        tracked: Option<u64>,
         fill: impl FnOnce(&mut BytesMut),
     ) {
         let from = self.endpoint(self.placement.worker_of(src).0, self.shard_of(src));
         let to = self.endpoint(dst_worker.0, dst_shard);
-        self.send_frame(from, to, fill);
+        let Some(log) = &self.log else {
+            self.send_frame(from, to, fill);
+            return;
+        };
+        // Inlined send_frame with the log append between encode and send.
+        let mut scratch = self.pool.acquire();
+        fill(&mut scratch);
+        self.stats.frames_encoded.fetch_add(1, Ordering::Relaxed);
+        log.append(to, tracked, &scratch[..]);
+        if self.config.zero_copy {
+            let buf = scratch.share();
+            drop(scratch);
+            self.send_with_policy(|| self.fabric.send_shared(from, to, Arc::clone(&buf)));
+        } else {
+            self.send_with_policy(|| self.fabric.send_copied(from, to, &scratch));
+        }
     }
 
     /// Encode one framed message into a pooled scratch buffer and send
@@ -1805,6 +1974,14 @@ fn empty_report(outcome: RunOutcome, n_components: usize) -> RunReport {
         fault_full_injected: 0,
         fault_partition_drops: 0,
         fault_crashed_sends: 0,
+        log_appended_records: 0,
+        log_appended_bytes: 0,
+        log_replayed_records: 0,
+        log_replayed_bytes: 0,
+        log_gcd_bytes: 0,
+        log_gc_watermark: 0,
+        log_retained_bytes: 0,
+        log_torn_tails: 0,
         timeline: Vec::new(),
         outcome,
         delivery_ns: Vec::new(),
@@ -1898,6 +2075,7 @@ pub fn run_topology(topology: Topology, operators: Operators, config: LiveConfig
     }
 
     let ack_runtime = config.ack.map(AckRuntime::new);
+    let log_runtime = config.log.map(|cfg| LogRuntime::new(cfg, n_flat));
     let routing = Arc::new(Routing {
         topology,
         placement,
@@ -1909,10 +2087,25 @@ pub fn run_topology(topology: Topology, operators: Operators, config: LiveConfig
         shards,
         stats: Arc::clone(&stats),
         ack: ack_runtime,
+        log: log_runtime,
     });
 
     let start = std::time::Instant::now();
     let mut handles = Vec::new();
+
+    // Log recovery thread: runs GC passes against the acker watermark
+    // and, when an injected crash has a matching restart, replays the
+    // crashed endpoint's slice straight from its partition log — the
+    // replay path reads the log (a modeled one-sided READ region), never
+    // the sending operator, and root-id dedup at executors absorbs any
+    // overlap with in-flight acker replays.
+    let log_stop = Arc::new(AtomicBool::new(false));
+    let log_handle = routing.log.is_some().then(|| {
+        let routing = Arc::clone(&routing);
+        let fault = fault.clone();
+        let stop = Arc::clone(&log_stop);
+        std::thread::spawn(move || log_recovery_loop(&routing, fault.as_deref(), n_flat, &stop))
+    });
 
     // Adaptive controller thread: samples the live workload, re-plans
     // d*, and switches tree generations while the data plane runs.
@@ -2085,6 +2278,14 @@ pub fn run_topology(topology: Topology, operators: Operators, config: LiveConfig
             thread_panics += 1;
         }
     }
+    // Producers done means every replay that can still complete a tuple
+    // has happened; stop the log GC/replay thread before teardown.
+    log_stop.store(true, Ordering::Relaxed);
+    if let Some(h) = log_handle {
+        if h.join().is_err() {
+            thread_panics += 1;
+        }
+    }
     // All producers done: release any fault-parked frames, flush
     // anything still buffered in the transport (and stop the ring
     // flusher), then close the fabric endpoints so the pipelines exit
@@ -2193,6 +2394,20 @@ pub fn run_topology(topology: Topology, operators: Operators, config: LiveConfig
         fault_full_injected: fault.as_ref().map_or(0, |f| f.full_injected()),
         fault_partition_drops: fault.as_ref().map_or(0, |f| f.partition_drops()),
         fault_crashed_sends: fault.as_ref().map_or(0, |f| f.crashed_sends()),
+        log_appended_records: routing.log.as_ref().map_or(0, |l| l.appended_records()),
+        log_appended_bytes: routing.log.as_ref().map_or(0, |l| l.appended_bytes()),
+        log_replayed_records: routing
+            .log
+            .as_ref()
+            .map_or(0, |l| l.replayed_records.load(Ordering::Relaxed)),
+        log_replayed_bytes: routing
+            .log
+            .as_ref()
+            .map_or(0, |l| l.replayed_bytes.load(Ordering::Relaxed)),
+        log_gcd_bytes: routing.log.as_ref().map_or(0, |l| l.gcd_bytes()),
+        log_gc_watermark: routing.log.as_ref().map_or(0, |l| l.gc_watermark()),
+        log_retained_bytes: routing.log.as_ref().map_or(0, |l| l.retained_bytes()),
+        log_torn_tails: routing.log.as_ref().map_or(0, |l| l.torn_tails()),
         timeline,
         outcome: if degraded {
             RunOutcome::Degraded {
@@ -2227,6 +2442,82 @@ fn sleep_with_stop(total: Duration, stop: &AtomicBool) -> bool {
             return true;
         }
         std::thread::sleep(remaining.min(SLICE));
+    }
+}
+
+/// The log GC/replay thread (see [`LiveConfig::log`]). Two duties, both
+/// polled on a short interval: advance each endpoint's log GC watermark
+/// over the resolved-root prefix (acker feedback keeps retention flat),
+/// and watch injected crash+restart pairs — when the fault layer reports
+/// an endpoint restarted, its log slice is replayed from the oldest
+/// retained record. Replayed frames go straight to the fabric (one
+/// modeled one-sided READ per record against the log's registered
+/// region), bypassing `transmit` so they are not re-logged, and root-id
+/// dedup at executors absorbs overlap with in-flight acker replays.
+fn log_recovery_loop(
+    routing: &Routing,
+    fault: Option<&FaultFabric>,
+    n_flat: usize,
+    stop: &AtomicBool,
+) {
+    let log = routing.log.as_ref().expect("recovery thread implies logs");
+    // Crash+restart pairs from the injected plan: data endpoints that
+    // will come back and need their slice replayed exactly once.
+    let mut awaiting: Vec<EndpointId> = routing
+        .config
+        .fault
+        .as_ref()
+        .map(|plan| {
+            plan.crashes
+                .iter()
+                .filter(|c| (c.endpoint.0 as usize) < n_flat)
+                .filter(|c| {
+                    plan.restarts
+                        .iter()
+                        .any(|r| r.endpoint == c.endpoint && r.at_frame > c.at_frame)
+                })
+                .map(|c| c.endpoint)
+                .collect()
+        })
+        .unwrap_or_default();
+    loop {
+        log.gc_pass();
+        if let Some(fault) = fault {
+            awaiting.retain(|&ep| {
+                if !fault.restarted(ep) {
+                    return true;
+                }
+                replay_endpoint(routing, ep);
+                false
+            });
+        }
+        if !sleep_with_stop(Duration::from_millis(1), stop) {
+            // One final pass so the report's retained-bytes gauge
+            // reflects the end-of-run watermark.
+            log.gc_pass();
+            return;
+        }
+    }
+}
+
+/// Replay everything a restarted endpoint's log still retains. The read
+/// is priced as one-sided READs inside [`PartitionLog::read_from`]; the
+/// re-sends cross the fault wrapper, which accepts them now that the
+/// endpoint is back.
+fn replay_endpoint(routing: &Routing, ep: EndpointId) {
+    let log = routing.log.as_ref().expect("replay implies logs");
+    let read = {
+        let mut l = log.logs[ep.0 as usize].lock();
+        let start = l.first_seq();
+        l.read_from(start)
+    };
+    for (_seq, bytes) in read.records {
+        let n = bytes.len() as u64;
+        let buf: Arc<[u8]> = Arc::from(bytes.into_boxed_slice());
+        if routing.send_with_policy(|| routing.fabric.send_shared(ep, ep, Arc::clone(&buf))) {
+            log.replayed_records.fetch_add(1, Ordering::Relaxed);
+            log.replayed_bytes.fetch_add(n, Ordering::Relaxed);
+        }
     }
 }
 
@@ -2374,6 +2665,11 @@ fn spout_step(state: &mut SpoutState, routing: &Routing, stats: &RunStats) -> bo
                         .expire_matching(SimTime::MAX, |id| state.pending.contains_key(&id));
                     ack.failed
                         .fetch_add(state.pending.len() as u64, Ordering::Relaxed);
+                    if let Some(log) = &routing.log {
+                        for id in state.pending.keys() {
+                            log.note_resolved(root_of(*id));
+                        }
+                    }
                     state.pending.clear();
                 }
                 if let Some(ob) = state.outbox.take() {
@@ -2419,7 +2715,7 @@ fn spout_step(state: &mut SpoutState, routing: &Routing, stats: &RunStats) -> bo
                     state.since_prune += 1;
                     if state.since_prune >= 64 {
                         state.since_prune = 0;
-                        prune_completed(ack, &mut state.pending);
+                        prune_completed(routing, ack, &mut state.pending);
                     }
                 }
             }
@@ -2447,6 +2743,11 @@ fn spout_step(state: &mut SpoutState, routing: &Routing, stats: &RunStats) -> bo
                 };
                 if attempt >= ack.config.max_replays {
                     ack.failed.fetch_add(1, Ordering::Relaxed);
+                    // A failed root is resolved for log-GC purposes: its
+                    // records will never be needed again.
+                    if let Some(log) = &routing.log {
+                        log.note_resolved(root_of(id));
+                    }
                     continue;
                 }
                 let attempt = attempt + 1;
@@ -2458,7 +2759,7 @@ fn spout_step(state: &mut SpoutState, routing: &Routing, stats: &RunStats) -> bo
                 let outbox = state.outbox.as_mut().expect("draining spout has an outbox");
                 outbox.emit(routing, state.task, tuple, Some(tracked));
             }
-            prune_completed(ack, &mut state.pending);
+            prune_completed(routing, ack, &mut state.pending);
             if state.pending.is_empty() {
                 if let Some(ob) = state.outbox.take() {
                     ob.finish(routing, state.task);
@@ -2474,6 +2775,11 @@ fn spout_step(state: &mut SpoutState, routing: &Routing, stats: &RunStats) -> bo
                     .expire_matching(SimTime::MAX, |id| state.pending.contains_key(&id));
                 ack.failed
                     .fetch_add(state.pending.len() as u64, Ordering::Relaxed);
+                if let Some(log) = &routing.log {
+                    for id in state.pending.keys() {
+                        log.note_resolved(root_of(*id));
+                    }
+                }
                 state.pending.clear();
                 if let Some(ob) = state.outbox.take() {
                     ob.finish(routing, state.task);
@@ -2492,11 +2798,21 @@ fn spout_step(state: &mut SpoutState, routing: &Routing, stats: &RunStats) -> bo
 
 /// Drop roots the acker no longer tracks, counting them as acked. Only
 /// acks can remove entries outside the drain loop (expiry is driven by
-/// the owning spout), so anything gone from the acker completed.
-fn prune_completed(ack: &AckRuntime, pending: &mut HashMap<u64, (Tuple, u32)>) {
+/// the owning spout), so anything gone from the acker completed. An
+/// acked root is also reported to the partition log as resolved,
+/// advancing the log's GC watermark past its records.
+fn prune_completed(routing: &Routing, ack: &AckRuntime, pending: &mut HashMap<u64, (Tuple, u32)>) {
     let acker = ack.acker.lock();
     let before = pending.len();
-    pending.retain(|id, _| acker.contains(*id));
+    pending.retain(|id, _| {
+        if acker.contains(*id) {
+            return true;
+        }
+        if let Some(log) = &routing.log {
+            log.note_resolved(root_of(*id));
+        }
+        false
+    });
     ack.acked
         .fetch_add((before - pending.len()) as u64, Ordering::Relaxed);
 }
@@ -3358,6 +3674,7 @@ mod tests {
             stats: Arc::new(RunStats::default()),
             ack: None,
             relay: None,
+            log: None,
         });
         let r2 = Arc::clone(&routing);
         let h = std::thread::spawn(move || dispatcher_loop(0, rx, &r2));
@@ -3651,6 +3968,126 @@ mod tests {
     }
 
     #[test]
+    fn crash_with_restart_and_log_recovers_every_tuple_without_acker_replays() {
+        // Same crash as above, but the endpoint restarts and the run
+        // writes through a partition log: the recovery thread replays
+        // the crashed slice from the log, so every tuple acks without
+        // touching the acker's replay budget — effectively-once via
+        // root-id dedup, zero failed tuples.
+        let (t, ops) = ack_topology(60, 2);
+        let plan = FaultPlan {
+            seed: 11,
+            crashes: vec![whale_net::EndpointCrash {
+                endpoint: EndpointId(1),
+                at_frame: 10,
+            }],
+            restarts: vec![whale_net::EndpointRestart {
+                endpoint: EndpointId(1),
+                at_frame: 25,
+            }],
+            ..FaultPlan::default()
+        };
+        let r = run_topology(
+            t,
+            ops,
+            LiveConfig {
+                machines: 2,
+                ack: Some(AckConfig {
+                    // Long timeout: the log replay must beat the acker to
+                    // the recovery, not ride on it.
+                    timeout: Duration::from_secs(10),
+                    max_replays: 3,
+                    drain_deadline: Duration::from_secs(30),
+                    eos_redundancy: 2,
+                    ..AckConfig::default()
+                }),
+                fault: Some(plan),
+                log: Some(LogConfig::default()),
+                ..LiveConfig::default()
+            },
+        );
+        assert_eq!(r.tuples_acked + r.tuples_failed, r.spout_emitted);
+        assert!(r.fault_crashed_sends > 0, "the crash must reject sends");
+        assert_eq!(r.tuples_failed, 0, "log replay must recover every tuple");
+        assert_eq!(
+            r.tuples_replayed, 0,
+            "recovery must come from the log, not the acker's replay budget"
+        );
+        assert!(r.log_appended_records > 0, "sends must write through the log");
+        assert!(r.log_replayed_records > 0, "the restart must trigger a replay");
+        assert!(r.log_replayed_bytes > 0);
+        // Each of the two sink instances executed each root exactly once
+        // even though the replay redelivers pre-crash frames.
+        assert_eq!(r.executed[1], 60 * 2);
+        let m = r.metrics();
+        assert_eq!(
+            m.counter("dsps.log.replayed_records"),
+            Some(r.log_replayed_records)
+        );
+        assert_eq!(
+            m.counter("dsps.log.appended_records"),
+            Some(r.log_appended_records)
+        );
+    }
+
+    #[test]
+    fn acker_watermark_gc_bounds_log_retention() {
+        // A clean tracked run with small log segments: acked roots feed
+        // the GC watermark, so most of the log is reclaimed before the
+        // run reports — retention stays flat instead of growing with the
+        // stream.
+        let (t, ops) = ack_topology(200, 2);
+        let r = run_topology(
+            t,
+            ops,
+            LiveConfig {
+                machines: 2,
+                ack: Some(AckConfig {
+                    timeout: Duration::from_secs(10),
+                    ..AckConfig::default()
+                }),
+                log: Some(LogConfig {
+                    segment_bytes: 256,
+                    max_segments: 4096,
+                    rack_hops: 0,
+                }),
+                ..LiveConfig::default()
+            },
+        );
+        assert_eq!(r.outcome, RunOutcome::Clean);
+        assert_eq!(r.tuples_acked, 200);
+        assert!(r.log_appended_records > 0);
+        assert!(r.log_gcd_bytes > 0, "acked roots must reclaim log bytes");
+        assert!(
+            r.log_retained_bytes < r.log_appended_bytes,
+            "retention must stay below the full stream"
+        );
+        assert!(r.log_gc_watermark > 0);
+        let m = r.metrics();
+        assert_eq!(m.counter("dsps.log.gcd_bytes"), Some(r.log_gcd_bytes));
+        assert!(m.gauge("dsps.log.retained_bytes").is_some());
+        assert!(m.gauge("dsps.log.gc_watermark").is_some());
+    }
+
+    #[test]
+    fn unlogged_runs_report_zero_log_counters() {
+        let (t, ops) = ack_topology(20, 2);
+        let r = run_topology(
+            t,
+            ops,
+            LiveConfig {
+                machines: 2,
+                ack: Some(AckConfig::default()),
+                ..LiveConfig::default()
+            },
+        );
+        assert_eq!(r.outcome, RunOutcome::Clean);
+        assert_eq!(r.log_appended_records, 0);
+        assert_eq!(r.log_replayed_records, 0);
+        assert_eq!(r.log_retained_bytes, 0);
+    }
+
+    #[test]
     fn tracked_tuples_ride_the_relay_tree() {
         // The tracked-bypass is gone: an acked broadcast travels the
         // multicast tree (relay_forwards > 0) and still accounts for
@@ -3745,6 +4182,7 @@ mod tests {
             stats: Arc::new(RunStats::default()),
             ack: None,
             relay: Some(RelayState::new(build_relay_epoch(3, 2, 2))),
+            log: None,
         });
         let r2 = Arc::clone(&routing);
         let h = std::thread::spawn(move || dispatcher_loop(0, rx, &r2));

@@ -20,7 +20,12 @@
 //! - **full burst**: the send fails [`SendError::Full`] for the next
 //!   `full_burst_len` attempts (models a stalled transfer queue),
 //! - **crash**: after `at_frame` sends have been addressed to an
-//!   endpoint, every later send to it fails [`SendError::Disconnected`].
+//!   endpoint, every later send to it fails [`SendError::Disconnected`] —
+//!   unless a matching [`EndpointRestart`] reopens it: once the endpoint
+//!   has been addressed `EndpointRestart::at_frame` times in total, sends
+//!   succeed again (deterministic crash-then-rejoin; the addressed
+//!   counter keeps advancing through the outage so the restart point is
+//!   always reached).
 //!
 //! Injected faults are counted under `{prefix}.fault.*` by
 //! [`FaultFabric::export_metrics`], on top of the inner fabric's own
@@ -73,6 +78,19 @@ pub struct EndpointCrash {
     pub at_frame: u64,
 }
 
+/// Restart a crashed endpoint once it has been addressed `at_frame`
+/// times in total (counting the sends rejected during the outage). Only
+/// meaningful paired with an [`EndpointCrash`] for the same endpoint and
+/// an `at_frame` past the crash point; the crash window is then
+/// `[crash.at_frame, restart.at_frame)`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct EndpointRestart {
+    /// The endpoint that comes back.
+    pub endpoint: EndpointId,
+    /// Total sends addressed to it before it accepts traffic again.
+    pub at_frame: u64,
+}
+
 /// Sever a link (both directions) for a window of link-attempt indices.
 /// Frames sent inside the window are silently lost.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -98,6 +116,8 @@ pub struct FaultPlan {
     pub links: Vec<((EndpointId, EndpointId), LinkFaults)>,
     /// Endpoints that crash after N addressed frames.
     pub crashes: Vec<EndpointCrash>,
+    /// Crashed endpoints that rejoin after N total addressed frames.
+    pub restarts: Vec<EndpointRestart>,
     /// Link partitions with heal times.
     pub partitions: Vec<Partition>,
 }
@@ -110,6 +130,20 @@ impl FaultPlan {
             default_link: LinkFaults::drops(p),
             ..FaultPlan::default()
         }
+    }
+
+    /// The `[crash, restart)` addressed-frame window during which sends
+    /// to `endpoint` are rejected, if it has a crash scheduled. Without a
+    /// restart (or with one at or before the crash point) the window is
+    /// open-ended — the crash is permanent, as before.
+    fn crash_window(&self, endpoint: EndpointId) -> Option<(u64, u64)> {
+        let crash = self.crashes.iter().find(|c| c.endpoint == endpoint)?;
+        let until = self
+            .restarts
+            .iter()
+            .find(|r| r.endpoint == endpoint && r.at_frame > crash.at_frame)
+            .map_or(u64::MAX, |r| r.at_frame);
+        Some((crash.at_frame, until))
     }
 
     fn faults_for(&self, from: EndpointId, to: EndpointId) -> LinkFaults {
@@ -240,17 +274,36 @@ impl FaultFabric {
         links.values().map(|s| s.parked.len() as u64).sum()
     }
 
-    /// True once `to` has been addressed past its crash point — frames
-    /// still parked for it will be released into a dead destination.
+    /// True while `to` sits inside its crash window — frames still
+    /// parked for it will be released into a dead destination. An
+    /// endpoint past its restart point is alive again.
     fn destination_crashed(&self, to: EndpointId) -> bool {
-        let Some(crash) = self.plan.crashes.iter().find(|c| c.endpoint == to) else {
+        let Some((from_frame, until_frame)) = self.plan.crash_window(to) else {
             return false;
         };
         let addressed = self
             .addressed
             .lock()
             .unwrap_or_else(PoisonError::into_inner);
-        addressed.get(&to).copied().unwrap_or(0) >= crash.at_frame
+        let count = addressed.get(&to).copied().unwrap_or(0);
+        (from_frame..until_frame).contains(&count)
+    }
+
+    /// True once `to` has crossed its scheduled restart point (it
+    /// crashed and came back). The recovery layer polls this to know
+    /// when log replay toward `to` can begin.
+    pub fn restarted(&self, to: EndpointId) -> bool {
+        let Some((_, until_frame)) = self.plan.crash_window(to) else {
+            return false;
+        };
+        if until_frame == u64::MAX {
+            return false;
+        }
+        let addressed = self
+            .addressed
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        addressed.get(&to).copied().unwrap_or(0) >= until_frame
     }
 
     /// Parked frames split by destination liveness: `(deliverable,
@@ -316,19 +369,21 @@ impl FaultFabric {
         let plan = &self.plan;
         let faults = plan.faults_for(from, to);
 
-        // Crash check: has this destination been addressed past its
-        // crash point?
-        if let Some(crash) = plan.crashes.iter().find(|c| c.endpoint == to) {
+        // Crash check: is this destination inside its crash window? The
+        // addressed counter advances on every send — including rejected
+        // ones — so a scheduled restart point is always reached.
+        if let Some((from_frame, until_frame)) = plan.crash_window(to) {
             let mut addressed = self
                 .addressed
                 .lock()
                 .unwrap_or_else(PoisonError::into_inner);
             let count = addressed.entry(to).or_insert(0);
-            if *count >= crash.at_frame {
+            let k = *count;
+            *count += 1;
+            if (from_frame..until_frame).contains(&k) {
                 self.counters.crashed_sends.fetch_add(1, Ordering::Relaxed);
                 return Err(SendError::Disconnected);
             }
-            *count += 1;
         }
 
         let mut links = self.links.lock().unwrap_or_else(PoisonError::into_inner);
@@ -647,6 +702,97 @@ mod tests {
         assert_eq!(fabric.crashed_sends(), 1);
         assert_eq!(drain(&rx).len(), 2);
         assert_eq!(drain(&rx2).len(), 1);
+    }
+
+    #[test]
+    fn restart_heals_a_crashed_endpoint() {
+        let plan = FaultPlan {
+            seed: 5,
+            crashes: vec![EndpointCrash {
+                endpoint: EndpointId(1),
+                at_frame: 2,
+            }],
+            restarts: vec![EndpointRestart {
+                endpoint: EndpointId(1),
+                at_frame: 4,
+            }],
+            ..FaultPlan::default()
+        };
+        let (fabric, _) = faulty(plan);
+        let rx = fabric.register(EndpointId(1)).unwrap();
+        // Frames 0 and 1 land before the crash...
+        fabric
+            .send_copied(EndpointId(0), EndpointId(1), b"a")
+            .unwrap();
+        fabric
+            .send_copied(EndpointId(0), EndpointId(1), b"b")
+            .unwrap();
+        assert!(!fabric.restarted(EndpointId(1)));
+        // ...frames 2 and 3 hit the crash window...
+        for _ in 0..2 {
+            assert_eq!(
+                fabric.send_copied(EndpointId(0), EndpointId(1), b"x"),
+                Err(SendError::Disconnected)
+            );
+        }
+        // ...and the endpoint is back for frame 4.
+        assert!(fabric.restarted(EndpointId(1)));
+        fabric
+            .send_copied(EndpointId(0), EndpointId(1), b"c")
+            .unwrap();
+        assert_eq!(fabric.crashed_sends(), 2);
+        assert_eq!(drain(&rx), vec![b"a".to_vec(), b"b".to_vec(), b"c".to_vec()]);
+    }
+
+    #[test]
+    fn parked_doomed_reclassifies_to_deliverable_after_restart() {
+        let plan = FaultPlan {
+            seed: 8,
+            default_link: LinkFaults {
+                delay: 1.0,
+                delay_frames: 100,
+                ..LinkFaults::default()
+            },
+            crashes: vec![EndpointCrash {
+                endpoint: EndpointId(1),
+                at_frame: 2,
+            }],
+            restarts: vec![EndpointRestart {
+                endpoint: EndpointId(1),
+                at_frame: 4,
+            }],
+            ..FaultPlan::default()
+        };
+        let (fabric, _) = faulty(plan);
+        let _rx = fabric.register(EndpointId(1)).unwrap();
+        // Two frames park before the crash point.
+        fabric
+            .send_copied(EndpointId(0), EndpointId(1), b"a")
+            .unwrap();
+        fabric
+            .send_copied(EndpointId(0), EndpointId(1), b"b")
+            .unwrap();
+        // Frame 2 hits the crash window: parked frames are doomed while
+        // the endpoint is down...
+        assert_eq!(
+            fabric.send_copied(EndpointId(0), EndpointId(1), b"x"),
+            Err(SendError::Disconnected)
+        );
+        assert_eq!(fabric.parked_doomed(), 2);
+        assert_eq!(fabric.parked_deliverable(), 0);
+        // ...and frame 3, the last of the window, crosses the restart
+        // point: the same parked frames reclassify to deliverable.
+        assert_eq!(
+            fabric.send_copied(EndpointId(0), EndpointId(1), b"x"),
+            Err(SendError::Disconnected)
+        );
+        assert!(fabric.restarted(EndpointId(1)));
+        assert_eq!(fabric.parked_doomed(), 0);
+        assert_eq!(fabric.parked_deliverable(), 2);
+        fabric
+            .send_copied(EndpointId(0), EndpointId(1), b"c")
+            .unwrap();
+        assert_eq!(fabric.parked_deliverable(), 3);
     }
 
     #[test]

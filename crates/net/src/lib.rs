@@ -15,6 +15,7 @@ pub mod batch;
 pub mod channel;
 pub mod fabric;
 pub mod fault;
+pub mod log;
 pub mod memory;
 pub mod nic;
 pub mod one_sided;
@@ -28,7 +29,8 @@ pub use channel::{ChannelMsg, Departure, PushResult, RdmaChannel};
 pub use fabric::{
     EndpointId, FabricPath, LiveFabric, LiveMessage, Payload, RegisterError, SendError,
 };
-pub use fault::{EndpointCrash, FaultFabric, FaultPlan, LinkFaults, Partition};
+pub use fault::{EndpointCrash, EndpointRestart, FaultFabric, FaultPlan, LinkFaults, Partition};
+pub use log::{LogConfig, LogRead, PartitionLog, RECORD_HEADER};
 pub use one_sided::{spawn_fetcher, OneSidedConfig, OneSidedFabric, OneSidedFetcher};
 pub use policy::SendPolicy;
 pub use ring_fabric::{

@@ -1,0 +1,638 @@
+//! Persistent RDMA-readable partition log behind the outbox rings.
+//!
+//! The outbox rings ([`crate::memory::RingRegion`]) are transient: a slot
+//! is reused as soon as the fetcher consumes it, so a crashed or late
+//! consumer has nothing to read back. [`PartitionLog`] is the durable
+//! sibling — a per-link, segment-based append log that sends write
+//! through *before* the outbox. Every record keeps its sequence number,
+//! and [`PartitionLog::read_from`] serves any retained suffix via modeled
+//! one-sided RDMA READs through a real [`QueuePair`], so recovery and
+//! late-subscriber backfill never touch the log owner's CPU (the same
+//! server-bypass property the one-sided transport has on the hot path).
+//!
+//! Layout: records are framed `seq u64 LE | len u32 LE | payload` and
+//! packed into fixed-size segments, each registered as one memory region
+//! (registration is paid per segment, not per record — the same
+//! amortization argument as the outbox rings). Retention is bounded two
+//! ways: a segment-count cap evicts the oldest segment on roll-over, and
+//! [`PartitionLog::truncate_to`] garbage-collects whole segments below an
+//! acknowledgement watermark fed back by the caller (the dsps acker, in
+//! the live runtime). GC only ever drops whole segments: a watermark in
+//! the middle of a segment keeps it, so `first_seq` is always the head of
+//! a readable record.
+//!
+//! Torn tails: [`PartitionLog::recover`] rebuilds a log from raw segment
+//! bytes (as [`PartitionLog::snapshot`] emits them) and tolerates a tail
+//! truncated at any byte — it keeps every complete record, counts one
+//! `torn_tails`, and never panics.
+
+use crate::memory::{MemoryRegionId, MemoryRegistry};
+use crate::topology::MachineId;
+use crate::verbs::{QpId, QueuePair, WorkRequest, WrId};
+use std::collections::VecDeque;
+use whale_sim::{CostModel, MetricsRegistry, Transport, Verb};
+
+/// Bytes of record-framing overhead per appended record.
+pub const RECORD_HEADER: usize = 12;
+
+/// Configuration of a [`PartitionLog`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LogConfig {
+    /// Capacity of one segment's buffer. A record larger than this still
+    /// fits: its segment is sized up to hold exactly that record.
+    pub segment_bytes: usize,
+    /// Retention cap: appending past this many segments evicts the
+    /// oldest (counted as GC'd bytes, distinct from watermark GC).
+    pub max_segments: usize,
+    /// Topology distance priced into replay READs.
+    pub rack_hops: u32,
+}
+
+impl Default for LogConfig {
+    fn default() -> Self {
+        LogConfig {
+            segment_bytes: 64 * 1024,
+            max_segments: 64,
+            rack_hops: 0,
+        }
+    }
+}
+
+/// One registered segment of packed records.
+struct Segment {
+    /// Sequence number of the first record in this segment.
+    base_seq: u64,
+    /// Byte offset of each record within `buf`.
+    offsets: Vec<usize>,
+    buf: Vec<u8>,
+    region: MemoryRegionId,
+}
+
+/// Result of one [`PartitionLog::read_from`] pass.
+#[derive(Debug, Default)]
+pub struct LogRead {
+    /// Recovered records, in sequence order: `(seq, payload)`.
+    pub records: Vec<(u64, Vec<u8>)>,
+    /// Records below the requested start that were already GC'd (the
+    /// caller asked for history the retention policy dropped).
+    pub gc_skipped: u64,
+}
+
+/// A per-link, segment-based append log readable by sequence number via
+/// modeled RDMA READs. See the module docs for layout and semantics.
+pub struct PartitionLog {
+    config: LogConfig,
+    registry: MemoryRegistry,
+    qp: QueuePair,
+    cost: CostModel,
+    segments: VecDeque<Segment>,
+    /// Sequence number the next append receives.
+    next_seq: u64,
+    /// Oldest retained sequence number (== `next_seq` when empty).
+    first_seq: u64,
+    // Counters. Writer-side:
+    appended_records: u64,
+    appended_bytes: u64,
+    sender_cpu_ns: u64,
+    // GC:
+    gcd_records: u64,
+    gcd_bytes: u64,
+    evicted_segments: u64,
+    gc_watermark: u64,
+    // Reader-side (replay / backfill):
+    reads_posted: u64,
+    read_bytes: u64,
+    read_cpu_ns: u64,
+    read_wire_ns: u64,
+    torn_tails: u64,
+}
+
+impl PartitionLog {
+    /// New empty log with a loopback queue pair (both ends on machine 0).
+    pub fn new(config: LogConfig) -> Self {
+        Self::for_link(config, QpId(0), MachineId(0), MachineId(0))
+    }
+
+    /// New empty log whose replay READs are priced on the given link.
+    pub fn for_link(config: LogConfig, qp: QpId, local: MachineId, remote: MachineId) -> Self {
+        assert!(config.segment_bytes > RECORD_HEADER, "segment too small");
+        assert!(config.max_segments > 0, "need at least one segment");
+        PartitionLog {
+            config,
+            registry: MemoryRegistry::new(),
+            qp: QueuePair::new(qp, local, remote, Transport::Rdma),
+            cost: CostModel::default(),
+            segments: VecDeque::new(),
+            next_seq: 0,
+            first_seq: 0,
+            appended_records: 0,
+            appended_bytes: 0,
+            sender_cpu_ns: 0,
+            gcd_records: 0,
+            gcd_bytes: 0,
+            evicted_segments: 0,
+            gc_watermark: 0,
+            reads_posted: 0,
+            read_bytes: 0,
+            read_cpu_ns: 0,
+            read_wire_ns: 0,
+            torn_tails: 0,
+        }
+    }
+
+    /// Append one record; returns its sequence number. The write is
+    /// priced as the sender-side CPU of a one-sided WRITE (the log lives
+    /// next to the outbox, on the sender).
+    pub fn append(&mut self, payload: &[u8]) -> u64 {
+        let need = RECORD_HEADER + payload.len();
+        let roll = match self.segments.back() {
+            None => true,
+            Some(s) => s.buf.len() + need > s.buf.capacity(),
+        };
+        if roll {
+            self.push_segment(need);
+        }
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let seg = self.segments.back_mut().expect("push_segment left one");
+        seg.offsets.push(seg.buf.len());
+        seg.buf.extend_from_slice(&seq.to_le_bytes());
+        seg.buf.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        seg.buf.extend_from_slice(payload);
+        self.appended_records += 1;
+        self.appended_bytes += payload.len() as u64;
+        self.sender_cpu_ns += self
+            .cost
+            .send_cpu(Transport::Rdma, Verb::Write, need)
+            .as_nanos();
+        seq
+    }
+
+    fn push_segment(&mut self, need: usize) {
+        let cap = self.config.segment_bytes.max(need);
+        let region = self.registry.register(cap);
+        self.segments.push_back(Segment {
+            base_seq: self.next_seq,
+            offsets: Vec::new(),
+            buf: Vec::with_capacity(cap),
+            region,
+        });
+        while self.segments.len() > self.config.max_segments {
+            let seg = self.segments.pop_front().expect("len > cap >= 1");
+            self.evicted_segments += 1;
+            self.drop_segment(seg);
+        }
+    }
+
+    /// Account one segment's removal and advance `first_seq` past it.
+    fn drop_segment(&mut self, seg: Segment) {
+        self.gcd_records += seg.offsets.len() as u64;
+        self.gcd_bytes += seg.buf.len() as u64;
+        self.first_seq = seg.base_seq + seg.offsets.len() as u64;
+        self.registry.deregister(seg.region);
+    }
+
+    /// Read every retained record with sequence `>= seq`, pricing each as
+    /// a one-sided READ on this log's queue pair. The log owner's CPU
+    /// counter is untouched — the cost lands on the reader
+    /// ([`PartitionLog::read_cpu_ns`]) and the wire.
+    pub fn read_from(&mut self, seq: u64) -> LogRead {
+        let start = seq.max(self.first_seq);
+        let mut out = LogRead {
+            records: Vec::new(),
+            gc_skipped: start - seq,
+        };
+        for si in 0..self.segments.len() {
+            let (base, n) = {
+                let s = &self.segments[si];
+                (s.base_seq, s.offsets.len() as u64)
+            };
+            if base + n <= start {
+                continue;
+            }
+            let from = start.saturating_sub(base) as usize;
+            for ri in from..n as usize {
+                let (rec_seq, payload) = {
+                    let s = &self.segments[si];
+                    let off = s.offsets[ri];
+                    let rec_seq = u64::from_le_bytes(s.buf[off..off + 8].try_into().unwrap());
+                    let len =
+                        u32::from_le_bytes(s.buf[off + 8..off + 12].try_into().unwrap()) as usize;
+                    (rec_seq, s.buf[off + RECORD_HEADER..off + RECORD_HEADER + len].to_vec())
+                };
+                let wr = WorkRequest {
+                    wr_id: WrId(rec_seq),
+                    verb: Verb::Read,
+                    bytes: RECORD_HEADER + payload.len(),
+                };
+                let costs = self.qp.post(&wr, &self.cost, self.config.rack_hops);
+                self.reads_posted += 1;
+                self.read_bytes += wr.bytes as u64;
+                // Both the post and the completion are the reader's CPU:
+                // one-sided READs bypass the log owner entirely.
+                self.read_cpu_ns += costs.post_cpu.as_nanos() + costs.remote_cpu.as_nanos();
+                self.read_wire_ns += costs.wire.as_nanos() + 2 * costs.latency.as_nanos();
+                out.records.push((rec_seq, payload));
+            }
+        }
+        out
+    }
+
+    /// Garbage-collect whole segments entirely below `watermark` (every
+    /// record with `seq < watermark` is acknowledged and unneeded). The
+    /// watermark is monotonic; stale values are ignored. Only whole
+    /// segments go: a watermark inside a segment keeps it.
+    pub fn truncate_to(&mut self, watermark: u64) {
+        self.gc_watermark = self.gc_watermark.max(watermark);
+        while let Some(front) = self.segments.front() {
+            let end = front.base_seq + front.offsets.len() as u64;
+            if end > watermark {
+                break;
+            }
+            let seg = self.segments.pop_front().expect("front exists");
+            self.drop_segment(seg);
+        }
+    }
+
+    /// Raw retained bytes, segment by segment, oldest first — the exact
+    /// input [`PartitionLog::recover`] accepts.
+    pub fn snapshot(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        for s in &self.segments {
+            out.extend_from_slice(&s.buf);
+        }
+        out
+    }
+
+    /// Rebuild a log from raw snapshot bytes. A tail truncated at any
+    /// byte recovers to the last complete record, counting one torn
+    /// tail; the recovered log continues appending after the last good
+    /// sequence number.
+    pub fn recover(config: LogConfig, bytes: &[u8]) -> Self {
+        let mut log = PartitionLog::new(config);
+        let mut pos = 0usize;
+        let mut torn = false;
+        while pos + RECORD_HEADER <= bytes.len() {
+            let seq = u64::from_le_bytes(bytes[pos..pos + 8].try_into().unwrap());
+            let len = u32::from_le_bytes(bytes[pos + 8..pos + 12].try_into().unwrap()) as usize;
+            if pos + RECORD_HEADER + len > bytes.len() {
+                torn = true;
+                break;
+            }
+            if log.segments.is_empty() {
+                log.next_seq = seq;
+                log.first_seq = seq;
+            }
+            let appended = log.append(&bytes[pos + RECORD_HEADER..pos + RECORD_HEADER + len]);
+            debug_assert_eq!(appended, seq, "snapshot records are contiguous");
+            pos += RECORD_HEADER + len;
+        }
+        if torn || pos != bytes.len() {
+            log.torn_tails += 1;
+        }
+        log
+    }
+
+    /// Sequence number the next append receives.
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Oldest retained sequence number.
+    pub fn first_seq(&self) -> u64 {
+        self.first_seq
+    }
+
+    /// Records appended over the log's lifetime.
+    pub fn appended_records(&self) -> u64 {
+        self.appended_records
+    }
+
+    /// Payload bytes appended over the log's lifetime.
+    pub fn appended_bytes(&self) -> u64 {
+        self.appended_bytes
+    }
+
+    /// Modeled sender-side CPU nanoseconds spent appending. Reads never
+    /// move this — that is the server-bypass property recovery leans on.
+    pub fn sender_cpu_ns(&self) -> u64 {
+        self.sender_cpu_ns
+    }
+
+    /// Records dropped by watermark GC or the segment cap.
+    pub fn gcd_records(&self) -> u64 {
+        self.gcd_records
+    }
+
+    /// Bytes dropped by watermark GC or the segment cap.
+    pub fn gcd_bytes(&self) -> u64 {
+        self.gcd_bytes
+    }
+
+    /// Segments evicted by the retention cap (not the watermark).
+    pub fn evicted_segments(&self) -> u64 {
+        self.evicted_segments
+    }
+
+    /// Highest acknowledgement watermark fed to [`Self::truncate_to`].
+    pub fn gc_watermark(&self) -> u64 {
+        self.gc_watermark
+    }
+
+    /// Torn tails absorbed by [`Self::recover`].
+    pub fn torn_tails(&self) -> u64 {
+        self.torn_tails
+    }
+
+    /// One-sided READs posted serving [`Self::read_from`].
+    pub fn reads_posted(&self) -> u64 {
+        self.reads_posted
+    }
+
+    /// Bytes moved by replay READs (record framing included).
+    pub fn read_bytes(&self) -> u64 {
+        self.read_bytes
+    }
+
+    /// Modeled reader-side CPU nanoseconds across all replay READs.
+    pub fn read_cpu_ns(&self) -> u64 {
+        self.read_cpu_ns
+    }
+
+    /// Modeled wire + propagation nanoseconds across all replay READs.
+    pub fn read_wire_ns(&self) -> u64 {
+        self.read_wire_ns
+    }
+
+    /// Bytes currently retained across all segments.
+    pub fn retained_bytes(&self) -> u64 {
+        self.segments.iter().map(|s| s.buf.len() as u64).sum()
+    }
+
+    /// Segments currently retained.
+    pub fn segment_count(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// Memory registrations paid over the log's lifetime.
+    pub fn registrations(&self) -> u64 {
+        self.registry.registrations()
+    }
+
+    /// Memory deregistrations (segment evictions and watermark GC).
+    pub fn deregistrations(&self) -> u64 {
+        self.registry.deregistrations()
+    }
+
+    /// Export counters and gauges into `reg` under `prefix.*`.
+    pub fn export_metrics(&self, reg: &mut MetricsRegistry, prefix: &str) {
+        reg.set_counter(&format!("{prefix}.appended_records"), self.appended_records);
+        reg.set_counter(&format!("{prefix}.appended_bytes"), self.appended_bytes);
+        reg.set_counter(&format!("{prefix}.sender_cpu_ns"), self.sender_cpu_ns);
+        reg.set_counter(&format!("{prefix}.gcd_records"), self.gcd_records);
+        reg.set_counter(&format!("{prefix}.gcd_bytes"), self.gcd_bytes);
+        reg.set_counter(&format!("{prefix}.evicted_segments"), self.evicted_segments);
+        reg.set_counter(&format!("{prefix}.reads_posted"), self.reads_posted);
+        reg.set_counter(&format!("{prefix}.read_bytes"), self.read_bytes);
+        reg.set_counter(&format!("{prefix}.read_cpu_ns"), self.read_cpu_ns);
+        reg.set_counter(&format!("{prefix}.read_wire_ns"), self.read_wire_ns);
+        reg.set_counter(&format!("{prefix}.torn_tails"), self.torn_tails);
+        reg.set_gauge(&format!("{prefix}.gc_watermark"), self.gc_watermark as f64);
+        reg.set_gauge(
+            &format!("{prefix}.watermark_lag"),
+            self.next_seq.saturating_sub(self.gc_watermark) as f64,
+        );
+        reg.set_gauge(
+            &format!("{prefix}.retained_bytes"),
+            self.retained_bytes() as f64,
+        );
+        reg.set_gauge(&format!("{prefix}.segments"), self.segments.len() as f64);
+        self.registry.export_metrics(reg, prefix);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> LogConfig {
+        LogConfig {
+            segment_bytes: 64,
+            max_segments: 4,
+            rack_hops: 0,
+        }
+    }
+
+    /// Small segments, but a cap high enough that tests exercising the
+    /// full history never trip eviction.
+    fn roomy() -> LogConfig {
+        LogConfig {
+            segment_bytes: 64,
+            max_segments: 1024,
+            rack_hops: 0,
+        }
+    }
+
+    fn payload(i: u64) -> Vec<u8> {
+        format!("record-{i:04}").into_bytes()
+    }
+
+    #[test]
+    fn appends_then_reads_back_everything_in_order() {
+        let mut log = PartitionLog::new(roomy());
+        for i in 0..20u64 {
+            assert_eq!(log.append(&payload(i)), i);
+        }
+        let read = log.read_from(0);
+        assert_eq!(read.records.len(), 20);
+        for (i, (seq, bytes)) in read.records.iter().enumerate() {
+            assert_eq!(*seq, i as u64);
+            assert_eq!(bytes, &payload(i as u64));
+        }
+        assert_eq!(read.gc_skipped, 0);
+    }
+
+    #[test]
+    fn read_from_arbitrary_seq_returns_the_suffix() {
+        let mut log = PartitionLog::new(roomy());
+        for i in 0..20u64 {
+            log.append(&payload(i));
+        }
+        let read = log.read_from(13);
+        assert_eq!(read.records.len(), 7);
+        assert_eq!(read.records[0].0, 13);
+        assert_eq!(read.records.last().unwrap().0, 19);
+    }
+
+    #[test]
+    fn reads_are_priced_as_one_sided_reads_with_zero_sender_cpu() {
+        let mut log = PartitionLog::new(roomy());
+        for i in 0..8u64 {
+            log.append(&payload(i));
+        }
+        let writer_cpu = log.sender_cpu_ns();
+        assert!(writer_cpu > 0, "appends cost sender CPU");
+        let before_reads = log.reads_posted();
+        assert_eq!(before_reads, 0);
+        let read = log.read_from(0);
+        assert_eq!(read.records.len(), 8);
+        assert_eq!(log.reads_posted(), 8);
+        let cost = CostModel::default();
+        let expect_bytes: u64 = (0..8u64)
+            .map(|i| (RECORD_HEADER + payload(i).len()) as u64)
+            .sum();
+        assert_eq!(log.read_bytes(), expect_bytes);
+        let per = cost.send_cpu(Transport::Rdma, Verb::Read, RECORD_HEADER + payload(0).len());
+        assert!(log.read_cpu_ns() >= 8 * per.as_nanos());
+        // The server-bypass property: reads moved zero sender CPU.
+        assert_eq!(log.sender_cpu_ns(), writer_cpu);
+        assert!(log.read_wire_ns() > 0);
+    }
+
+    #[test]
+    fn watermark_gc_drops_whole_segments_and_refunds_registrations() {
+        let mut log = PartitionLog::new(roomy());
+        for i in 0..40u64 {
+            log.append(&payload(i));
+        }
+        let segs = log.segment_count();
+        assert!(segs > 2, "test needs multiple segments, got {segs}");
+        let before = log.retained_bytes();
+        log.truncate_to(20);
+        assert!(log.segment_count() < segs);
+        assert!(log.retained_bytes() < before);
+        assert!(log.first_seq() <= 20, "GC only drops fully-acked segments");
+        assert!(log.gcd_records() > 0);
+        assert_eq!(log.deregistrations(), (segs - log.segment_count()) as u64);
+        // Every record >= the watermark is still readable.
+        let read = log.read_from(20);
+        assert_eq!(read.records.len(), 20);
+        assert_eq!(read.records[0].0, 20);
+        // Stale watermarks are ignored.
+        let wm = log.gc_watermark();
+        log.truncate_to(5);
+        assert_eq!(log.gc_watermark(), wm);
+    }
+
+    #[test]
+    fn reading_below_the_gc_floor_clamps_and_counts() {
+        let mut log = PartitionLog::new(roomy());
+        for i in 0..40u64 {
+            log.append(&payload(i));
+        }
+        log.truncate_to(20);
+        let floor = log.first_seq();
+        assert!(floor > 0);
+        let read = log.read_from(0);
+        assert_eq!(read.gc_skipped, floor);
+        assert_eq!(read.records[0].0, floor);
+    }
+
+    #[test]
+    fn segment_cap_bounds_retained_memory_under_sustained_load() {
+        let cfg = small();
+        let mut log = PartitionLog::new(cfg);
+        for i in 0..10_000u64 {
+            log.append(&payload(i));
+        }
+        assert!(log.segment_count() <= cfg.max_segments);
+        assert!(log.retained_bytes() <= (cfg.max_segments * cfg.segment_bytes) as u64);
+        assert!(log.evicted_segments() > 0);
+        assert_eq!(
+            log.first_seq() + log.read_from(0).records.len() as u64,
+            log.next_seq()
+        );
+    }
+
+    #[test]
+    fn oversized_record_gets_its_own_segment_instead_of_panicking() {
+        let mut log = PartitionLog::new(small());
+        let big = vec![7u8; 500];
+        let seq = log.append(&big);
+        let read = log.read_from(seq);
+        assert_eq!(read.records.len(), 1);
+        assert_eq!(read.records[0].1, big);
+    }
+
+    #[test]
+    fn snapshot_recover_roundtrips_exactly() {
+        let mut log = PartitionLog::new(roomy());
+        for i in 0..20u64 {
+            log.append(&payload(i));
+        }
+        log.truncate_to(10);
+        let snap = log.snapshot();
+        let mut back = PartitionLog::recover(roomy(), &snap);
+        assert_eq!(back.torn_tails(), 0);
+        assert_eq!(back.first_seq(), log.first_seq());
+        assert_eq!(back.next_seq(), log.next_seq());
+        let a = log.read_from(0).records;
+        let b = back.read_from(0).records;
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn torn_tail_at_every_truncation_offset_recovers_without_panic() {
+        let mut log = PartitionLog::new(roomy());
+        for i in 0..12u64 {
+            log.append(&payload(i));
+        }
+        let snap = log.snapshot();
+        for cut in 0..snap.len() {
+            let mut back = PartitionLog::recover(roomy(), &snap[..cut]);
+            let n = back.read_from(0).records.len() as u64;
+            // Whole records survive; the torn remainder is dropped.
+            assert!(n <= 12);
+            if cut < snap.len() {
+                let full = cut == 0 || torn_free(&snap, cut);
+                assert_eq!(
+                    back.torn_tails(),
+                    u64::from(!full),
+                    "cut at {cut} of {}",
+                    snap.len()
+                );
+            }
+            for (i, (seq, bytes)) in back.read_from(0).records.iter().enumerate() {
+                assert_eq!(*seq, i as u64);
+                assert_eq!(bytes, &payload(i as u64));
+            }
+        }
+        // The untruncated snapshot recovers torn-free.
+        let back = PartitionLog::recover(roomy(), &snap);
+        assert_eq!(back.torn_tails(), 0);
+    }
+
+    /// Whether a cut at `pos` lands exactly on a record boundary.
+    fn torn_free(snap: &[u8], cut: usize) -> bool {
+        let mut pos = 0usize;
+        while pos < cut {
+            if pos + RECORD_HEADER > snap.len() {
+                return false;
+            }
+            let len =
+                u32::from_le_bytes(snap[pos + 8..pos + 12].try_into().unwrap()) as usize;
+            pos += RECORD_HEADER + len;
+        }
+        pos == cut
+    }
+
+    #[test]
+    fn export_metrics_covers_counters_and_gauges() {
+        let mut log = PartitionLog::new(roomy());
+        for i in 0..20u64 {
+            log.append(&payload(i));
+        }
+        log.truncate_to(8);
+        log.read_from(8);
+        let mut reg = MetricsRegistry::new();
+        log.export_metrics(&mut reg, "log");
+        assert_eq!(reg.counter("log.appended_records"), Some(20));
+        assert!(reg.counter("log.appended_bytes").unwrap() > 0);
+        assert!(reg.counter("log.reads_posted").unwrap() > 0);
+        assert_eq!(reg.counter("log.torn_tails"), Some(0));
+        assert_eq!(reg.gauge("log.gc_watermark"), Some(8.0));
+        assert!(reg.gauge("log.retained_bytes").unwrap() > 0.0);
+        assert!(reg.gauge("log.watermark_lag").unwrap() > 0.0);
+        assert!(reg.counter("log.registrations").unwrap() > 0);
+    }
+}

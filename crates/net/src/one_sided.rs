@@ -28,6 +28,7 @@
 use crate::fabric::{
     EndpointId, FabricPath, LiveMessage, Payload, RegisterError, SendError,
 };
+use crate::log::{LogConfig, PartitionLog};
 use crate::memory::{MemoryRegistry, RingRegion};
 use crate::ring_fabric::Doorbell;
 use crate::topology::MachineId;
@@ -59,6 +60,11 @@ pub struct OneSidedConfig {
     /// Backoff while a bounded inbox stays full and a fetch pass makes no
     /// delivery progress.
     pub stall_backoff: Duration,
+    /// When set, every publish also writes through a per-link
+    /// [`PartitionLog`] before the frame reaches the outbox ring, making
+    /// published history re-readable via [`OneSidedFabric::backfill`]
+    /// after the ring slot is long recycled.
+    pub log: Option<LogConfig>,
 }
 
 impl Default for OneSidedConfig {
@@ -69,6 +75,7 @@ impl Default for OneSidedConfig {
             rack_hops: 0,
             idle_heartbeat: Duration::from_millis(5),
             stall_backoff: Duration::from_micros(100),
+            log: None,
         }
     }
 }
@@ -80,6 +87,9 @@ struct LinkOutbox {
     ring: RingRegion<LiveMessage>,
     staged: Option<LiveMessage>,
     qp: QueuePair,
+    /// Durable history of every frame published on this link, present
+    /// when [`OneSidedConfig::log`] is set.
+    log: Option<PartitionLog>,
 }
 
 impl LinkOutbox {
@@ -230,10 +240,19 @@ impl OneSidedFabric {
                 MachineId(to.0),
                 Transport::Rdma,
             );
+            let log = self.config.log.map(|cfg| {
+                PartitionLog::for_link(
+                    cfg,
+                    QpId(self.next_qp.fetch_add(1, Ordering::Relaxed)),
+                    MachineId(from.0),
+                    MachineId(to.0),
+                )
+            });
             Arc::new(Mutex::new(LinkOutbox {
                 ring,
                 staged: None,
                 qp,
+                log,
             }))
         }))
     }
@@ -247,15 +266,113 @@ impl OneSidedFabric {
         let slot = self.link(from, to);
         {
             let mut link = slot.lock();
+            // Write-through: the durable copy is taken as part of the
+            // publish, so every frame the ring ever held is in the log.
+            let logged = link.log.is_some().then(|| msg.payload.bytes().to_vec());
             if link.ring.produce(msg).is_err() {
                 drop(link);
                 self.send_errors.fetch_add(1, Ordering::Relaxed);
                 return Err(SendError::Full);
             }
+            if let (Some(log), Some(bytes)) = (link.log.as_mut(), logged) {
+                log.append(&bytes);
+            }
         }
         self.posted.fetch_add(1, Ordering::Relaxed);
         self.doorbell.ring();
         Ok(())
+    }
+
+    /// Late-subscriber backfill: replay the `from → to` link's logged
+    /// history starting at sequence `seq` into `reader`'s inbox, as
+    /// modeled one-sided READs against the sender's log — the sender's
+    /// publish CPU counters never move. Returns the number of frames
+    /// delivered. Fails with [`SendError::UnknownEndpoint`] if the
+    /// reader is not registered, the link has never carried a frame, or
+    /// the fabric runs without a log.
+    pub fn backfill(
+        &self,
+        from: EndpointId,
+        to: EndpointId,
+        reader: EndpointId,
+        seq: u64,
+    ) -> Result<u64, SendError> {
+        let Some(tx) = self.inboxes.read().get(&reader).cloned() else {
+            return Err(SendError::UnknownEndpoint);
+        };
+        let Some(slot) = self.links.read().get(&(to, from)).map(Arc::clone) else {
+            return Err(SendError::UnknownEndpoint);
+        };
+        let mut link = slot.lock();
+        let Some(log) = link.log.as_mut() else {
+            return Err(SendError::UnknownEndpoint);
+        };
+        let read = log.read_from(seq);
+        drop(link);
+        let mut delivered = 0;
+        for (_seq, bytes) in read.records {
+            let len = bytes.len() as u64;
+            let msg = LiveMessage {
+                from,
+                payload: Payload::Copied(bytes),
+            };
+            match tx.try_send(msg) {
+                Ok(()) => {
+                    self.messages.fetch_add(1, Ordering::Relaxed);
+                    self.copied_bytes.fetch_add(len, Ordering::Relaxed);
+                    delivered += 1;
+                }
+                Err(TrySendError::Full(_)) => {
+                    self.send_errors.fetch_add(1, Ordering::Relaxed);
+                    return Err(SendError::Full);
+                }
+                Err(TrySendError::Disconnected(_)) => {
+                    self.send_errors.fetch_add(1, Ordering::Relaxed);
+                    return Err(SendError::Disconnected);
+                }
+            }
+        }
+        Ok(delivered)
+    }
+
+    /// Fold `f` over every link's partition log (no-op without a log).
+    fn fold_logs(&self, f: impl Fn(&PartitionLog) -> u64) -> u64 {
+        let links: Vec<LinkHandle> = self.links.read().values().map(Arc::clone).collect();
+        links
+            .iter()
+            .map(|slot| slot.lock().log.as_ref().map_or(0, &f))
+            .sum()
+    }
+
+    /// Records appended across every link's partition log.
+    pub fn log_appended(&self) -> u64 {
+        self.fold_logs(|l| l.appended_records())
+    }
+
+    /// Payload bytes appended across every link's partition log.
+    pub fn log_appended_bytes(&self) -> u64 {
+        self.fold_logs(|l| l.appended_bytes())
+    }
+
+    /// Modeled sender-side CPU spent writing the logs. Backfills never
+    /// move this — that is the acceptance criterion E26 checks.
+    pub fn log_sender_cpu_ns(&self) -> u64 {
+        self.fold_logs(|l| l.sender_cpu_ns())
+    }
+
+    /// One-sided READs posted by log backfills.
+    pub fn log_reads_posted(&self) -> u64 {
+        self.fold_logs(|l| l.reads_posted())
+    }
+
+    /// Bytes moved by log backfill READs.
+    pub fn log_read_bytes(&self) -> u64 {
+        self.fold_logs(|l| l.read_bytes())
+    }
+
+    /// Bytes currently retained across every link's partition log.
+    pub fn log_retained_bytes(&self) -> u64 {
+        self.fold_logs(|l| l.retained_bytes())
     }
 
     /// TCP-semantics publish: the bytes are copied into the outbox slot,
@@ -459,6 +576,23 @@ impl OneSidedFabric {
         reg.set_gauge(&format!("{prefix}.endpoints"), self.endpoint_count() as f64);
         reg.set_gauge(&format!("{prefix}.links"), self.link_count() as f64);
         reg.set_gauge(&format!("{prefix}.queue_depth"), self.queue_depth() as f64);
+        if self.config.log.is_some() {
+            reg.set_counter(&format!("{prefix}.log.appended_records"), self.log_appended());
+            reg.set_counter(
+                &format!("{prefix}.log.appended_bytes"),
+                self.log_appended_bytes(),
+            );
+            reg.set_counter(
+                &format!("{prefix}.log.sender_cpu_ns"),
+                self.log_sender_cpu_ns(),
+            );
+            reg.set_counter(&format!("{prefix}.log.reads_posted"), self.log_reads_posted());
+            reg.set_counter(&format!("{prefix}.log.read_bytes"), self.log_read_bytes());
+            reg.set_gauge(
+                &format!("{prefix}.log.retained_bytes"),
+                self.log_retained_bytes() as f64,
+            );
+        }
         self.registry.lock().export_metrics(reg, prefix);
     }
 }
@@ -878,5 +1012,112 @@ mod tests {
         // loss).
         assert_eq!(fabric.posted(), fabric.messages());
         fetcher.stop();
+    }
+
+    fn drain(rx: &Receiver<LiveMessage>) -> Vec<Vec<u8>> {
+        let mut out = Vec::new();
+        while let Ok(msg) = rx.try_recv() {
+            out.push(msg.payload.bytes().to_vec());
+        }
+        out
+    }
+
+    fn logged_config() -> OneSidedConfig {
+        OneSidedConfig {
+            ring_slots: 64,
+            log: Some(LogConfig {
+                segment_bytes: 256,
+                max_segments: 1024,
+                rack_hops: 0,
+            }),
+            ..OneSidedConfig::default()
+        }
+    }
+
+    #[test]
+    fn publishes_write_through_the_link_log() {
+        let fabric = OneSidedFabric::new(logged_config());
+        let _rx = fabric.register(EndpointId(1)).unwrap();
+        for i in 0..10u64 {
+            fabric
+                .send_copied(EndpointId(0), EndpointId(1), &i.to_le_bytes())
+                .unwrap();
+        }
+        fabric.fetch_all();
+        // The ring slots are consumed, but the log kept everything.
+        assert_eq!(fabric.log_appended(), 10);
+        assert_eq!(fabric.log_appended_bytes(), 80);
+        assert!(fabric.log_retained_bytes() > 0);
+    }
+
+    #[test]
+    fn backfill_replays_history_into_a_late_reader_with_zero_sender_cpu() {
+        let fabric = OneSidedFabric::new(logged_config());
+        let rx = fabric.register(EndpointId(1)).unwrap();
+        for i in 0..20u64 {
+            fabric
+                .send_copied(EndpointId(0), EndpointId(1), &i.to_le_bytes())
+                .unwrap();
+        }
+        // The live consumer drains everything; the ring is empty now.
+        fabric.fetch_all();
+        assert_eq!(drain(&rx).len(), 20);
+
+        // A late subscriber attaches mid-run and backfills from seq 5.
+        let late = fabric.register(EndpointId(9)).unwrap();
+        let sender_cpu_before = fabric.log_sender_cpu_ns();
+        let reads_before = fabric.log_reads_posted();
+        let delivered = fabric
+            .backfill(EndpointId(0), EndpointId(1), EndpointId(9), 5)
+            .unwrap();
+        assert_eq!(delivered, 15);
+        let got = drain(&late);
+        assert_eq!(got.len(), 15);
+        assert_eq!(got[0], 5u64.to_le_bytes().to_vec());
+        assert_eq!(got[14], 19u64.to_le_bytes().to_vec());
+        // Server bypass: the backfill posted READs and moved zero
+        // sender-side CPU.
+        assert!(fabric.log_reads_posted() > reads_before);
+        assert_eq!(fabric.log_sender_cpu_ns(), sender_cpu_before);
+    }
+
+    #[test]
+    fn backfill_without_a_log_or_link_is_an_unknown_endpoint() {
+        let plain = OneSidedFabric::new(OneSidedConfig {
+            ring_slots: 64,
+            ..OneSidedConfig::default()
+        });
+        let _rx = plain.register(EndpointId(1)).unwrap();
+        plain
+            .send_copied(EndpointId(0), EndpointId(1), b"x")
+            .unwrap();
+        assert_eq!(
+            plain.backfill(EndpointId(0), EndpointId(1), EndpointId(1), 0),
+            Err(SendError::UnknownEndpoint)
+        );
+        let logged = OneSidedFabric::new(logged_config());
+        let _rx = logged.register(EndpointId(1)).unwrap();
+        assert_eq!(
+            logged.backfill(EndpointId(0), EndpointId(1), EndpointId(1), 0),
+            Err(SendError::UnknownEndpoint)
+        );
+    }
+
+    #[test]
+    fn log_metrics_export_under_the_log_prefix() {
+        let fabric = OneSidedFabric::new(logged_config());
+        let _rx = fabric.register(EndpointId(1)).unwrap();
+        for i in 0..5u64 {
+            fabric
+                .send_copied(EndpointId(0), EndpointId(1), &i.to_le_bytes())
+                .unwrap();
+        }
+        let mut reg = MetricsRegistry::new();
+        fabric.export_metrics(&mut reg, "os");
+        assert_eq!(reg.counter("os.log.appended_records"), Some(5));
+        assert_eq!(reg.counter("os.log.appended_bytes"), Some(40));
+        assert!(reg.counter("os.log.sender_cpu_ns").unwrap() > 0);
+        assert_eq!(reg.counter("os.log.reads_posted"), Some(0));
+        assert!(reg.gauge("os.log.retained_bytes").unwrap() > 0.0);
     }
 }
