@@ -1,0 +1,32 @@
+//! E27 — live topology: rack-aware multicast trees vs Whale's
+//! oblivious d* tree and the binomial baseline on skewed placements.
+//!
+//! Emits `results/live_topology.{csv,json}` plus the top-level
+//! `BENCH_topology.json` headline report (override the location with
+//! `WHALE_BENCH_DIR`). Pass `--smoke` (or set `WHALE_SCALE=smoke`) for
+//! the minimal CI variant.
+
+use whale_bench::experiments::live_topology as e27;
+
+fn main() {
+    let scale = if std::env::args().any(|a| a == "--smoke") {
+        whale_bench::Scale::Smoke
+    } else {
+        whale_bench::Scale::from_env()
+    };
+    let points = e27::model_sweep();
+    for table in e27::run_experiment(scale) {
+        table.emit(None);
+    }
+    let bytes = e27::byte_cells(scale);
+    let acked = vec![e27::measure_acked(scale)];
+
+    let dir = std::env::var_os("WHALE_BENCH_DIR")
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|| std::path::PathBuf::from("."));
+    let _ = std::fs::create_dir_all(&dir);
+    let path = dir.join("BENCH_topology.json");
+    let json = e27::summary_json(&points, &bytes, &acked).to_json_string();
+    std::fs::write(&path, format!("{json}\n")).expect("write BENCH_topology.json");
+    println!("headline report → {}", path.display());
+}

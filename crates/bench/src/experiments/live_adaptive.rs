@@ -283,6 +283,70 @@ pub fn measure_live(
     }
 }
 
+/// Controller-driven soak: no forced switches — the tree starts narrow
+/// (`d* = 1`) under a throttled spout, so the workload monitor sees a
+/// low λ with an idle queue and the self-adjusting controller itself
+/// scales the structure up mid-stream. Asserts at least one *organic*
+/// switch landed with zero silent loss.
+pub fn measure_controller_soak(scale: Scale) -> LivePoint {
+    let tuples: i64 = scale.pick3(150, 400, 1_500);
+    let machines = 8;
+    let config = LiveConfig {
+        machines,
+        zero_copy: true,
+        multicast_adaptive: Some(AdaptiveConfig {
+            initial_d: 1,
+            interval: Duration::from_millis(1),
+            // Empty: decisions come from the monitor + controller.
+            forced_switches: Vec::new(),
+            ..AdaptiveConfig::default()
+        }),
+        fabric: FabricKind::PerSend,
+        ack: Some(AckConfig {
+            timeout: Duration::from_millis(60),
+            max_replays: 20,
+            drain_deadline: Duration::from_secs(20),
+            eos_redundancy: 8,
+            ..AckConfig::default()
+        }),
+        run_deadline: Some(Duration::from_secs(10)),
+        ..LiveConfig::default()
+    };
+    // ~5k tuples/s: slow enough that the queue idles between arrivals
+    // (the controller's scale-up signal), fast enough that the stream is
+    // still in flight when the switch lands.
+    let (t, ops) = topology(tuples, 16, Duration::from_micros(200));
+    let r = run_topology(t, ops, config);
+
+    assert_eq!(r.spout_emitted, tuples as u64, "soak: spout must finish");
+    assert_eq!(
+        r.tuples_acked + r.tuples_failed,
+        r.spout_emitted,
+        "soak: silent loss"
+    );
+    assert_eq!(r.tuples_failed, 0, "soak: clean run must ack everything");
+    assert!(
+        r.relay_switches >= 1,
+        "soak: the controller itself must scale the tree up from d*=1"
+    );
+    assert!(r.relay_epoch >= 1, "soak: epoch must advance");
+    assert!(r.relay_d_star > 1, "soak: final degree must widen past 1");
+    assert!(r.relay_forwards > 0, "soak: tuples must ride the relay tree");
+    assert_eq!(r.thread_panics, 0, "soak: no thread may panic");
+    assert!(matches!(r.outcome, RunOutcome::Clean), "soak: {:?}", r.outcome);
+
+    LivePoint {
+        mode: "controller_soak",
+        zero_copy: true,
+        drop_pct: 0,
+        machines,
+        emitted: r.spout_emitted,
+        silent_lost: r.spout_emitted - r.tuples_acked - r.tuples_failed,
+        switched: r.relay_switches >= 1,
+        relay_active: r.relay_forwards > 0,
+    }
+}
+
 /// Adaptive config used by the live cells: start narrow, force a switch
 /// to a shallow tree a third of the way through the stream.
 fn live_adaptive_config(tuples: u64) -> AdaptiveConfig {
@@ -323,6 +387,7 @@ pub fn live_cells(scale: Scale) -> Vec<LivePoint> {
             false,
             0,
         ),
+        measure_controller_soak(scale),
     ]
 }
 
@@ -496,6 +561,15 @@ mod tests {
             10,
         );
         assert_eq!(p.silent_lost, 0);
+        assert!(p.relay_active);
+    }
+
+    #[test]
+    fn controller_scales_the_tree_up_on_its_own() {
+        let p = measure_controller_soak(Scale::Smoke);
+        assert_eq!(p.mode, "controller_soak");
+        assert_eq!(p.silent_lost, 0);
+        assert!(p.switched, "switch must be controller-driven, not forced");
         assert!(p.relay_active);
     }
 

@@ -19,5 +19,6 @@ pub mod live_one_sided;
 pub mod live_recovery;
 pub mod live_ring;
 pub mod live_shards;
+pub mod live_topology;
 pub mod live_zero_copy;
 pub mod table2_datasets;

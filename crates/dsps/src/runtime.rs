@@ -42,11 +42,11 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 use whale_multicast::{
     build_nonblocking, plan_switch, run_switch_over_fabric_at, AdjustController, ControllerConfig,
-    Decision, MulticastTree, Node, WorkloadMonitor,
+    Decision, LinkPressure, MulticastTree, Node, TopoTreeBuilder, WorkloadMonitor,
 };
 use whale_net::{
-    ClusterSpec, EndpointId, FabricKind, FabricPath, FaultFabric, FaultPlan, LogConfig,
-    PartitionLog, Payload, SendError, SendPolicy,
+    ClusterSpec, EndpointId, FabricKind, FabricPath, FaultFabric, FaultPlan, LinkTracker,
+    LogConfig, PartitionLog, Payload, SendError, SendPolicy, TopologyConfig,
 };
 use whale_sim::{SimDuration, SimTime};
 
@@ -322,6 +322,16 @@ pub struct AdaptiveConfig {
     /// `spout_emitted` crosses each threshold, switch to the paired
     /// degree. Non-empty bypasses the λ-driven controller.
     pub forced_switches: Vec<(u64, u32)>,
+    /// Cluster topology awareness: when set, workers are placed on the
+    /// configured rack layout, a [`LinkTracker`] attributes every fabric
+    /// send to its (loopback / intra-rack / rack-uplink) link, the
+    /// controller sees per-uplink pressure alongside λ, and — unless
+    /// [`TopologyConfig::topo_trees`] is off — relay epochs are built
+    /// rack-aware: subtrees stay intra-rack, each destination rack is
+    /// entered over exactly one uplink edge, and switches route rack
+    /// entries over the coolest uplinks. `None` keeps the single-rack
+    /// topology-oblivious behavior.
+    pub topology: Option<TopologyConfig>,
 }
 
 impl Default for AdaptiveConfig {
@@ -335,6 +345,7 @@ impl Default for AdaptiveConfig {
             drain_grace: Duration::from_millis(250),
             switch_protocol: false,
             forced_switches: Vec::new(),
+            topology: None,
         }
     }
 }
@@ -643,6 +654,15 @@ pub struct RunReport {
     pub relay_bytes: u64,
     /// Relay frames dropped because their tree generation was retired.
     pub relay_stale_drops: u64,
+    /// Bytes delivered over rack uplinks — the oversubscribed links a
+    /// topology-aware tree economizes (0 unless a topology is
+    /// configured).
+    pub uplink_bytes: u64,
+    /// Delivered bytes per link (`LinkId` rendered, bytes), every link
+    /// with traffic. Sums to `copied_bytes + shared_bytes`: each send
+    /// traverses exactly one link, so per-link totals tile the wire
+    /// total. Empty unless a topology is configured.
+    pub link_bytes: Vec<(String, u64)>,
     /// Runtime tree reconfigurations performed.
     pub relay_switches: u64,
     /// Per-instance connection moves across all reconfigurations.
@@ -808,6 +828,10 @@ impl RunReport {
         reg.set_counter("dsps.relay.bytes", self.relay_bytes);
         reg.set_counter("dsps.direct_bytes", wire.saturating_sub(self.relay_bytes));
         reg.set_counter("dsps.relay.stale_drops", self.relay_stale_drops);
+        reg.set_counter("dsps.links.uplink_bytes", self.uplink_bytes);
+        for (link, bytes) in &self.link_bytes {
+            reg.set_counter(&format!("dsps.links.bytes.{link}"), *bytes);
+        }
         reg.set_counter("dsps.relay.switches", self.relay_switches);
         reg.set_counter("dsps.relay.switch_moves", self.relay_switch_moves);
         reg.set_gauge("dsps.relay.epoch", self.relay_epoch as f64);
@@ -950,6 +974,10 @@ struct Routing {
     /// Epoch-versioned multicast relay structures; `None` sends
     /// broadcasts directly.
     relay: Option<RelayState>,
+    /// Per-link load accounting over the cluster topology; `None` unless
+    /// [`AdaptiveConfig::topology`] is set. Installed on the outermost
+    /// fabric, so every send is attributed to exactly one link.
+    tracker: Option<Arc<LinkTracker>>,
     /// Write-ahead partition logs for crash recovery; `None` runs
     /// unlogged (see [`LiveConfig::log`]).
     log: Option<LogRuntime>,
@@ -976,11 +1004,6 @@ fn relay_node_of_worker(origin: u32, worker: u32) -> Option<u32> {
     }
 }
 
-/// In-flight accounting distinguishes this many epoch generations at
-/// once. Only two are ever live (current + draining previous); the extra
-/// slots keep a force-retired generation's leftover counts from
-/// colliding with a fresh epoch until the slot is reused and reset.
-const EPOCH_SLOTS: usize = 4;
 /// Relay-depth histogram buckets (hop distance from the origin; the last
 /// bucket absorbs deeper hops).
 const DEPTH_BUCKETS: usize = 16;
@@ -988,10 +1011,36 @@ const DEPTH_BUCKETS: usize = 16;
 /// One immutable generation of relay structures: every origin worker's
 /// tree over the *other* workers (node index i = the i-th worker id
 /// excluding the origin), all built with the same out-degree.
+///
+/// Each generation owns its in-flight send accounting: the counter is
+/// charged against the epoch a frame was stamped with, travels with the
+/// generation through demotion, and dies with it — so a retired
+/// generation's leftover charges can never bleed into a fresh epoch (the
+/// old slot-aliased array needed extra slots and a reset to approximate
+/// this).
 struct RelayEpoch {
     epoch: u32,
     d_star: u32,
     trees: Vec<MulticastTree>,
+    /// Relay frames sent minus received on this generation. A node
+    /// forwards to its children *before* decrementing its own receipt,
+    /// so zero means the generation is genuinely drained (frames a fault
+    /// dropped never decrement; the bounded grace covers those).
+    inflight: AtomicI64,
+}
+
+impl RelayEpoch {
+    /// Charge one in-flight frame — called *before* the send, so the
+    /// generation can never read drained while an accepted frame sits
+    /// uncounted in a fabric queue. Undo with [`Self::note_received`] if
+    /// the fabric rejects the send.
+    fn note_sent(&self) {
+        self.inflight.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn note_received(&self) {
+        self.inflight.fetch_sub(1, Ordering::Relaxed);
+    }
 }
 
 fn build_relay_epoch(epoch: u32, d: u32, workers: u32) -> RelayEpoch {
@@ -1001,6 +1050,39 @@ fn build_relay_epoch(epoch: u32, d: u32, workers: u32) -> RelayEpoch {
         trees: (0..workers)
             .map(|_| build_nonblocking(workers.saturating_sub(1), d))
             .collect(),
+        inflight: AtomicI64::new(0),
+    }
+}
+
+/// Rack-aware sibling of [`build_relay_epoch`]: each origin's tree is
+/// built over the placement's rack map (node i of origin o lives in the
+/// rack of `relay_node_worker(o, i)`'s machine), with the current
+/// per-rack uplink loads steering which uplinks carry rack entries.
+fn build_relay_epoch_topo(
+    epoch: u32,
+    d: u32,
+    placement: &Placement,
+    spec: &ClusterSpec,
+    uplink_loads: &[u64],
+) -> RelayEpoch {
+    let workers = placement.workers();
+    let rack_of_worker =
+        |w: WorkerId| spec.rack_of(placement.machine_of_worker(w)).0;
+    let trees = (0..workers)
+        .map(|origin| {
+            let node_racks: Vec<u32> = (0..workers.saturating_sub(1))
+                .map(|node| rack_of_worker(relay_node_worker(origin, node, workers)))
+                .collect();
+            TopoTreeBuilder::new(d.max(1), rack_of_worker(WorkerId(origin)), node_racks)
+                .with_uplink_load(uplink_loads)
+                .build()
+        })
+        .collect();
+    RelayEpoch {
+        epoch,
+        d_star: d,
+        trees,
+        inflight: AtomicI64::new(0),
     }
 }
 
@@ -1017,11 +1099,6 @@ fn build_relay_epoch(epoch: u32, d: u32, workers: u32) -> RelayEpoch {
 struct RelayState {
     current: RwLock<Arc<RelayEpoch>>,
     prev: RwLock<Option<Arc<RelayEpoch>>>,
-    /// Relay frames sent minus received, per epoch slot. A node forwards
-    /// to its children *before* decrementing its own receipt, so a slot
-    /// reading zero means the generation is genuinely drained (frames a
-    /// fault dropped never decrement; the bounded grace covers those).
-    inflight: [AtomicI64; EPOCH_SLOTS],
     /// Frames dropped because their epoch was already retired.
     stale_drops: AtomicU64,
     /// Tree reconfigurations performed.
@@ -1043,7 +1120,6 @@ impl RelayState {
         RelayState {
             current: RwLock::new(Arc::new(initial)),
             prev: RwLock::new(None),
-            inflight: Default::default(),
             stale_drops: AtomicU64::new(0),
             switches: AtomicU64::new(0),
             switch_moves: AtomicU64::new(0),
@@ -1070,20 +1146,8 @@ impl RelayState {
         prev.as_ref().filter(|p| p.epoch == epoch).map(Arc::clone)
     }
 
-    /// Charge one in-flight frame to `epoch` — called *before* the send,
-    /// so the generation can never read drained while an accepted frame
-    /// sits uncounted in a fabric queue. Undo with [`Self::note_received`]
-    /// if the fabric rejects the send.
-    fn note_sent(&self, epoch: u32) {
-        self.inflight[epoch as usize % EPOCH_SLOTS].fetch_add(1, Ordering::Relaxed);
-    }
-
     fn note_bytes(&self, bytes: usize) {
         self.relay_bytes.fetch_add(bytes as u64, Ordering::Relaxed);
-    }
-
-    fn note_received(&self, epoch: u32) {
-        self.inflight[epoch as usize % EPOCH_SLOTS].fetch_sub(1, Ordering::Relaxed);
     }
 
     fn record_depth(&self, depth: u32) {
@@ -1098,13 +1162,15 @@ impl RelayState {
         match prev.as_ref() {
             None => true,
             Some(p) => {
-                let slot = p.epoch as usize % EPOCH_SLOTS;
                 // Drained means no counted frames in flight AND nobody
                 // else holds the generation (senders keep the Arc from
                 // snapshot until after their note_sent; receivers keep
                 // theirs through forwarding) — so a frame between
-                // snapshot and charge can't slip through retirement.
-                if self.inflight[slot].load(Ordering::Relaxed) <= 0 && Arc::strong_count(p) == 1 {
+                // snapshot and charge can't slip through retirement. The
+                // counter is the generation's own, so retirement is
+                // exact: it fires the moment *this* epoch's queue is
+                // empty, not when a shared slot happens to read zero.
+                if p.inflight.load(Ordering::Relaxed) <= 0 && Arc::strong_count(p) == 1 {
                     *prev = None;
                     true
                 } else {
@@ -1132,11 +1198,9 @@ impl RelayState {
 
     /// Install a new generation: the current one becomes `prev` (any
     /// unretired `prev` is force-retired — its remaining frames become
-    /// stale), and the slot the new epoch maps to is cleared of leftover
-    /// counts from the long-retired generation that last used it.
+    /// stale and their charges die with the dropped generation).
     fn publish(&self, next: Arc<RelayEpoch>) {
         let mut cur = self.current.write();
-        self.inflight[next.epoch as usize % EPOCH_SLOTS].store(0, Ordering::Relaxed);
         let old = std::mem::replace(&mut *cur, next);
         *self.prev.write() = Some(old);
     }
@@ -1158,6 +1222,36 @@ impl Routing {
     /// The shard slice a task belongs to on its worker (stable map).
     fn shard_of(&self, t: TaskId) -> u32 {
         t.0 % self.shards
+    }
+
+    /// The run's topology config, if topology awareness is on.
+    fn topology_config(&self) -> Option<&TopologyConfig> {
+        self.config
+            .multicast_adaptive
+            .as_ref()
+            .and_then(|a| a.topology.as_ref())
+    }
+
+    /// Rack-uplink pressure snapshot for the controller (zeros when no
+    /// tracker is installed).
+    fn link_pressure(&self) -> LinkPressure {
+        match (self.tracker.as_deref(), self.topology_config()) {
+            (Some(t), Some(cfg)) => LinkPressure {
+                max_uplink_queue: t.max_uplink_queue(),
+                uplink_bytes: t.uplink_bytes(),
+                hot_uplinks: t.hot_uplinks(cfg.hot_uplink_queue),
+            },
+            _ => LinkPressure::default(),
+        }
+    }
+
+    /// The tree-construction inputs when rack-aware relay trees are on:
+    /// the cluster spec plus the current per-rack uplink loads.
+    fn topo_tree_inputs(&self) -> Option<(&ClusterSpec, Vec<u64>)> {
+        let tracker = self.tracker.as_deref()?;
+        self.topology_config()
+            .filter(|cfg| cfg.topo_trees)
+            .map(|_| (tracker.spec(), tracker.uplink_loads()))
     }
 
     /// The flat pipeline index of a task: `worker * shards + shard`.
@@ -1348,28 +1442,28 @@ impl Routing {
             for &child in tree.children(Node::Source) {
                 let Node::Dest(node) = child else { continue };
                 let dst = relay_node_worker(src_worker.0, node, self.placement.workers());
-                relay.note_sent(epoch.epoch);
+                epoch.note_sent();
                 if self.send_with_policy(|| {
                     self.fabric
                         .send_shared(from, self.relay_endpoint(dst.0), Arc::clone(&buf))
                 }) {
                     relay.note_bytes(frame_len);
                 } else {
-                    relay.note_received(epoch.epoch);
+                    epoch.note_received();
                 }
             }
         } else {
             for &child in tree.children(Node::Source) {
                 let Node::Dest(node) = child else { continue };
                 let dst = relay_node_worker(src_worker.0, node, self.placement.workers());
-                relay.note_sent(epoch.epoch);
+                epoch.note_sent();
                 if self.send_with_policy(|| {
                     self.fabric
                         .send_copied(from, self.relay_endpoint(dst.0), &scratch)
                 }) {
                     relay.note_bytes(frame_len);
                 } else {
-                    relay.note_received(epoch.epoch);
+                    epoch.note_received();
                 }
             }
         }
@@ -1396,14 +1490,14 @@ impl Routing {
             Some(n) if h.origin < self.placement.workers() => n,
             _ => {
                 self.stats.dropped_frames.fetch_add(1, Ordering::Relaxed);
-                relay.note_received(h.epoch);
+                epoch.note_received();
                 return;
             }
         };
         let tree = &epoch.trees[h.origin as usize];
         if node >= tree.n() {
             self.stats.dropped_frames.fetch_add(1, Ordering::Relaxed);
-            relay.note_received(h.epoch);
+            epoch.note_received();
             return;
         }
         if let Some(depth) = tree.depth(Node::Dest(node)) {
@@ -1415,7 +1509,7 @@ impl Routing {
         for &child in tree.children(Node::Dest(node)) {
             let Node::Dest(c) = child else { continue };
             let dst = relay_node_worker(h.origin, c, self.placement.workers());
-            relay.note_sent(h.epoch);
+            epoch.note_sent();
             let ok = match payload {
                 Payload::Shared(buf) => self.send_with_policy(|| {
                     self.fabric
@@ -1430,13 +1524,13 @@ impl Routing {
                 relay.note_bytes(payload.len());
                 forwarded += 1;
             } else {
-                relay.note_received(h.epoch);
+                epoch.note_received();
             }
         }
         // Children are charged before this receipt is released, so the
         // epoch's in-flight count can only read zero once the whole
         // subtree has drained.
-        relay.note_received(h.epoch);
+        epoch.note_received();
         if forwarded > 0 {
             self.stats.relay_forwards.fetch_add(forwarded, Ordering::Relaxed);
             if relay.forward_events.fetch_add(1, Ordering::Relaxed) % LATENCY_SAMPLE == 0 {
@@ -1724,21 +1818,21 @@ impl Routing {
             Some(n) if origin < self.placement.workers() => n,
             _ => {
                 self.stats.dropped_frames.fetch_add(1, Ordering::Relaxed);
-                relay.note_received(epoch_id);
+                epoch.note_received();
                 return;
             }
         };
         let tree = &epoch.trees[origin as usize];
         if node >= tree.n() {
             self.stats.dropped_frames.fetch_add(1, Ordering::Relaxed);
-            relay.note_received(epoch_id);
+            epoch.note_received();
             return;
         }
         let from = self.relay_endpoint(my_worker);
         for &child in tree.children(Node::Dest(node)) {
             let Node::Dest(c) = child else { continue };
             let dst = relay_node_worker(origin, c, self.placement.workers());
-            relay.note_sent(epoch_id);
+            epoch.note_sent();
             let ok = match payload {
                 Payload::Shared(buf) => self.send_with_policy(|| {
                     self.fabric
@@ -1752,10 +1846,10 @@ impl Routing {
             if ok {
                 relay.note_bytes(payload.len());
             } else {
-                relay.note_received(epoch_id);
+                epoch.note_received();
             }
         }
-        relay.note_received(epoch_id);
+        epoch.note_received();
         for &t in self.placement.tasks_on(WorkerId(my_worker)) {
             if self.topology.tasks().component_of(t) == Some(comp) {
                 self.deliver(t, ExecMsg::Eos(src));
@@ -1817,7 +1911,7 @@ impl Routing {
                     let Node::Dest(node) = child else { continue };
                     let dst = relay_node_worker(src_worker.0, node, self.placement.workers());
                     for _ in 0..copies {
-                        relay.note_sent(epoch.epoch);
+                        epoch.note_sent();
                         let ok = match &buf {
                             Some(b) => self.send_with_policy(|| {
                                 self.fabric
@@ -1831,7 +1925,7 @@ impl Routing {
                         if ok {
                             relay.note_bytes(frame_len);
                         } else {
-                            relay.note_received(epoch.epoch);
+                            epoch.note_received();
                         }
                     }
                 }
@@ -1942,6 +2036,8 @@ fn empty_report(outcome: RunOutcome, n_components: usize) -> RunReport {
         frames_encoded: 0,
         relay_bytes: 0,
         relay_stale_drops: 0,
+        uplink_bytes: 0,
+        link_bytes: Vec::new(),
         relay_switches: 0,
         relay_switch_moves: 0,
         relay_epoch: 0,
@@ -2013,7 +2109,16 @@ pub fn run_topology(topology: Topology, operators: Operators, config: LiveConfig
         }
     }
 
-    let cluster = ClusterSpec::new(config.machines, 1, 16);
+    // Topology awareness (racks, per-link accounting) comes in through
+    // the adaptive config; without it the cluster is one flat rack.
+    let topo_config = config
+        .multicast_adaptive
+        .as_ref()
+        .and_then(|a| a.topology.clone());
+    let cluster = match &topo_config {
+        Some(t) => t.cluster_spec(config.machines, 16),
+        None => ClusterSpec::new(config.machines, 1, 16),
+    };
     let placement = Placement::even(&topology, &cluster);
     let mut instance = config.fabric.build();
     // Fault injection wraps the concrete transport: every runtime send
@@ -2043,6 +2148,15 @@ pub fn run_topology(topology: Topology, operators: Operators, config: LiveConfig
             "the multicast tree relays worker-oriented messages"
         );
     }
+    // Per-link accounting: attribute every send on the *outermost*
+    // fabric (the fault wrapper delegates inward, so injected drops
+    // never count and nothing double-counts) to its one egress link.
+    let tracker = topo_config.as_ref().map(|_| {
+        let t = Arc::new(LinkTracker::new(cluster.clone()));
+        fabric.install_link_tracker(Arc::clone(&t));
+        t
+    });
+
     let relay = relay_enabled.then(|| {
         let d = config.multicast_d_star.unwrap_or_else(|| {
             config
@@ -2051,7 +2165,14 @@ pub fn run_topology(topology: Topology, operators: Operators, config: LiveConfig
                 .expect("relay_enabled implies one of the two")
                 .initial_d
         });
-        RelayState::new(build_relay_epoch(0, d.max(1), placement.workers()))
+        let d = d.max(1);
+        let topo_trees = topo_config.as_ref().map(|t| t.topo_trees).unwrap_or(false);
+        RelayState::new(if topo_trees {
+            // No traffic yet: the initial generation sees idle uplinks.
+            build_relay_epoch_topo(0, d, &placement, &cluster, &[])
+        } else {
+            build_relay_epoch(0, d, placement.workers())
+        })
     });
 
     // One flat shard per (worker, shard): each gets its own fabric
@@ -2072,6 +2193,12 @@ pub fn run_topology(topology: Topology, operators: Operators, config: LiveConfig
                 .register(EndpointId(flat as u32))
                 .expect("shard endpoint ids are unique"),
         );
+        if let Some(t) = &tracker {
+            // Pipeline endpoint → hosting machine, so the tracker can
+            // classify each send's one egress link.
+            let worker = WorkerId(flat as u32 / shards);
+            t.map_endpoint(EndpointId(flat as u32), placement.machine_of_worker(worker));
+        }
     }
 
     let ack_runtime = config.ack.map(AckRuntime::new);
@@ -2087,6 +2214,7 @@ pub fn run_topology(topology: Topology, operators: Operators, config: LiveConfig
         shards,
         stats: Arc::clone(&stats),
         ack: ack_runtime,
+        tracker,
         log: log_runtime,
     });
 
@@ -2341,6 +2469,14 @@ pub fn run_topology(topology: Topology, operators: Operators, config: LiveConfig
             .relay
             .as_ref()
             .map_or(0, |r| r.stale_drops.load(Ordering::Relaxed)),
+        uplink_bytes: routing.tracker.as_ref().map_or(0, |t| t.uplink_bytes()),
+        link_bytes: routing.tracker.as_ref().map_or_else(Vec::new, |t| {
+            t.snapshot()
+                .into_iter()
+                .filter(|l| l.bytes > 0)
+                .map(|l| (l.link.to_string(), l.bytes))
+                .collect()
+        }),
         relay_switches: routing
             .relay
             .as_ref()
@@ -2555,7 +2691,7 @@ fn adaptive_loop(
             let queue_len = fabric.queue_depth() as usize
                 + routing.max_inbox_depth()
                 + routing.ack.as_ref().map_or(0, |a| a.acker.lock().pending());
-            let report = monitor.sample(now, queue_len);
+            let report = monitor.sample_with_links(now, queue_len, routing.link_pressure());
             match controller.decide(&report) {
                 Decision::Hold => None,
                 Decision::ScaleDown { d_star } | Decision::ScaleUp { d_star } => Some(d_star),
@@ -2605,16 +2741,32 @@ fn switch_structure(
         let _ = run_switch_over_fabric_at(Arc::clone(fabric), &cur.trees[0], new_d, base);
     }
     let mut total_moves = 0u64;
-    let mut trees = Vec::with_capacity(cur.trees.len());
-    for t in &cur.trees {
-        let (next, plan) = plan_switch(t, new_d);
-        total_moves += plan.moves.len() as u64;
-        trees.push(next);
-    }
+    let trees = if let Some((spec, loads)) = routing.topo_tree_inputs() {
+        // Rack-aware rebuild: the new generation's rack entries route
+        // over whichever uplinks are coolest *right now*. Moves are the
+        // parent changes between generations (same accounting
+        // `plan_switch` reports on the oblivious path).
+        let next = build_relay_epoch_topo(cur.epoch + 1, new_d, &routing.placement, spec, &loads);
+        for (old, new) in cur.trees.iter().zip(&next.trees) {
+            total_moves += (0..new.n())
+                .filter(|&i| old.parent(i) != new.parent(i))
+                .count() as u64;
+        }
+        next.trees
+    } else {
+        let mut trees = Vec::with_capacity(cur.trees.len());
+        for t in &cur.trees {
+            let (next, plan) = plan_switch(t, new_d);
+            total_moves += plan.moves.len() as u64;
+            trees.push(next);
+        }
+        trees
+    };
     relay.publish(Arc::new(RelayEpoch {
         epoch: cur.epoch + 1,
         d_star: new_d,
         trees,
+        inflight: AtomicI64::new(0),
     }));
     relay.switches.fetch_add(1, Ordering::Relaxed);
     relay.switch_moves.fetch_add(total_moves, Ordering::Relaxed);
@@ -3675,6 +3827,7 @@ mod tests {
             ack: None,
             relay: None,
             log: None,
+            tracker: None,
         });
         let r2 = Arc::clone(&routing);
         let h = std::thread::spawn(move || dispatcher_loop(0, rx, &r2));
@@ -4183,6 +4336,7 @@ mod tests {
             ack: None,
             relay: Some(RelayState::new(build_relay_epoch(3, 2, 2))),
             log: None,
+            tracker: None,
         });
         let r2 = Arc::clone(&routing);
         let h = std::thread::spawn(move || dispatcher_loop(0, rx, &r2));
@@ -4259,6 +4413,62 @@ mod tests {
         assert!(r.relay_forwards > 0);
         assert_eq!(r.relay_stale_drops, 0, "drained switch drops nothing");
         assert_eq!(r.outcome, RunOutcome::Clean);
+    }
+
+    #[test]
+    fn per_link_byte_sums_tile_the_wire_total() {
+        // Every fabric send traverses exactly one link, so the per-link
+        // accounting must tile the wire byte total exactly — with the
+        // rack-aware trees and with Whale's oblivious trees under the
+        // same topology (the regression that caught uplink sends being
+        // attributed twice). The rack-aware trees must also move
+        // strictly fewer bytes over the uplink: machines alternate racks
+        // round-robin, so the oblivious tree crosses racks on most
+        // edges while the topo tree enters the far rack exactly once.
+        let run_with = |topo_trees: bool| {
+            let (t, ops) = counting_topology(8, 16);
+            run_topology(
+                t,
+                ops,
+                LiveConfig {
+                    machines: 8,
+                    multicast_adaptive: Some(AdaptiveConfig {
+                        initial_d: 2,
+                        // No mid-run switches: one deterministic tree.
+                        interval: Duration::from_secs(30),
+                        topology: Some(TopologyConfig {
+                            racks: 2,
+                            topo_trees,
+                            ..TopologyConfig::default()
+                        }),
+                        ..AdaptiveConfig::default()
+                    }),
+                    ..LiveConfig::default()
+                },
+            )
+        };
+        let topo = run_with(true);
+        let oblivious = run_with(false);
+        for r in [&topo, &oblivious] {
+            assert_eq!(r.outcome, RunOutcome::Clean);
+            assert_eq!(r.executed[1], 100 * 16, "every broadcast lands");
+            let linked: u64 = r.link_bytes.iter().map(|(_, b)| b).sum();
+            assert_eq!(
+                linked,
+                r.copied_bytes + r.shared_bytes,
+                "per-link sums must tile the wire total exactly"
+            );
+            assert!(r.uplink_bytes > 0, "cross-rack traffic must register");
+            assert!(r.uplink_bytes <= linked);
+            let m = r.metrics();
+            assert_eq!(m.counter("dsps.links.uplink_bytes"), Some(r.uplink_bytes));
+        }
+        assert!(
+            topo.uplink_bytes < oblivious.uplink_bytes,
+            "rack-aware trees must economize the uplink ({} vs {})",
+            topo.uplink_bytes,
+            oblivious.uplink_bytes
+        );
     }
 
     #[test]

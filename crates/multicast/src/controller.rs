@@ -146,8 +146,11 @@ impl AdjustController {
         // M/D/1 target equals the current degree yet the queue sits above
         // the waterline, the model is underestimating the marginal load:
         // step down one further degree anyway (converging to 1, the
-        // maximum service rate).
-        if l_cur >= waterline && self.current_d > 1 {
+        // maximum service rate). Hot rack uplinks count as the same kind
+        // of overload: the λ-only M/D/1 model can't see inter-rack
+        // oversubscription, so congested uplinks force the step-down too
+        // (a lower d* means fewer concurrent cross-rack edges).
+        if (l_cur >= waterline || report.links.hot_uplinks > 0) && self.current_d > 1 {
             let new_d = target.min(self.current_d - 1).max(1);
             self.current_d = new_d;
             self.scale_downs += 1;
@@ -255,6 +258,7 @@ mod tests {
             t_e_secs: 5e-6,
             queue_len: cur,
             prev_queue_len: prev,
+            links: Default::default(),
         }
     }
 
@@ -367,6 +371,27 @@ mod tests {
             c.decide(&report(100_000.0, 1_200, 1_250)),
             Decision::ScaleDown { .. }
         ));
+    }
+
+    #[test]
+    fn hot_uplinks_force_a_scale_down() {
+        use crate::monitor::LinkPressure;
+        let mut c = controller(5);
+        // Queue looks healthy but an uplink is congested: the λ-only
+        // model would hold; link pressure steps the degree down.
+        let mut r = report(20_000.0, 100, 100);
+        r.links = LinkPressure {
+            max_uplink_queue: 700,
+            uplink_bytes: 1 << 20,
+            hot_uplinks: 2,
+        };
+        match c.decide(&r) {
+            Decision::ScaleDown { d_star } => assert!(d_star < 5),
+            other => panic!("expected scale-down, got {other:?}"),
+        }
+        // Pressure gone, queue idle → free to scale back up.
+        let d = c.decide(&report(5_000.0, 0, 0));
+        assert!(matches!(d, Decision::ScaleUp { .. }));
     }
 
     #[test]

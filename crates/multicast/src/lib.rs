@@ -6,8 +6,10 @@
 //! analysis `L(t)` with a relay-schedule simulator verified against the
 //! paper's Fig 6 walkthrough, the queue-watching workload monitor, the
 //! negative-scale-down / active-scale-up self-adjusting controller
-//! (§3.3), and the dynamic switching machinery with its
-//! `StatusMessage`/`ControlMessage`/ACK protocol (§3.4).
+//! (§3.3), the dynamic switching machinery with its
+//! `StatusMessage`/`ControlMessage`/ACK protocol (§3.4), and a
+//! Gleam-style topology-aware tree builder that keeps subtrees
+//! intra-rack and routes rack entries over the coolest uplinks.
 
 #![warn(missing_docs)]
 
@@ -19,6 +21,7 @@ pub mod fabric_driver;
 pub mod monitor;
 pub mod protocol;
 pub mod switching;
+pub mod topo;
 pub mod tree;
 
 pub use analysis::{affordable_rate_ratio, compare, recommend, StructureAnalysis};
@@ -31,10 +34,11 @@ pub use fabric_driver::{
     decode_msg, encode_msg, run_switch_over_fabric, run_switch_over_fabric_at, CodecError,
     DriverError, SwitchDriverReport,
 };
-pub use monitor::{MonitorReport, WorkloadMonitor};
+pub use monitor::{LinkPressure, MonitorReport, WorkloadMonitor};
 pub use protocol::{AckOutcome, CoordinatorState, InstanceAgent, ProtocolMsg, SwitchCoordinator};
 pub use switching::{
     plan_scale_down, plan_scale_up, plan_switch, ControlMessage, StatusMessage, SwitchPlan,
     SwitchSession,
 };
+pub use topo::{tree_cost, TopoTreeBuilder, TreeCost};
 pub use tree::{MulticastTree, Node, TreeError};

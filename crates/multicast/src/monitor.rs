@@ -8,6 +8,22 @@
 use whale_sim::stats::{Ewma, Running};
 use whale_sim::{SimDuration, SimTime};
 
+/// Per-link congestion pressure sampled from a
+/// [`LinkTracker`](whale_net::LinkTracker) snapshot and folded into each
+/// [`MonitorReport`]. All-zero (the [`Default`]) means "no topology
+/// feedback" — the controller then behaves exactly as the λ-only §3.3
+/// rules.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LinkPressure {
+    /// Deepest rack-uplink send queue (frames) at sample time.
+    pub max_uplink_queue: u64,
+    /// Total bytes delivered over rack uplinks so far.
+    pub uplink_bytes: u64,
+    /// Number of uplinks whose queue exceeds the configured hot
+    /// threshold.
+    pub hot_uplinks: u32,
+}
+
 /// One periodic observation handed to the controller.
 #[derive(Clone, Copy, Debug)]
 pub struct MonitorReport {
@@ -21,6 +37,8 @@ pub struct MonitorReport {
     pub queue_len: usize,
     /// Queue length at the previous sample.
     pub prev_queue_len: usize,
+    /// Rack-uplink pressure (zeros when no tracker is installed).
+    pub links: LinkPressure,
 }
 
 impl MonitorReport {
@@ -98,6 +116,18 @@ impl WorkloadMonitor {
     /// Close the current window at `now` with the observed queue length,
     /// producing a report. Call once per interval.
     pub fn sample(&mut self, now: SimTime, queue_len: usize) -> MonitorReport {
+        self.sample_with_links(now, queue_len, LinkPressure::default())
+    }
+
+    /// [`sample`](Self::sample) with a rack-uplink pressure snapshot
+    /// attached, for runtimes with a
+    /// [`LinkTracker`](whale_net::LinkTracker) installed.
+    pub fn sample_with_links(
+        &mut self,
+        now: SimTime,
+        queue_len: usize,
+        links: LinkPressure,
+    ) -> MonitorReport {
         let elapsed = now.since(self.window_start);
         let raw_rate = if elapsed.is_zero() {
             0.0
@@ -111,6 +141,7 @@ impl WorkloadMonitor {
             t_e_secs: self.t_e_secs(),
             queue_len,
             prev_queue_len: self.prev_queue_len,
+            links,
         };
         self.prev_queue_len = queue_len;
         self.window_start = now;
@@ -201,6 +232,22 @@ mod tests {
         m.record_arrivals(10);
         let r = m.sample(SimTime::from_millis(100), 3);
         assert_eq!(m.last_report().unwrap().queue_len, r.queue_len);
+    }
+
+    #[test]
+    fn link_pressure_rides_along_with_the_sample() {
+        let mut m = monitor();
+        // Plain sample carries the all-zero default.
+        let r = m.sample(SimTime::from_millis(100), 0);
+        assert_eq!(r.links, LinkPressure::default());
+        let links = LinkPressure {
+            max_uplink_queue: 9,
+            uplink_bytes: 4_096,
+            hot_uplinks: 1,
+        };
+        let r = m.sample_with_links(SimTime::from_millis(200), 2, links);
+        assert_eq!(r.links, links);
+        assert_eq!(m.last_report().unwrap().links.hot_uplinks, 1);
     }
 
     #[test]

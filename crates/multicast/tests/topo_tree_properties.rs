@@ -1,0 +1,148 @@
+//! Property tests for the topology-aware tree builder.
+//!
+//! Random skewed cluster placements (1–5 racks, rack 0 over-weighted the
+//! way a real scheduler packs a hot rack) and every d* the benches use
+//! must always yield a tree that (a) respects the degree cap, (b)
+//! reaches every destination exactly once, and (c) enters each
+//! destination rack over exactly one inter-rack edge — the invariant the
+//! uplink-byte savings rest on. On a single rack the builder must be
+//! *indistinguishable* from Algorithm 1's `build_nonblocking`.
+
+use proptest::prelude::*;
+use whale_multicast::{build_nonblocking, MulticastTree, Node, TopoTreeBuilder};
+
+/// Skewed rack assignment: roughly half the destinations land in rack 0,
+/// the rest spread round the remaining racks.
+fn skewed_racks(racks: u32, max_n: usize) -> impl Strategy<Value = Vec<u32>> {
+    proptest::collection::vec(0u32..100, 0..=max_n)
+        .prop_map(move |picks| {
+            picks
+                .into_iter()
+                .map(|p| if p < 50 { 0 } else { p % racks })
+                .collect()
+        })
+}
+
+/// The rack of `node` under `node_racks`, with the source in
+/// `source_rack`.
+fn rack_of(node: Node, source_rack: u32, node_racks: &[u32]) -> u32 {
+    match node {
+        Node::Source => source_rack,
+        Node::Dest(i) => node_racks[i as usize],
+    }
+}
+
+/// Count, per rack, the edges whose parent sits in a different rack.
+fn rack_entries(tree: &MulticastTree, source_rack: u32, node_racks: &[u32]) -> Vec<u32> {
+    let racks = node_racks
+        .iter()
+        .copied()
+        .chain([source_rack])
+        .max()
+        .unwrap_or(0)
+        + 1;
+    let mut entries = vec![0u32; racks as usize];
+    for i in 0..tree.n() {
+        let parent = tree.parent(i).expect("attached dest has a parent");
+        let pr = rack_of(parent, source_rack, node_racks);
+        let cr = node_racks[i as usize];
+        if pr != cr {
+            entries[cr as usize] += 1;
+        }
+    }
+    entries
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Core invariants over random skewed placements and loads.
+    #[test]
+    fn topo_trees_stay_valid_rack_local_and_single_entry(
+        racks in 1u32..=5,
+        d_pow in 0u32..=3,
+        source_rack_pick in 0u32..100,
+        node_racks in skewed_racks(5, 40),
+        loads in proptest::collection::vec(0u64..10_000, 5),
+    ) {
+        let d_star = 1u32 << d_pow; // 1, 2, 4, 8
+        let node_racks: Vec<u32> =
+            node_racks.into_iter().map(|r| r % racks).collect();
+        let source_rack = source_rack_pick % racks;
+        let n = node_racks.len() as u32;
+
+        let tree = TopoTreeBuilder::new(d_star, source_rack, node_racks.clone())
+            .with_uplink_load(&loads)
+            .build();
+
+        // (a) degree cap + structural soundness, (b) full coverage.
+        tree.validate(d_star).expect("tree must validate");
+        prop_assert_eq!(tree.reachable_count(), n);
+
+        // (c) one entry per destination rack, none into the source's.
+        let entries = rack_entries(&tree, source_rack, &node_racks);
+        for (r, &e) in entries.iter().enumerate() {
+            let has_dests = node_racks.iter().any(|&x| x as usize == r);
+            if r == source_rack as usize {
+                prop_assert_eq!(e, 0, "source rack re-entered");
+            } else if has_dests {
+                prop_assert_eq!(e, 1, "rack {} entered {} times", r, e);
+            } else {
+                prop_assert_eq!(e, 0, "empty rack {} entered", r);
+            }
+        }
+    }
+
+    /// On one rack the topology-aware builder must produce *the same
+    /// tree* as Algorithm 1 — same parents, same order — so switching it
+    /// on in a single-rack deployment changes nothing, and the delivered
+    /// (dedup'd) destination set is trivially identical.
+    #[test]
+    fn one_rack_collapses_to_algorithm_1(
+        n in 0u32..=64,
+        d_pow in 0u32..=3,
+        loads in proptest::collection::vec(0u64..10_000, 3),
+    ) {
+        let d_star = 1u32 << d_pow;
+        let topo = TopoTreeBuilder::new(d_star, 0, vec![0; n as usize])
+            .with_uplink_load(&loads)
+            .build();
+        let whale = build_nonblocking(n, d_star);
+        prop_assert_eq!(&topo, &whale);
+
+        // Belt and braces: the reached destination sets match too.
+        let reached = |t: &MulticastTree| {
+            let mut seen: Vec<u32> =
+                (0..t.n()).filter(|&i| t.depth(Node::Dest(i)).is_some()).collect();
+            seen.sort_unstable();
+            seen.dedup();
+            seen
+        };
+        prop_assert_eq!(reached(&topo), reached(&whale));
+    }
+
+    /// Uplink-load feedback never breaks the invariants, only reorders
+    /// rack entries: the same placement under any two load vectors yields
+    /// trees covering the same destinations with the same entry counts.
+    #[test]
+    fn load_feedback_preserves_coverage(
+        racks in 2u32..=5,
+        node_racks in skewed_racks(5, 24),
+        loads_a in proptest::collection::vec(0u64..10_000, 5),
+        loads_b in proptest::collection::vec(0u64..10_000, 5),
+    ) {
+        let node_racks: Vec<u32> =
+            node_racks.into_iter().map(|r| r % racks).collect();
+        let build = |loads: &[u64]| {
+            TopoTreeBuilder::new(2, 0, node_racks.clone())
+                .with_uplink_load(loads)
+                .build()
+        };
+        let (a, b) = (build(&loads_a), build(&loads_b));
+        prop_assert_eq!(a.reachable_count(), b.reachable_count());
+        prop_assert_eq!(
+            rack_entries(&a, 0, &node_racks),
+            rack_entries(&b, 0, &node_racks)
+        );
+    }
+}

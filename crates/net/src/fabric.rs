@@ -17,6 +17,7 @@
 //! drained in MMS/WTL batches by a flusher — the paper's stream slicing
 //! on the live path).
 
+use crate::topology::LinkTracker;
 use crossbeam::channel::{bounded, unbounded, Receiver, Sender, TrySendError};
 use parking_lot::RwLock;
 use std::collections::HashMap;
@@ -173,6 +174,14 @@ pub trait FabricPath: Send + Sync {
     /// Registered endpoint count.
     fn endpoint_count(&self) -> usize;
 
+    /// Install a [`LinkTracker`] so sends are attributed to physical
+    /// links via the cluster placement map. Transports that support
+    /// per-link accounting override this; the default ignores the
+    /// tracker (no per-link visibility). Install on the *outermost*
+    /// fabric only — a decorator that both tracked itself and delegated
+    /// to a tracked inner transport would double-count every frame.
+    fn install_link_tracker(&self, _tracker: Arc<LinkTracker>) {}
+
     /// Export delivery counters into `reg` under `prefix.*`.
     fn export_metrics(&self, reg: &mut whale_sim::MetricsRegistry, prefix: &str);
 }
@@ -191,6 +200,9 @@ pub struct LiveFabric {
     shared_bytes: AtomicU64,
     messages: AtomicU64,
     send_errors: AtomicU64,
+    /// Optional per-link attribution; delivery is synchronous here, so a
+    /// successful send is charged to its link immediately.
+    tracker: RwLock<Option<Arc<LinkTracker>>>,
 }
 
 impl Default for LiveFabric {
@@ -208,7 +220,13 @@ impl LiveFabric {
             shared_bytes: AtomicU64::new(0),
             messages: AtomicU64::new(0),
             send_errors: AtomicU64::new(0),
+            tracker: RwLock::new(None),
         }
+    }
+
+    /// Attribute subsequent sends to physical links through `tracker`.
+    pub fn install_link_tracker(&self, tracker: Arc<LinkTracker>) {
+        *self.tracker.write() = Some(tracker);
     }
 
     /// Register an endpoint with an unbounded inbox; returns its receiver.
@@ -245,6 +263,8 @@ impl LiveFabric {
     }
 
     fn send(&self, to: EndpointId, msg: LiveMessage) -> Result<(), SendError> {
+        let from = msg.from;
+        let len = msg.payload.len();
         let result = {
             let map = self.endpoints.read();
             match map.get(&to) {
@@ -259,6 +279,12 @@ impl LiveFabric {
         match result {
             Ok(()) => {
                 self.messages.fetch_add(1, Ordering::Relaxed);
+                if let Some(tracker) = self.tracker.read().as_ref() {
+                    // Synchronous delivery: the frame is in the
+                    // destination inbox, so charge the link directly.
+                    tracker.on_send(from, to, len);
+                    tracker.on_delivered(from, to, len);
+                }
                 Ok(())
             }
             Err(e) => {
@@ -418,6 +444,10 @@ impl FabricPath for LiveFabric {
 
     fn endpoint_count(&self) -> usize {
         LiveFabric::endpoint_count(self)
+    }
+
+    fn install_link_tracker(&self, tracker: Arc<LinkTracker>) {
+        LiveFabric::install_link_tracker(self, tracker);
     }
 
     fn export_metrics(&self, reg: &mut whale_sim::MetricsRegistry, prefix: &str) {
@@ -616,6 +646,35 @@ mod tests {
         fabric.export_metrics(&mut reg, "fabric");
         assert_eq!(reg.counter("fabric.send_errors"), Some(1));
         assert_eq!(reg.counter("fabric.messages"), Some(0));
+    }
+
+    #[test]
+    fn link_tracker_attributes_per_send_traffic() {
+        use crate::topology::{ClusterSpec, MachineId};
+        let fabric = LiveFabric::new();
+        let tracker = Arc::new(LinkTracker::new(ClusterSpec::with_rack_map(
+            4,
+            2,
+            1,
+            vec![0, 0, 1, 1],
+        )));
+        for m in 0..4u32 {
+            tracker.map_endpoint(EndpointId(m), MachineId(m));
+        }
+        FabricPath::install_link_tracker(&fabric, tracker.clone());
+        let _rx1 = fabric.register(EndpointId(1)).unwrap();
+        let _rx2 = fabric.register(EndpointId(2)).unwrap();
+        fabric
+            .send_copied(EndpointId(0), EndpointId(1), b"aaaa") // intra r0
+            .unwrap();
+        fabric
+            .send_copied(EndpointId(0), EndpointId(2), b"bbbbbb") // uplink r0
+            .unwrap();
+        // Failed sends never reach a link.
+        let _ = fabric.send_copied(EndpointId(0), EndpointId(9), b"cc");
+        assert_eq!(tracker.total_bytes(), 10);
+        assert_eq!(tracker.uplink_bytes(), 6);
+        assert_eq!(tracker.total_bytes(), fabric.copied_bytes());
     }
 
     #[test]

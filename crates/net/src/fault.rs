@@ -556,6 +556,14 @@ impl FabricPath for FaultFabric {
         self.inner.endpoint_count()
     }
 
+    fn install_link_tracker(&self, tracker: Arc<crate::topology::LinkTracker>) {
+        // The wrapper injects faults *before* the wire: frames it drops
+        // never occupy a link, so attribution belongs to the inner
+        // transport, which charges links only for frames that actually
+        // travel. Installing here as well would double-count.
+        self.inner.install_link_tracker(tracker);
+    }
+
     fn export_metrics(&self, reg: &mut whale_sim::MetricsRegistry, prefix: &str) {
         self.inner.export_metrics(reg, prefix);
         reg.set_counter(&format!("{prefix}.fault.drops"), self.drops());

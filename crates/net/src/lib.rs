@@ -38,7 +38,7 @@ pub use ring_fabric::{
 };
 pub use memory::{MemoryRegionId, MemoryRegistry, RingFull, RingRegion, SlotAddr};
 pub use nic::Nic;
-pub use topology::{ClusterSpec, MachineId, RackId};
+pub use topology::{ClusterSpec, LinkId, LinkLoad, LinkTracker, MachineId, RackId, TopologyConfig};
 pub use verbs::{
     Completion, CompletionQueue, PostCosts, QpId, QueuePair, VerbPolicy, WcStatus, WorkRequest,
     WrId,

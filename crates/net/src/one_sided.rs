@@ -31,7 +31,7 @@ use crate::fabric::{
 use crate::log::{LogConfig, PartitionLog};
 use crate::memory::{MemoryRegistry, RingRegion};
 use crate::ring_fabric::Doorbell;
-use crate::topology::MachineId;
+use crate::topology::{LinkTracker, MachineId};
 use crate::verbs::{QpId, QueuePair, WorkRequest, WrId};
 use crossbeam::channel::{bounded, unbounded, Receiver, Sender, TrySendError};
 use parking_lot::{Mutex, RwLock};
@@ -133,6 +133,9 @@ pub struct OneSidedFabric {
     /// Modeled wire occupancy plus the READ's request/response round trip.
     fetch_wire_ns: AtomicU64,
     stopping: AtomicBool,
+    /// Optional per-link attribution: publishes raise a link's queue
+    /// gauge, fetches settle it and count the bytes.
+    tracker: RwLock<Option<Arc<LinkTracker>>>,
 }
 
 impl Default for OneSidedFabric {
@@ -166,7 +169,14 @@ impl OneSidedFabric {
             fetch_cpu_ns: AtomicU64::new(0),
             fetch_wire_ns: AtomicU64::new(0),
             stopping: AtomicBool::new(false),
+            tracker: RwLock::new(None),
         }
+    }
+
+    /// Attribute subsequent publishes and fetches to physical links
+    /// through `tracker`.
+    pub fn install_link_tracker(&self, tracker: Arc<LinkTracker>) {
+        *self.tracker.write() = Some(tracker);
     }
 
     /// The active configuration.
@@ -264,6 +274,7 @@ impl OneSidedFabric {
             return Err(SendError::UnknownEndpoint);
         }
         let slot = self.link(from, to);
+        let published_bytes = msg.payload.len();
         {
             let mut link = slot.lock();
             // Write-through: the durable copy is taken as part of the
@@ -277,6 +288,11 @@ impl OneSidedFabric {
             if let (Some(log), Some(bytes)) = (link.log.as_mut(), logged) {
                 log.append(&bytes);
             }
+        }
+        if let Some(tracker) = self.tracker.read().as_ref() {
+            // Published into the outbox: the frame occupies its link's
+            // queue until the fetcher pulls it across.
+            tracker.on_send(from, to, published_bytes);
         }
         self.posted.fetch_add(1, Ordering::Relaxed);
         self.doorbell.ring();
@@ -320,6 +336,12 @@ impl OneSidedFabric {
                 Ok(()) => {
                     self.messages.fetch_add(1, Ordering::Relaxed);
                     self.copied_bytes.fetch_add(len, Ordering::Relaxed);
+                    if let Some(tracker) = self.tracker.read().as_ref() {
+                        // Backfill READs land synchronously in the
+                        // reader's inbox.
+                        tracker.on_send(from, reader, len as usize);
+                        tracker.on_delivered(from, reader, len as usize);
+                    }
                     delivered += 1;
                 }
                 Err(TrySendError::Full(_)) => {
@@ -464,12 +486,17 @@ impl OneSidedFabric {
                 }
                 let Some(tx) = tx.as_ref() else {
                     // Destination deregistered with frames still published.
-                    link.staged = None;
+                    if let Some(dead) = link.staged.take() {
+                        if let Some(tracker) = self.tracker.read().as_ref() {
+                            tracker.on_dropped(dead.from, to, dead.payload.len());
+                        }
+                    }
                     self.send_errors.fetch_add(1, Ordering::Relaxed);
                     continue;
                 };
                 let msg = link.staged.take().expect("staged frame");
                 let len = msg.payload.len() as u64;
+                let from = msg.from;
                 let bytes_ctr = if matches!(msg.payload, Payload::Shared(_)) {
                     &self.shared_bytes
                 } else {
@@ -480,7 +507,12 @@ impl OneSidedFabric {
                 self.messages.fetch_add(1, Ordering::Relaxed);
                 bytes_ctr.fetch_add(len, Ordering::Relaxed);
                 match tx.try_send(msg) {
-                    Ok(()) => delivered += 1,
+                    Ok(()) => {
+                        delivered += 1;
+                        if let Some(tracker) = self.tracker.read().as_ref() {
+                            tracker.on_delivered(from, to, len as usize);
+                        }
+                    }
                     Err(TrySendError::Full(msg)) => {
                         self.messages.fetch_sub(1, Ordering::Relaxed);
                         bytes_ctr.fetch_sub(len, Ordering::Relaxed);
@@ -491,6 +523,9 @@ impl OneSidedFabric {
                         self.messages.fetch_sub(1, Ordering::Relaxed);
                         bytes_ctr.fetch_sub(len, Ordering::Relaxed);
                         self.send_errors.fetch_add(1, Ordering::Relaxed);
+                        if let Some(tracker) = self.tracker.read().as_ref() {
+                            tracker.on_dropped(from, to, len as usize);
+                        }
                     }
                 }
             }
@@ -658,6 +693,10 @@ impl FabricPath for OneSidedFabric {
 
     fn endpoint_count(&self) -> usize {
         OneSidedFabric::endpoint_count(self)
+    }
+
+    fn install_link_tracker(&self, tracker: Arc<LinkTracker>) {
+        OneSidedFabric::install_link_tracker(self, tracker);
     }
 
     fn export_metrics(&self, reg: &mut MetricsRegistry, prefix: &str) {

@@ -27,6 +27,7 @@ use crate::batch::{BatchConfig, Batcher};
 use crate::fabric::{
     EndpointId, FabricPath, LiveFabric, LiveMessage, Payload, RegisterError, SendError,
 };
+use crate::topology::LinkTracker;
 use crossbeam::channel::{bounded, unbounded, Receiver, Sender, TrySendError};
 use parking_lot::{Mutex, RwLock};
 use std::collections::{HashMap, VecDeque};
@@ -86,6 +87,8 @@ impl RingConfig {
 /// One endpoint's send state: the descriptor ring, the transfer buffer,
 /// and the inbox it drains into.
 struct EndpointRing {
+    /// The destination endpoint this ring feeds (for link attribution).
+    id: EndpointId,
     /// Posted, not yet drained descriptors (the send ring proper).
     ring: VecDeque<LiveMessage>,
     /// The MMS/WTL transfer buffer the flusher drains the ring into.
@@ -165,6 +168,9 @@ pub struct RingFabric {
     /// Live-mode clock origin for mapping wall time onto [`SimTime`].
     epoch: Instant,
     stopping: AtomicBool,
+    /// Optional per-link attribution: posts raise a link's queue gauge,
+    /// deliveries settle it and count the bytes.
+    tracker: RwLock<Option<Arc<LinkTracker>>>,
 }
 
 impl Default for RingFabric {
@@ -192,7 +198,14 @@ impl RingFabric {
             flushed_items: AtomicU64::new(0),
             epoch: Instant::now(),
             stopping: AtomicBool::new(false),
+            tracker: RwLock::new(None),
         }
+    }
+
+    /// Attribute subsequent posts and deliveries to physical links
+    /// through `tracker`.
+    pub fn install_link_tracker(&self, tracker: Arc<LinkTracker>) {
+        *self.tracker.write() = Some(tracker);
     }
 
     /// The active configuration.
@@ -214,6 +227,7 @@ impl RingFabric {
         map.insert(
             id,
             Arc::new(Mutex::new(EndpointRing {
+                id,
                 ring: VecDeque::new(),
                 batcher: Batcher::new(self.config.batch),
                 tx,
@@ -262,6 +276,11 @@ impl RingFabric {
                 drop(ep);
                 self.send_errors.fetch_add(1, Ordering::Relaxed);
                 return Err(SendError::Full);
+            }
+            if let Some(tracker) = self.tracker.read().as_ref() {
+                // Accepted into the ring: the frame now occupies its link's
+                // queue until the flusher delivers (or drops) it.
+                tracker.on_send(msg.from, to, msg.payload.len());
             }
             ep.ring.push_back(msg);
         }
@@ -343,8 +362,14 @@ impl RingFabric {
             };
             self.messages.fetch_add(1, Ordering::Relaxed);
             bytes_ctr.fetch_add(len, Ordering::Relaxed);
+            let from = msg.from;
             match ep.tx.try_send(msg) {
-                Ok(()) => delivered += 1,
+                Ok(()) => {
+                    delivered += 1;
+                    if let Some(tracker) = self.tracker.read().as_ref() {
+                        tracker.on_delivered(from, ep.id, len as usize);
+                    }
+                }
                 Err(TrySendError::Full(msg)) => {
                     self.messages.fetch_sub(1, Ordering::Relaxed);
                     bytes_ctr.fetch_sub(len, Ordering::Relaxed);
@@ -355,6 +380,9 @@ impl RingFabric {
                     self.messages.fetch_sub(1, Ordering::Relaxed);
                     bytes_ctr.fetch_sub(len, Ordering::Relaxed);
                     self.send_errors.fetch_add(1, Ordering::Relaxed);
+                    if let Some(tracker) = self.tracker.read().as_ref() {
+                        tracker.on_dropped(from, ep.id, len as usize);
+                    }
                 }
             }
         }
@@ -600,6 +628,10 @@ impl FabricPath for RingFabric {
 
     fn endpoint_count(&self) -> usize {
         RingFabric::endpoint_count(self)
+    }
+
+    fn install_link_tracker(&self, tracker: Arc<LinkTracker>) {
+        RingFabric::install_link_tracker(self, tracker);
     }
 
     fn export_metrics(&self, reg: &mut MetricsRegistry, prefix: &str) {

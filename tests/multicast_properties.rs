@@ -130,6 +130,7 @@ proptest! {
                 t_e_secs: 8e-6,
                 queue_len: cur,
                 prev_queue_len: prev,
+                links: Default::default(),
             };
             let before = c.current_degree();
             let decision = c.decide(&report);
